@@ -1,0 +1,69 @@
+// Ablation for the paper's §VIII-B padding discussion: the authors
+// considered random padding between functions and judged it unnecessary —
+// 800 symbols already give 6567 bits. This bench quantifies what padding
+// *would* add (we implement it as an option) and confirms the paper's
+// call: the permutation entropy dwarfs the gap entropy at autopilot scale.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "defense/bruteforce.hpp"
+#include "defense/patcher.hpp"
+#include "sim/board.hpp"
+
+int main() {
+  using namespace mavr;
+  using namespace mavr::defense;
+
+  bench::heading("Ablation — random inter-function padding (paper §VIII-B)");
+
+  // Free flash on the evaluation targets (256 KiB part, Table III images).
+  std::printf("%-14s %-12s %-18s %-22s %-22s\n", "Application",
+              "free flash", "permutation bits", "padding bits (16 KiB)",
+              "padding bits (all free)");
+  struct Row {
+    const char* name;
+    std::uint32_t n;
+    std::uint32_t image;
+  };
+  const Row rows[] = {{"Arduplane", 917, 221294},
+                      {"Arducopter", 1030, 244292},
+                      {"Ardurover", 800, 177556}};
+  for (const Row& row : rows) {
+    const std::uint32_t free_flash = 256 * 1024 - row.image;
+    std::printf("%-14s %-12u %-18.0f %-22.0f %-22.0f\n", row.name,
+                free_flash, entropy_bits(row.n),
+                padding_entropy_bits(row.n, 16 * 1024),
+                padding_entropy_bits(row.n, free_flash));
+  }
+  std::printf("\npadding would add a few thousand bits, but the "
+              "permutation alone is already far\nbeyond any brute-force "
+              "budget (2^6567+) — the paper's call to skip padding costs\n"
+              "nothing in practice and keeps the flash headroom free.\n");
+
+  // Live check: padded randomization preserves behaviour end to end.
+  bench::heading("Live check — padded image flies identically");
+  firmware::AppProfile profile = firmware::testapp(false);
+  profile.reserve_padding_bytes = 4096;
+  const firmware::Firmware fw =
+      firmware::generate(profile, toolchain::ToolchainOptions::mavr());
+  const toolchain::SymbolBlob blob =
+      toolchain::SymbolBlob::from_image(fw.image);
+  support::Rng rng(515);
+  const RandomizeResult padded = randomize_image(fw.image.bytes, blob, rng);
+
+  auto feeds_after = [](std::span<const std::uint8_t> image) {
+    sim::Board board;
+    board.flash_image(image);
+    board.run_cycles(1'500'000);
+    return board.feed_line().write_count();
+  };
+  const auto stock_feeds = feeds_after(fw.image.bytes);
+  const auto padded_feeds = feeds_after(padded.image);
+  std::printf("reserved slack: %u bytes across %zu gaps; stock feeds %llu "
+              "vs padded-randomized feeds %llu -> %s\n",
+              padding_slack(blob), movable_count(blob) + 1,
+              static_cast<unsigned long long>(stock_feeds),
+              static_cast<unsigned long long>(padded_feeds),
+              stock_feeds == padded_feeds ? "identical" : "DIVERGED");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the reproduction benches: each binary regenerates one
+// table or figure of the paper and prints it alongside the paper's
+// published values so deviations are visible at a glance.
+#pragma once
+
+#include <cstdio>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+
+namespace mavr::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::vector<firmware::AppProfile> paper_profiles() {
+  return {firmware::arduplane(), firmware::arducopter(),
+          firmware::ardurover()};
+}
+
+/// Cached MAVR-flags build of each paper profile (generation is ~50 ms but
+/// several benches need all three).
+inline const firmware::Firmware& built(const firmware::AppProfile& profile) {
+  static std::list<firmware::Firmware> cache;  // stable references
+  for (const firmware::Firmware& fw : cache) {
+    if (fw.profile.name == profile.name &&
+        fw.profile.vulnerable == profile.vulnerable) {
+      return fw;
+    }
+  }
+  cache.push_back(
+      firmware::generate(profile, toolchain::ToolchainOptions::mavr()));
+  return cache.back();
+}
+
+}  // namespace mavr::bench

@@ -1,0 +1,108 @@
+// Regenerates the paper's effectiveness evaluation (§VII-A): gadget census
+// on the vulnerable test application, the stealthy attack succeeding
+// against the stock binary, and the same attack failing against the
+// MAVR-randomized binary with the master detecting and reflashing.
+#include <cstdio>
+
+#include "attack/attacks.hpp"
+#include "bench_util.hpp"
+#include "defense/external_flash.hpp"
+#include "defense/master.hpp"
+#include "defense/preprocess.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+
+int main() {
+  using namespace mavr;
+  bench::heading("Effectiveness (paper §VII-A)");
+
+  // The paper's test application: ArduPlane with the injected MAVLink
+  // length-check vulnerability.
+  const firmware::Firmware& fw = bench::built(firmware::arduplane(true));
+  const attack::AttackPlan plan = attack::analyze(fw.image);
+
+  std::printf("test application: %s (%zu functions, %u bytes)\n",
+              fw.profile.name.c_str(), fw.image.function_count(),
+              fw.image.size_bytes());
+  std::printf("gadgets found: %u  (paper: 953)\n", plan.census.total());
+  std::printf("  ret-terminated sequences: %u\n", plan.census.ret_gadgets);
+  std::printf("  stk_move gadgets:         %u\n",
+              plan.census.stk_move_gadgets);
+  std::printf("  write_mem gadgets:        %u\n",
+              plan.census.write_mem_gadgets);
+
+  // --- Stealthy attack vs. the stock binary --------------------------------
+  {
+    sim::Board board;
+    board.flash_image(fw.image.bytes);
+    board.run_cycles(400'000);
+    sim::GroundStation gcs(board);
+    const attack::Write3 write{plan.gyro_cal_addr, {0xD1, 0x07, 0x00}};
+    gcs.send_raw_param_set(plan.builder().v2_payload({write}));
+    board.run_cycles(6'000'000);
+    const bool wrote =
+        board.cpu().data().raw(plan.gyro_cal_addr) == 0xD1 &&
+        board.cpu().data().raw(plan.gyro_cal_addr + 1) == 0x07;
+    const bool alive = board.cpu().state() == avr::CpuState::Running;
+    std::printf("\nstock binary:      stealthy ROP attack %s "
+                "(sensor write %s, victim %s)\n",
+                wrote && alive ? "SUCCEEDS" : "fails",
+                wrote ? "landed" : "missed",
+                alive ? "keeps flying" : "crashed");
+  }
+
+  // --- Same payload vs. the MAVR-randomized binary --------------------------
+  {
+    defense::ExternalFlash flash;
+    sim::Board board;
+    defense::MasterConfig cfg;
+    cfg.seed = 99;
+    cfg.watchdog_timeout_cycles = 400'000;
+    defense::MasterProcessor master(flash, board, cfg);
+    master.host_upload_hex(defense::preprocess_to_hex(fw.image));
+    master.boot();
+    board.run_cycles(400'000);
+
+    sim::GroundStation gcs(board);
+    const attack::Write3 write{plan.gyro_cal_addr, {0xD1, 0x07, 0x00}};
+
+    // The attacker brute-forces: every attempt guesses a different gadget
+    // layout (all derived from the *stale* stock binary, §V-D). Each guess
+    // jumps into the wrong code; sooner or later the garbage execution
+    // wedges the board and the master's feed-line watchdog catches it,
+    // triggering an immediate re-randomization.
+    attack::GadgetFinder finder(fw.image);
+    std::vector<attack::StkMoveGadget> usable;
+    for (const attack::StkMoveGadget& g : finder.stk_moves()) {
+      if (g.pops.size() <= 3) usable.push_back(g);  // chain must fit
+    }
+    int detections = 0;
+    int attempts = 0;
+    bool wrote = false;
+    for (attempts = 1; attempts <= 16; ++attempts) {
+      attack::AttackPlan guess = plan;
+      guess.stk = usable[(attempts * 37) % usable.size()];
+      gcs.send_raw_param_set(guess.builder().v2_payload({write}));
+      for (int slice = 0; slice < 60; ++slice) {
+        board.run_cycles(100'000);
+        if (master.service()) ++detections;
+      }
+      wrote = board.cpu().data().raw(plan.gyro_cal_addr) == 0xD1 &&
+              board.cpu().data().raw(plan.gyro_cal_addr + 1) == 0x07;
+      if (wrote || detections > 0) break;
+    }
+    std::printf("randomized binary: stealthy ROP attack %s after %d "
+                "attempt%s (MAVR detected %d failed attack%s and "
+                "re-randomized)\n",
+                wrote ? "SUCCEEDED (!)" : "FAILS", attempts,
+                attempts == 1 ? "" : "s", detections,
+                detections == 1 ? "" : "s");
+    std::printf("post-recovery:     application processor %s, %u "
+                "randomizations performed\n",
+                board.cpu().state() == avr::CpuState::Running
+                    ? "running normally"
+                    : "down",
+                master.randomizations());
+  }
+  return 0;
+}

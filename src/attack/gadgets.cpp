@@ -1,0 +1,106 @@
+#include "attack/gadgets.hpp"
+
+#include "avr/decode.hpp"
+#include "avr/mcu.hpp"
+#include "support/bytes.hpp"
+
+namespace mavr::attack {
+
+using avr::Instr;
+using avr::Op;
+
+GadgetFinder::GadgetFinder(std::span<const std::uint8_t> image,
+                           std::uint32_t text_end) {
+  scan(image, text_end);
+}
+
+void GadgetFinder::scan(std::span<const std::uint8_t> image,
+                        std::uint32_t text_end) {
+  // Linear sweep. AVR's two-byte alignment makes this reliable: unlike
+  // x86 there are no overlapping instruction streams at odd offsets.
+  std::vector<Instr> instrs;
+  std::vector<std::uint32_t> addrs;
+  std::uint32_t pos = 0;
+  const std::uint32_t limit = std::min<std::uint32_t>(
+      text_end, static_cast<std::uint32_t>(image.size()));
+  while (pos + 2 <= limit) {
+    const std::uint16_t w1 = support::load_u16_le(image, pos);
+    const std::uint16_t w2 =
+        (pos + 4 <= limit) ? support::load_u16_le(image, pos + 2) : 0;
+    const Instr in = avr::decode(w1, w2);
+    instrs.push_back(in);
+    addrs.push_back(pos);
+    pos += in.size_words * 2;
+  }
+
+  const auto pops_before_ret = [&](std::size_t ret_idx,
+                                   std::size_t first) {
+    // Collect the pop registers in [first, ret_idx) — all must be pops.
+    std::vector<std::uint8_t> pops;
+    for (std::size_t i = first; i < ret_idx; ++i) {
+      if (instrs[i].op != Op::Pop) return std::vector<std::uint8_t>{};
+      pops.push_back(instrs[i].rd);
+    }
+    return pops;
+  };
+
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].op != Op::Ret) continue;
+    ++census_.ret_gadgets;
+
+    // Walk backwards over the contiguous pop run preceding this ret.
+    std::size_t first_pop = i;
+    while (first_pop > 0 && instrs[first_pop - 1].op == Op::Pop) --first_pop;
+    const std::size_t n_pops = i - first_pop;
+    if (n_pops >= 4) ++census_.pop_chain_gadgets;
+
+    // stk_move: out SPL,r28 ; [pops] ; ret — preceded by out SREG and
+    // out SPH (paper Fig. 4). Entry is at the out SPH.
+    if (n_pops >= 1 && first_pop >= 3) {
+      const Instr& o3 = instrs[first_pop - 1];  // out 0x3d, r28
+      const Instr& o2 = instrs[first_pop - 2];  // out 0x3f, r0
+      const Instr& o1 = instrs[first_pop - 3];  // out 0x3e, r29
+      if (o3.op == Op::Out && o3.k == avr::kIoSpl && o3.rd == 28 &&
+          o2.op == Op::Out && o2.k == avr::kIoSreg &&
+          o1.op == Op::Out && o1.k == avr::kIoSph && o1.rd == 29) {
+        StkMoveGadget g;
+        g.entry_byte_addr = addrs[first_pop - 3];
+        g.pops = pops_before_ret(i, first_pop);
+        stk_moves_.push_back(std::move(g));
+        ++census_.stk_move_gadgets;
+      }
+    }
+
+    // write_mem: std Y+1,r5 ; std Y+2,r6 ; std Y+3,r7 ; pops ; ret
+    // (paper Fig. 5). Requires the pop run to reload Y and r5..r7 so the
+    // gadget can be chained.
+    if (n_pops >= 5 && first_pop >= 3) {
+      const Instr& s1 = instrs[first_pop - 3];
+      const Instr& s2 = instrs[first_pop - 2];
+      const Instr& s3 = instrs[first_pop - 1];
+      const auto is_std = [](const Instr& in, std::uint16_t q,
+                             std::uint8_t reg) {
+        return in.op == Op::StdY && in.k == q && in.rd == reg;
+      };
+      if (is_std(s1, 1, 5) && is_std(s2, 2, 6) && is_std(s3, 3, 7)) {
+        std::vector<std::uint8_t> pops = pops_before_ret(i, first_pop);
+        const auto has = [&](std::uint8_t r) {
+          for (std::uint8_t p : pops) {
+            if (p == r) return true;
+          }
+          return false;
+        };
+        if (has(28) && has(29) && has(5) && has(6) && has(7)) {
+          WriteMemGadget g;
+          g.store_entry_byte_addr = addrs[first_pop - 3];
+          g.pop_entry_byte_addr = addrs[first_pop];
+          g.pops = std::move(pops);
+          write_mems_.push_back(std::move(g));
+          ++census_.write_mem_gadgets;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mavr::attack

@@ -1,0 +1,73 @@
+// Gadget discovery on AVR firmware images (paper §IV, Figs. 4–5).
+//
+// The finder linearly disassembles the executable region and recognizes:
+//  * stk_move gadgets — `out SPH,r29 ; [out SREG,r0] ; out SPL,r28 ;
+//    pop… ; ret`, the tail of any framed function's epilogue. Writing the
+//    stack pointer from Y is what lets the attack pivot SP into the
+//    vulnerable buffer and back (clean return);
+//  * write_mem gadgets — `std Y+1,r5 ; std Y+2,r6 ; std Y+3,r7 ; pop… ;
+//    ret`, the store-then-restore tail of register-heavy functions,
+//    which both writes attacker bytes anywhere in the data space and
+//    reloads Y/r5–r7 for the next round;
+//  * a census of all ret-terminated sequences — the "gadgets found"
+//    population the paper reports (953 for the vulnerable test app).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "toolchain/image.hpp"
+
+namespace mavr::attack {
+
+/// A stack-pointer-move gadget (paper Fig. 4).
+struct StkMoveGadget {
+  std::uint32_t entry_byte_addr = 0;  ///< at the `out SPH, r29`
+  /// Registers popped between the SP write and the ret, in pop order;
+  /// the chain builder uses this to lay out the bytes each pop consumes.
+  std::vector<std::uint8_t> pops;
+};
+
+/// A memory-write gadget (paper Fig. 5).
+struct WriteMemGadget {
+  std::uint32_t store_entry_byte_addr = 0;  ///< at the first `std Y+1, r5`
+  std::uint32_t pop_entry_byte_addr = 0;    ///< at the first pop after stores
+  std::vector<std::uint8_t> pops;           ///< in pop order (r29 first)
+};
+
+/// Census of code-reuse material in an image.
+struct GadgetCensus {
+  std::uint32_t ret_gadgets = 0;       ///< ret-terminated sequences
+  std::uint32_t stk_move_gadgets = 0;
+  std::uint32_t write_mem_gadgets = 0;
+  std::uint32_t pop_chain_gadgets = 0; ///< rets preceded by >= 4 pops
+
+  std::uint32_t total() const {
+    return ret_gadgets + stk_move_gadgets + write_mem_gadgets;
+  }
+};
+
+/// Scans the executable region of a firmware image.
+/// Works on raw bytes + text extent: the attacker does not need symbols
+/// for this step (they do get them, per the threat model, but gadget
+/// scanning is pure code analysis).
+class GadgetFinder {
+ public:
+  GadgetFinder(std::span<const std::uint8_t> image, std::uint32_t text_end);
+
+  explicit GadgetFinder(const toolchain::Image& image)
+      : GadgetFinder(image.bytes, image.text_end) {}
+
+  const std::vector<StkMoveGadget>& stk_moves() const { return stk_moves_; }
+  const std::vector<WriteMemGadget>& write_mems() const { return write_mems_; }
+  const GadgetCensus& census() const { return census_; }
+
+ private:
+  void scan(std::span<const std::uint8_t> image, std::uint32_t text_end);
+
+  std::vector<StkMoveGadget> stk_moves_;
+  std::vector<WriteMemGadget> write_mems_;
+  GadgetCensus census_;
+};
+
+}  // namespace mavr::attack

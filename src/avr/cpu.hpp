@@ -1,0 +1,150 @@
+// The AVR CPU interpreter: fetch/decode/execute with cycle accounting.
+//
+// Faithfulness notes that the paper's attacks depend on:
+//  * SP, SREG, EIND and the register file live in the data space, so OUT
+//    0x3D/0x3E rewrites the stack pointer (stk_move gadget, Fig. 4) and STD
+//    Y+q can write anywhere including registers (write_mem gadget, Fig. 5);
+//  * CALL/RCALL/ICALL push a 3-byte return address on the ATmega2560
+//    (17-bit word PC), stored big-endian toward ascending addresses — the
+//    exact layout the ROP payload builder emits;
+//  * an invalid opcode faults the core, modelling the "board executes
+//    garbage and becomes inoperable" failure the master processor detects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "avr/decode.hpp"
+#include "avr/instr.hpp"
+#include "avr/io.hpp"
+#include "avr/mcu.hpp"
+#include "avr/memory.hpp"
+
+namespace mavr::avr {
+
+enum class CpuState {
+  Running,   ///< executing normally
+  Faulted,   ///< hit an invalid opcode (garbage execution crashed)
+  Stopped,   ///< executed BREAK (used by firmware test stubs to halt)
+};
+
+/// Details of the fault that stopped the core.
+struct FaultInfo {
+  std::uint32_t pc_words = 0;   ///< word address of the faulting fetch
+  std::uint16_t opcode = 0;     ///< first opcode word
+  std::string reason;
+};
+
+/// One simulated AVR core with its Harvard memories and I/O bus.
+class Cpu {
+ public:
+  explicit Cpu(const McuSpec& spec);
+
+  const McuSpec& spec() const { return spec_; }
+
+  /// Power-on/reset: PC=0, SP=RAMEND, SREG=0, data memory cleared.
+  /// Flash contents are preserved (reset is not reprogramming).
+  void reset();
+
+  CpuState state() const { return state_; }
+  const FaultInfo& fault() const { return fault_; }
+
+  /// Executes one instruction (no-op unless Running).
+  void step();
+
+  /// Runs until the core leaves Running or `cycle_budget` cycles elapse.
+  /// Returns the number of cycles consumed.
+  std::uint64_t run(std::uint64_t cycle_budget);
+
+  // --- Architectural state -------------------------------------------------
+  std::uint8_t reg(unsigned index) const { return data_.raw(index); }
+  void set_reg(unsigned index, std::uint8_t value) {
+    data_.set_raw(index, value);
+  }
+
+  /// 16-bit register pair (X: lo=26, Y: lo=28, Z: lo=30).
+  std::uint16_t reg_pair(unsigned lo) const {
+    return static_cast<std::uint16_t>(reg(lo) | (reg(lo + 1) << 8));
+  }
+  void set_reg_pair(unsigned lo, std::uint16_t value) {
+    set_reg(lo, static_cast<std::uint8_t>(value & 0xFF));
+    set_reg(lo + 1, static_cast<std::uint8_t>(value >> 8));
+  }
+
+  std::uint16_t sp() const {
+    return static_cast<std::uint16_t>(data_.raw(kAddrSpl) |
+                                      (data_.raw(kAddrSph) << 8));
+  }
+  void set_sp(std::uint16_t value) {
+    data_.set_raw(kAddrSpl, static_cast<std::uint8_t>(value & 0xFF));
+    data_.set_raw(kAddrSph, static_cast<std::uint8_t>(value >> 8));
+  }
+
+  std::uint8_t sreg() const { return data_.raw(kAddrSreg); }
+  void set_sreg(std::uint8_t value) { data_.set_raw(kAddrSreg, value); }
+  bool flag(SregBit bit) const { return (sreg() >> bit) & 1; }
+
+  /// Program counter in words.
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t word_addr) { pc_ = word_addr & pc_mask_; }
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instructions_retired() const { return retired_; }
+
+  ProgramMemory& flash() { return flash_; }
+  const ProgramMemory& flash() const { return flash_; }
+  DataMemory& data() { return data_; }
+  const DataMemory& data() const { return data_; }
+  Eeprom& eeprom() { return eeprom_; }
+  IoBus& io() { return io_; }
+
+  /// Registers an interrupt source on `vector_slot` (slot k dispatches
+  /// through the 2-word vector at word address 2k). `take` must return
+  /// true when an interrupt is pending and clear it (hardware ack).
+  /// Delivery follows AVR semantics: only with SREG.I set, between
+  /// instructions; the return address is pushed and I is cleared.
+  void set_irq_line(std::uint8_t vector_slot, std::function<bool()> take);
+
+  /// Interrupts delivered since power-on.
+  std::uint64_t interrupts_taken() const { return interrupts_taken_; }
+
+ private:
+  const Instr& decoded(std::uint32_t word_addr);
+  void set_flag(SregBit bit, bool value);
+  void flags_add(std::uint8_t d, std::uint8_t r, std::uint8_t carry_in,
+                 std::uint8_t res);
+  void flags_sub(std::uint8_t d, std::uint8_t r, std::uint8_t borrow_in,
+                 std::uint8_t res, bool keep_z);
+  void flags_logic(std::uint8_t res);
+  void push_byte(std::uint8_t value);
+  std::uint8_t pop_byte();
+  void push_pc(std::uint32_t ret_words);
+  std::uint32_t pop_pc();
+  std::uint32_t skip_target(std::uint32_t next_pc) const;
+  void fault_now(std::uint32_t pc_words, std::uint16_t opcode,
+                 std::string reason);
+
+  const McuSpec& spec_;
+  IoBus io_;
+  ProgramMemory flash_;
+  DataMemory data_;
+  Eeprom eeprom_;
+
+  std::uint32_t pc_ = 0;
+  std::uint32_t pc_mask_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t interrupts_taken_ = 0;
+  CpuState state_ = CpuState::Running;
+  FaultInfo fault_;
+  std::vector<std::pair<std::uint8_t, std::function<bool()>>> irq_lines_;
+
+  // Decode cache, invalidated whenever the flash generation changes.
+  std::vector<Instr> cache_;
+  std::vector<std::uint8_t> cache_valid_;
+  std::uint64_t cache_generation_ = ~std::uint64_t{0};
+};
+
+}  // namespace mavr::avr

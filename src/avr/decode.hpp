@@ -1,0 +1,19 @@
+// AVR instruction decoder: 16-bit opcode word(s) → Instr.
+//
+// Encodings follow the Atmel AVR instruction set manual; the assembler's
+// encoder (toolchain/encode.hpp) is the exact inverse, and the round trip is
+// covered by tests/avr/decode_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "avr/instr.hpp"
+
+namespace mavr::avr {
+
+/// Decodes the instruction whose first word is `first`; `second` must hold
+/// the following flash word (used only by 32-bit encodings). Returns an
+/// Instr with op == Op::Invalid for unimplemented/reserved encodings.
+Instr decode(std::uint16_t first, std::uint16_t second);
+
+}  // namespace mavr::avr

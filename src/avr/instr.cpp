@@ -1,0 +1,100 @@
+#include "avr/instr.hpp"
+
+#include "avr/decode.hpp"
+
+namespace mavr::avr {
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Invalid: return "<invalid>";
+    case Op::Add: return "add";
+    case Op::Adc: return "adc";
+    case Op::Sub: return "sub";
+    case Op::Subi: return "subi";
+    case Op::Sbc: return "sbc";
+    case Op::Sbci: return "sbci";
+    case Op::And: return "and";
+    case Op::Andi: return "andi";
+    case Op::Or: return "or";
+    case Op::Ori: return "ori";
+    case Op::Eor: return "eor";
+    case Op::Com: return "com";
+    case Op::Neg: return "neg";
+    case Op::Inc: return "inc";
+    case Op::Dec: return "dec";
+    case Op::Mul: return "mul";
+    case Op::Cp: return "cp";
+    case Op::Cpc: return "cpc";
+    case Op::Cpi: return "cpi";
+    case Op::Cpse: return "cpse";
+    case Op::Swap: return "swap";
+    case Op::Asr: return "asr";
+    case Op::Lsr: return "lsr";
+    case Op::Ror: return "ror";
+    case Op::Adiw: return "adiw";
+    case Op::Sbiw: return "sbiw";
+    case Op::Mov: return "mov";
+    case Op::Movw: return "movw";
+    case Op::Ldi: return "ldi";
+    case Op::Rjmp: return "rjmp";
+    case Op::Rcall: return "rcall";
+    case Op::Jmp: return "jmp";
+    case Op::Call: return "call";
+    case Op::Ijmp: return "ijmp";
+    case Op::Icall: return "icall";
+    case Op::Eijmp: return "eijmp";
+    case Op::Eicall: return "eicall";
+    case Op::Ret: return "ret";
+    case Op::Reti: return "reti";
+    case Op::Brbs: return "brbs";
+    case Op::Brbc: return "brbc";
+    case Op::Sbrc: return "sbrc";
+    case Op::Sbrs: return "sbrs";
+    case Op::Sbic: return "sbic";
+    case Op::Sbis: return "sbis";
+    case Op::Lds: return "lds";
+    case Op::Sts: return "sts";
+    case Op::LdX: return "ld_x";
+    case Op::LdXInc: return "ld_x+";
+    case Op::LdXDec: return "ld_-x";
+    case Op::LdYInc: return "ld_y+";
+    case Op::LdYDec: return "ld_-y";
+    case Op::LddY: return "ldd_y";
+    case Op::LdZInc: return "ld_z+";
+    case Op::LdZDec: return "ld_-z";
+    case Op::LddZ: return "ldd_z";
+    case Op::StX: return "st_x";
+    case Op::StXInc: return "st_x+";
+    case Op::StXDec: return "st_-x";
+    case Op::StYInc: return "st_y+";
+    case Op::StYDec: return "st_-y";
+    case Op::StdY: return "std_y";
+    case Op::StZInc: return "st_z+";
+    case Op::StZDec: return "st_-z";
+    case Op::StdZ: return "std_z";
+    case Op::LpmR0: return "lpm_r0";
+    case Op::Lpm: return "lpm";
+    case Op::LpmInc: return "lpm_z+";
+    case Op::ElpmR0: return "elpm_r0";
+    case Op::Elpm: return "elpm";
+    case Op::ElpmInc: return "elpm_z+";
+    case Op::In: return "in";
+    case Op::Out: return "out";
+    case Op::Push: return "push";
+    case Op::Pop: return "pop";
+    case Op::Sbi: return "sbi";
+    case Op::Cbi: return "cbi";
+    case Op::Bset: return "bset";
+    case Op::Bclr: return "bclr";
+    case Op::Bst: return "bst";
+    case Op::Bld: return "bld";
+    case Op::Nop: return "nop";
+    case Op::Sleep: return "sleep";
+    case Op::Break: return "break";
+    case Op::Wdr: return "wdr";
+    case Op::Spm: return "spm";
+  }
+  return "<?>";
+}
+
+}  // namespace mavr::avr

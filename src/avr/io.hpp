@@ -1,0 +1,77 @@
+// Memory-mapped I/O dispatch for the simulated AVR.
+//
+// Devices (UART, SPI, GPIO, timer) register read/write handlers for
+// data-space addresses in the I/O region; everything else behaves as plain
+// RAM. Devices advance with CPU time through tick().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "avr/mcu.hpp"
+#include "support/error.hpp"
+
+namespace mavr::avr {
+
+/// Interface for peripherals that need to observe simulated time.
+class Tickable {
+ public:
+  virtual ~Tickable() = default;
+
+  /// Called with the new absolute cycle count after each CPU step.
+  virtual void tick(std::uint64_t now_cycles) = 0;
+};
+
+/// Address-dispatched I/O: maps data-space addresses to device handlers.
+class IoBus {
+ public:
+  using ReadFn = std::function<std::uint8_t()>;
+  using WriteFn = std::function<void(std::uint8_t)>;
+
+  /// Registers a read handler for data-space address `addr`.
+  void on_read(std::uint16_t addr, ReadFn fn) {
+    MAVR_REQUIRE(!reads_.contains(addr), "duplicate I/O read handler");
+    reads_.emplace(addr, std::move(fn));
+  }
+
+  /// Registers a write handler for data-space address `addr`.
+  void on_write(std::uint16_t addr, WriteFn fn) {
+    MAVR_REQUIRE(!writes_.contains(addr), "duplicate I/O write handler");
+    writes_.emplace(addr, std::move(fn));
+  }
+
+  /// Registers a device for time advancement.
+  void add_tickable(Tickable* device) { tickables_.push_back(device); }
+
+  /// True when a device handles reads at `addr`.
+  bool handles_read(std::uint32_t addr) const {
+    return addr < kExtIoEnd && reads_.contains(static_cast<std::uint16_t>(addr));
+  }
+
+  /// True when a device handles writes at `addr`.
+  bool handles_write(std::uint32_t addr) const {
+    return addr < kExtIoEnd && writes_.contains(static_cast<std::uint16_t>(addr));
+  }
+
+  std::uint8_t read(std::uint32_t addr) const {
+    return reads_.at(static_cast<std::uint16_t>(addr))();
+  }
+
+  void write(std::uint32_t addr, std::uint8_t value) const {
+    writes_.at(static_cast<std::uint16_t>(addr))(value);
+  }
+
+  /// Advances every registered device to `now_cycles`.
+  void tick(std::uint64_t now_cycles) {
+    for (Tickable* device : tickables_) device->tick(now_cycles);
+  }
+
+ private:
+  std::unordered_map<std::uint16_t, ReadFn> reads_;
+  std::unordered_map<std::uint16_t, WriteFn> writes_;
+  std::vector<Tickable*> tickables_;
+};
+
+}  // namespace mavr::avr

@@ -1,0 +1,86 @@
+// Microcontroller descriptions for the two AVR parts the MAVR platform uses
+// (paper §II, §V-A): the ATmega2560 application processor on the ArduPilot
+// Mega 2.5 and the ATmega1284P master processor.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mavr::avr {
+
+/// Architectural constants for data-space layout shared by AVR megas.
+/// The register file and I/O are memory mapped into the data space —
+/// the property the paper's write_mem gadget exploits (§IV-C).
+inline constexpr std::uint32_t kRegFileBase = 0x0000;   // r0..r31
+inline constexpr std::uint32_t kRegFileSize = 32;
+inline constexpr std::uint32_t kIoBase = 0x0020;        // IN/OUT space
+inline constexpr std::uint32_t kIoSize = 64;
+inline constexpr std::uint32_t kExtIoBase = 0x0060;     // LDS/STS only
+inline constexpr std::uint32_t kExtIoEnd = 0x0200;
+
+/// I/O-space addresses (use with IN/OUT; data-space address = io + 0x20).
+inline constexpr std::uint8_t kIoRampz = 0x3B;
+inline constexpr std::uint8_t kIoEind = 0x3C;
+inline constexpr std::uint8_t kIoSpl = 0x3D;
+inline constexpr std::uint8_t kIoSph = 0x3E;
+inline constexpr std::uint8_t kIoSreg = 0x3F;
+
+/// Data-space addresses of the CPU core registers.
+inline constexpr std::uint16_t kAddrRampz = 0x5B;
+inline constexpr std::uint16_t kAddrEind = 0x5C;
+inline constexpr std::uint16_t kAddrSpl = 0x5D;
+inline constexpr std::uint16_t kAddrSph = 0x5E;
+inline constexpr std::uint16_t kAddrSreg = 0x5F;
+
+/// Static description of one AVR microcontroller model.
+struct McuSpec {
+  std::string_view name;
+  std::uint32_t flash_bytes;      ///< program memory size (Harvard, word addressed)
+  std::uint32_t sram_bytes;       ///< internal SRAM size
+  std::uint32_t sram_base;        ///< first SRAM data-space address
+  std::uint32_t eeprom_bytes;     ///< persistent configuration memory
+  std::uint8_t pc_push_bytes;     ///< bytes CALL pushes (3 when flash > 128 KiB)
+  std::uint32_t flash_page_bytes; ///< bootloader programming page size
+  std::uint32_t flash_endurance;  ///< guaranteed program/erase cycles (§VI-A: 10,000)
+  std::uint32_t clock_hz;         ///< core clock (APM 2.5 runs at 16 MHz)
+
+  std::uint32_t flash_words() const { return flash_bytes / 2; }
+  std::uint32_t ramend() const { return sram_base + sram_bytes - 1; }
+  std::uint32_t data_space_bytes() const { return ramend() + 1; }
+};
+
+/// ATmega2560 — the APM 2.5 application processor (paper §II-A/B):
+/// 256 KiB flash (128 Kwords), 8 KiB SRAM, 17-bit PC so calls push 3 bytes.
+inline const McuSpec& atmega2560() {
+  static constexpr McuSpec spec{
+      .name = "ATmega2560",
+      .flash_bytes = 256 * 1024,
+      .sram_bytes = 8 * 1024,
+      .sram_base = 0x0200,
+      .eeprom_bytes = 4 * 1024,
+      .pc_push_bytes = 3,
+      .flash_page_bytes = 256,
+      .flash_endurance = 10000,
+      .clock_hz = 16'000'000,
+  };
+  return spec;
+}
+
+/// ATmega1284P — the MAVR master processor (paper §V-A2, §VI-A):
+/// 128 KiB flash, 16 KiB SRAM, 16-bit PC so calls push 2 bytes.
+inline const McuSpec& atmega1284p() {
+  static constexpr McuSpec spec{
+      .name = "ATmega1284P",
+      .flash_bytes = 128 * 1024,
+      .sram_bytes = 16 * 1024,
+      .sram_base = 0x0100,
+      .eeprom_bytes = 4 * 1024,
+      .pc_push_bytes = 2,
+      .flash_page_bytes = 256,
+      .flash_endurance = 10000,
+      .clock_hz = 16'000'000,
+  };
+  return spec;
+}
+
+}  // namespace mavr::avr

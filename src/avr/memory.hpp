@@ -1,0 +1,128 @@
+// Harvard-architecture memories of the simulated AVR (paper §II-B, Fig. 1):
+// a word-addressed program flash that only the bootloader can write, a
+// single linear data space holding the register file, I/O and SRAM, and a
+// small EEPROM. Data memory is never executable; program memory is not
+// readable as data except through LPM — the properties that force attackers
+// into code reuse (paper §III).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "avr/mcu.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace mavr::avr {
+
+/// Word-addressed program flash.
+class ProgramMemory {
+ public:
+  explicit ProgramMemory(const McuSpec& spec)
+      : words_(spec.flash_words(), 0xFFFF) {}
+
+  std::uint32_t size_words() const {
+    return static_cast<std::uint32_t>(words_.size());
+  }
+  std::uint32_t size_bytes() const { return size_words() * 2; }
+
+  /// Fetches the word at `word_addr` (wraps like real hardware so a runaway
+  /// PC keeps "executing garbage" instead of crashing the simulator).
+  std::uint16_t word(std::uint32_t word_addr) const {
+    return words_[word_addr % words_.size()];
+  }
+
+  /// Byte view used by LPM/ELPM: AVR words are little-endian in byte space.
+  std::uint8_t byte(std::uint32_t byte_addr) const {
+    const std::uint16_t w = word(byte_addr / 2);
+    return static_cast<std::uint8_t>((byte_addr & 1) ? (w >> 8) : (w & 0xFF));
+  }
+
+  /// Erases the whole flash to 0xFFFF (bootloader chip-erase).
+  void erase();
+
+  /// Programs raw bytes starting at byte address 0 (bootloader path).
+  /// Throws PreconditionError when the image exceeds the part's flash.
+  void program(std::span<const std::uint8_t> image);
+
+  /// Programs one page at `byte_addr` (must be page aligned by the caller).
+  void program_page(std::uint32_t byte_addr,
+                    std::span<const std::uint8_t> page);
+
+  /// Monotonic counter incremented by every erase/program; used by the CPU
+  /// decode cache to know when cached decodes are stale.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Copies the flash contents out as bytes (test/verification support;
+  /// the readout-protection policy is enforced one level up, in sim::Board).
+  support::Bytes dump() const;
+
+ private:
+  std::vector<std::uint16_t> words_;
+  std::uint64_t generation_ = 0;
+};
+
+class IoBus;
+
+/// Single linear data space: registers + I/O + SRAM (paper Fig. 1).
+/// All of it is readable and writable by program stores — including the
+/// register file and the stack-pointer bytes, which is exactly what the
+/// paper's stk_move and write_mem gadgets exploit.
+class DataMemory {
+ public:
+  DataMemory(const McuSpec& spec, IoBus& io);
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
+  /// Load with I/O-device dispatch (used by the executing program).
+  std::uint8_t load(std::uint32_t addr);
+
+  /// Store with I/O-device dispatch (used by the executing program).
+  void store(std::uint32_t addr, std::uint8_t value);
+
+  /// Raw access without device dispatch (CPU core registers, test peeks,
+  /// stack snapshots for the Fig. 6 dumps).
+  std::uint8_t raw(std::uint32_t addr) const {
+    return bytes_[addr % bytes_.size()];
+  }
+  void set_raw(std::uint32_t addr, std::uint8_t value) {
+    bytes_[addr % bytes_.size()] = value;
+  }
+
+  /// Snapshot `count` bytes starting at `addr` (wraps at data-space end).
+  support::Bytes snapshot(std::uint32_t addr, std::uint32_t count) const;
+
+  /// Clears everything to zero (power-on / reset).
+  void clear();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  IoBus& io_;
+};
+
+/// Persistent EEPROM configuration memory (paper Fig. 1; not mapped into
+/// data or program space).
+class Eeprom {
+ public:
+  explicit Eeprom(const McuSpec& spec) : bytes_(spec.eeprom_bytes, 0xFF) {}
+
+  std::uint8_t read(std::uint32_t addr) const {
+    MAVR_REQUIRE(addr < bytes_.size(), "EEPROM address out of range");
+    return bytes_[addr];
+  }
+  void write(std::uint32_t addr, std::uint8_t value) {
+    MAVR_REQUIRE(addr < bytes_.size(), "EEPROM address out of range");
+    bytes_[addr] = value;
+  }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace mavr::avr

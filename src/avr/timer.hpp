@@ -1,0 +1,48 @@
+// Periodic compare-match timer — the interrupt source that gives the
+// autopilot its real-time tick (the paper's "numerous interrupts with
+// strict timetables", §III).
+//
+// Minimal model: fires every `period_cycles`; a single pending flag
+// (unserviced overflows collapse, like a compare-match flag).
+#pragma once
+
+#include <cstdint>
+
+#include "avr/io.hpp"
+
+namespace mavr::avr {
+
+class Timer : public Tickable {
+ public:
+  Timer(IoBus& bus, std::uint64_t period_cycles)
+      : period_(period_cycles), next_(period_cycles) {
+    bus.add_tickable(this);
+  }
+
+  /// Interrupt-line query for Cpu::set_irq_line: true when pending
+  /// (clears the flag — the hardware ack on vector entry).
+  bool take_irq() {
+    const bool was = pending_;
+    pending_ = false;
+    return was;
+  }
+
+  bool pending() const { return pending_; }
+  std::uint64_t fires() const { return fires_; }
+
+  void tick(std::uint64_t now_cycles) override {
+    while (now_cycles >= next_) {
+      pending_ = true;
+      ++fires_;
+      next_ += period_;
+    }
+  }
+
+ private:
+  std::uint64_t period_;
+  std::uint64_t next_;
+  bool pending_ = false;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace mavr::avr

@@ -1,0 +1,49 @@
+#include "avr/uart.hpp"
+
+namespace mavr::avr {
+
+UartConfig usart0_config(std::uint32_t clock_hz, std::uint32_t baud) {
+  // ATmega2560: UCSR0A = 0xC0, UDR0 = 0xC6 (extended I/O, LDS/STS access).
+  return UartConfig{.data_addr = 0xC6,
+                    .status_addr = 0xC0,
+                    .clock_hz = clock_hz,
+                    .baud = baud};
+}
+
+Uart::Uart(IoBus& bus, const UartConfig& config)
+    : cycles_per_byte_(static_cast<std::uint64_t>(config.clock_hz) * 10 /
+                       config.baud) {
+  bus.on_read(config.status_addr, [this] { return read_status(); });
+  bus.on_read(config.data_addr, [this] { return read_data(); });
+  bus.on_write(config.data_addr, [this](std::uint8_t b) { tx_.push_back(b); });
+  bus.add_tickable(this);
+}
+
+void Uart::host_send(std::span<const std::uint8_t> bytes) {
+  if (rx_cursor_ < now_) rx_cursor_ = now_;
+  for (std::uint8_t b : bytes) {
+    rx_cursor_ += cycles_per_byte_;
+    rx_.push_back(Pending{.ready_at = rx_cursor_, .byte = b});
+  }
+}
+
+support::Bytes Uart::host_take_tx() {
+  support::Bytes out;
+  out.swap(tx_);
+  return out;
+}
+
+std::uint8_t Uart::read_status() const {
+  std::uint8_t status = kUartTxReady;  // transmit never blocks the firmware
+  if (!rx_.empty() && rx_.front().ready_at <= now_) status |= kUartRxComplete;
+  return status;
+}
+
+std::uint8_t Uart::read_data() {
+  if (rx_.empty() || rx_.front().ready_at > now_) return 0;
+  const std::uint8_t byte = rx_.front().byte;
+  rx_.pop_front();
+  return byte;
+}
+
+}  // namespace mavr::avr

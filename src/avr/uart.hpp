@@ -1,0 +1,72 @@
+// Polled USART device: the telemetry port through which the ground station
+// speaks MAVLink to the autopilot (paper Fig. 3) and through which the
+// master processor programs the application processor (paper §VI-B4).
+//
+// Receive timing is paced at the configured baud rate (10 bits per byte,
+// 8N1), which is what makes the 115200-baud ≈ 11.5 bytes/ms bottleneck of
+// Table II observable in simulation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "avr/io.hpp"
+#include "support/bytes.hpp"
+
+namespace mavr::avr {
+
+/// Register layout and line rate for one USART instance.
+struct UartConfig {
+  std::uint16_t data_addr;    ///< UDRn data-space address
+  std::uint16_t status_addr;  ///< UCSRnA data-space address
+  std::uint32_t clock_hz;     ///< CPU clock the pacing is derived from
+  std::uint32_t baud;         ///< line rate (APM telemetry: 115200)
+};
+
+/// ATmega2560 USART0 at its real data-space addresses.
+UartConfig usart0_config(std::uint32_t clock_hz, std::uint32_t baud);
+
+/// UCSRnA status bits the firmware polls.
+inline constexpr std::uint8_t kUartRxComplete = 0x80;  // RXCn
+inline constexpr std::uint8_t kUartTxReady = 0x20;     // UDREn
+
+class Uart : public Tickable {
+ public:
+  Uart(IoBus& bus, const UartConfig& config);
+
+  // --- Host (simulation harness) side --------------------------------------
+  /// Queues bytes for the firmware, paced at the line rate starting from the
+  /// current simulated time.
+  void host_send(std::span<const std::uint8_t> bytes);
+
+  /// Takes everything the firmware transmitted so far.
+  support::Bytes host_take_tx();
+
+  /// Bytes queued but not yet consumed by the firmware.
+  std::size_t rx_backlog() const { return rx_.size(); }
+
+  /// Simulated cycles needed to transfer `count` bytes at the line rate.
+  std::uint64_t cycles_for_bytes(std::uint64_t count) const {
+    return count * cycles_per_byte_;
+  }
+
+  void tick(std::uint64_t now_cycles) override { now_ = now_cycles; }
+
+ private:
+  std::uint8_t read_status() const;
+  std::uint8_t read_data();
+
+  struct Pending {
+    std::uint64_t ready_at;
+    std::uint8_t byte;
+  };
+
+  std::uint64_t cycles_per_byte_;
+  std::uint64_t now_ = 0;
+  std::uint64_t rx_cursor_ = 0;  ///< pacing cursor for arriving bytes
+  std::deque<Pending> rx_;
+  support::Bytes tx_;
+};
+
+}  // namespace mavr::avr

@@ -1,0 +1,82 @@
+#include "defense/bruteforce.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace mavr::defense {
+
+double entropy_bits(std::uint32_t n_symbols) {
+  // log2(n!) = lgamma(n+1) / ln(2)
+  return std::lgamma(static_cast<double>(n_symbols) + 1.0) / std::log(2.0);
+}
+
+double permutation_count(std::uint32_t n_symbols) {
+  return std::exp2(entropy_bits(n_symbols));
+}
+
+double expected_attempts_fixed(double n_permutations) {
+  return (n_permutations + 1.0) / 2.0;
+}
+
+double expected_attempts_rerandomized(double n_permutations) {
+  return n_permutations;
+}
+
+namespace {
+
+std::uint64_t factorial_u64(std::uint32_t n) {
+  MAVR_REQUIRE(n <= 20, "factorial too large to enumerate");
+  std::uint64_t f = 1;
+  for (std::uint32_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+}  // namespace
+
+TrialStats simulate_fixed(std::uint32_t n_functions, std::uint64_t trials,
+                          support::Rng& rng) {
+  const std::uint64_t n_perms = factorial_u64(n_functions);
+  TrialStats stats;
+  stats.trials = trials;
+  double sum = 0;
+  std::vector<std::size_t> guess_order(n_perms);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t target = rng.below(n_perms);
+    // The attacker tries permutations in a random order, never repeating
+    // one (each failure eliminates a candidate, §V-D).
+    for (std::size_t i = 0; i < n_perms; ++i) guess_order[i] = i;
+    rng.shuffle(guess_order);
+    std::uint64_t attempts = 0;
+    for (std::size_t i = 0; i < n_perms; ++i) {
+      ++attempts;
+      if (guess_order[i] == target) break;
+    }
+    sum += static_cast<double>(attempts);
+    stats.max_attempts = std::max(stats.max_attempts,
+                                  static_cast<double>(attempts));
+  }
+  stats.mean_attempts = sum / static_cast<double>(trials);
+  return stats;
+}
+
+TrialStats simulate_rerandomized(std::uint32_t n_functions,
+                                 std::uint64_t trials, support::Rng& rng) {
+  const std::uint64_t n_perms = factorial_u64(n_functions);
+  TrialStats stats;
+  stats.trials = trials;
+  double sum = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    // Geometric: each attempt the defender holds a fresh permutation and
+    // the attacker's guess hits with probability 1/N.
+    std::uint64_t attempts = 1;
+    while (rng.below(n_perms) != 0) ++attempts;
+    sum += static_cast<double>(attempts);
+    stats.max_attempts = std::max(stats.max_attempts,
+                                  static_cast<double>(attempts));
+  }
+  stats.mean_attempts = sum / static_cast<double>(trials);
+  return stats;
+}
+
+}  // namespace mavr::defense

@@ -1,0 +1,53 @@
+// Security evaluation of the randomization (paper §V-D, §VII-A1, §VIII-B).
+//
+// Analytic results reproduced:
+//  * against a *fixed* permutation the attacker eliminates one candidate
+//    per failed attempt: P(success at attempt j) = 1/N, E[attempts] =
+//    (N+1)/2, with N = n! permutations of n movable functions;
+//  * against MAVR, every failed attempt triggers re-randomization, so no
+//    elimination is possible: attempts are geometric with p = 1/N and
+//    E[attempts] = N;
+//  * entropy of the layout is log2(n!) bits — 800 symbols (ArduRover)
+//    give ≈6567 bits (paper §VIII-B).
+//
+// Monte-Carlo simulators validate the analytic expectations for small n
+// (where n! is enumerable) — see tests/defense/bruteforce_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace mavr::defense {
+
+/// log2(n!) — randomization entropy in bits (uses lgamma; exact enough
+/// for any n here).
+double entropy_bits(std::uint32_t n_symbols);
+
+/// n! as a double (inf for large n — callers format accordingly).
+double permutation_count(std::uint32_t n_symbols);
+
+/// E[attempts] against one fixed permutation with elimination: (N+1)/2.
+double expected_attempts_fixed(double n_permutations);
+
+/// E[attempts] against MAVR's re-randomize-on-failure policy: N.
+double expected_attempts_rerandomized(double n_permutations);
+
+/// Monte-Carlo estimate of the mean number of attempts.
+struct TrialStats {
+  double mean_attempts = 0;
+  double max_attempts = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Attacker vs. a fixed permutation: guesses candidates in random order
+/// without repetition (software-only deployment, paper §VIII-A).
+TrialStats simulate_fixed(std::uint32_t n_functions, std::uint64_t trials,
+                          support::Rng& rng);
+
+/// Attacker vs. MAVR: the permutation is redrawn after every failed
+/// attempt, so previous failures carry no information.
+TrialStats simulate_rerandomized(std::uint32_t n_functions,
+                                 std::uint64_t trials, support::Rng& rng);
+
+}  // namespace mavr::defense

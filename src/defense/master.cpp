@@ -1,0 +1,102 @@
+#include "defense/master.hpp"
+
+#include "toolchain/intelhex.hpp"
+
+namespace mavr::defense {
+
+MasterProcessor::MasterProcessor(ExternalFlash& flash, sim::Board& board,
+                                 const MasterConfig& config)
+    : flash_(flash), board_(board), config_(config), rng_(config.seed) {}
+
+void MasterProcessor::host_upload_hex(const std::string& hex) {
+  const toolchain::HexImage decoded = toolchain::intel_hex_decode(hex);
+  flash_.store(decoded.data);  // stored verbatim (paper §VI-B2)
+}
+
+std::size_t MasterProcessor::symbol_count() const {
+  if (flash_.empty()) return 0;
+  return movable_count(parse_container(flash_.contents()).blob);
+}
+
+std::int64_t MasterProcessor::endurance_remaining() const {
+  return static_cast<std::int64_t>(board_.cpu().spec().flash_endurance) -
+         board_.flash_write_cycles();
+}
+
+void MasterProcessor::boot() {
+  MAVR_REQUIRE(!flash_.empty(), "no firmware uploaded to external flash");
+  ++boots_;
+  const bool randomize =
+      randomizations_ == 0 ||
+      (boots_ - 1) % config_.randomize_every_n_boots == 0;
+  if (randomize) {
+    randomize_and_program();
+  } else {
+    // Scheduled non-randomizing boot: just release the application from
+    // reset — the previously programmed binary keeps its permutation and
+    // no flash endurance is spent.
+    board_.reset();
+  }
+  last_feed_cycle_ = board_.cpu().cycles();
+}
+
+void MasterProcessor::randomize_and_program() {
+  const Container container = parse_container(flash_.contents());
+  current_permutation_ = draw_permutation(container.blob, rng_);
+  const RandomizeResult result =
+      randomize_image(container.image, container.blob, current_permutation_);
+  ++randomizations_;
+  program_bytes(result.image);
+}
+
+void MasterProcessor::program_bytes(std::span<const std::uint8_t> image) {
+  // Program through the bootloader (paper §VI-B4): reset into the loader,
+  // chip erase, stream pages, reset into the application.
+  board_.bootloader_enter();
+  board_.bootloader_erase();
+  const std::uint32_t page = board_.cpu().spec().flash_page_bytes;
+  for (std::uint32_t off = 0; off < image.size(); off += page) {
+    const std::uint32_t len =
+        std::min<std::uint32_t>(page, static_cast<std::uint32_t>(image.size()) - off);
+    board_.bootloader_write_page(off, image.subspan(off, len));
+  }
+  if (config_.set_readout_protection && !board_.readout_protected()) {
+    board_.set_readout_protection();
+  }
+  board_.bootloader_run_application();
+
+  // Timing model (Table II): the randomization is patched in a streaming
+  // pass while bytes move over the serial link, and the bootloader writes
+  // each page while the next one arrives, so startup cost is the larger
+  // of the two pipelines.
+  StartupReport report;
+  report.image_bytes = static_cast<std::uint32_t>(image.size());
+  report.transfer_ms =
+      static_cast<double>(image.size()) * 10.0 * 1000.0 / config_.serial_baud;
+  report.flash_ms =
+      static_cast<double>((image.size() + page - 1) / page) *
+      config_.page_program_ms;
+  report.total_ms = std::max(report.transfer_ms, report.flash_ms);
+  last_startup_ = report;
+}
+
+bool MasterProcessor::service() {
+  if (board_.in_bootloader()) return false;
+  const std::uint64_t now = board_.cpu().cycles();
+  const std::uint64_t last_feed = board_.feed_line().last_write_cycle();
+  if (last_feed > last_feed_cycle_) last_feed_cycle_ = last_feed;
+
+  const bool quiet = now > last_feed_cycle_ &&
+                     now - last_feed_cycle_ > config_.watchdog_timeout_cycles;
+  if (!board_.crashed() && !quiet) return false;
+
+  // Failed ROP attack: the application is executing garbage (§V-D).
+  // Reset, re-randomize, reprogram — the attacker must start over against
+  // a fresh permutation.
+  ++attacks_detected_;
+  randomize_and_program();
+  last_feed_cycle_ = board_.cpu().cycles();
+  return true;
+}
+
+}  // namespace mavr::defense

@@ -1,0 +1,116 @@
+// The MAVR master processor (ATmega1284P, paper §V-A2, §VI-A).
+//
+// Responsibilities, mirroring the paper:
+//  * on (re)flash requests, read the preprocessed container from the
+//    external flash, draw a fresh permutation, patch the binary in a
+//    streaming pass and program the application processor through its
+//    serial bootloader;
+//  * randomize on a configurable boot schedule (not every boot — each
+//    programming pass costs one of the part's 10,000 flash endurance
+//    cycles, §VI-A);
+//  * act as a watchdog on the application's feed line; a quiet line means
+//    the board is executing garbage (a failed ROP attack) — reset,
+//    re-randomize and reprogram immediately (§V-C);
+//  * set the application processor's readout-protection fuse so the
+//    randomized binary is never observable (§V-A3).
+//
+// A startup timing model reproduces Table II: the 115200-baud serial link
+// to the application processor moves ≈11.5 bytes/ms, and patching is
+// streamed while transferring, so startup time is the larger of the serial
+// transfer and the internal-flash page programming — which is also why the
+// paper projects ~4 s on a production PCB with a fast link.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "defense/external_flash.hpp"
+#include "defense/patcher.hpp"
+#include "defense/preprocess.hpp"
+#include "sim/board.hpp"
+#include "support/rng.hpp"
+
+namespace mavr::defense {
+
+struct MasterConfig {
+  std::uint64_t seed = 1;
+  /// Randomize every Nth boot (1 = every boot). Failed-attack detection
+  /// always re-randomizes regardless of the schedule.
+  std::uint32_t randomize_every_n_boots = 1;
+  /// Master ↔ application serial link (prototype: 115200; production PCB
+  /// with impedance control: mega-baud, paper §VII-B1).
+  std::uint32_t serial_baud = 115200;
+  /// Internal flash page programming time (overlapped with reception).
+  double page_program_ms = 4.5;
+  /// Feed-line silence threshold before declaring a failed attack.
+  std::uint64_t watchdog_timeout_cycles = 1'600'000;  // 100 ms @ 16 MHz
+  /// Set the readout-protection fuse when programming.
+  bool set_readout_protection = true;
+};
+
+/// Timing breakdown of one randomize+program pass (Table II).
+struct StartupReport {
+  std::uint32_t image_bytes = 0;
+  double transfer_ms = 0;   ///< serial-limited, patching streamed within
+  double flash_ms = 0;      ///< page programming (overlapped)
+  double total_ms = 0;      ///< max(transfer, flash) + reset overhead
+};
+
+class MasterProcessor {
+ public:
+  MasterProcessor(ExternalFlash& flash, sim::Board& board,
+                  const MasterConfig& config);
+
+  /// Host flashing path: preprocessed HEX → external flash (§VI-B2).
+  void host_upload_hex(const std::string& hex);
+
+  /// Power-on: programs the application processor, randomizing according
+  /// to the boot schedule. The very first boot always randomizes.
+  void boot();
+
+  /// Watchdog service: call periodically with the board running. When the
+  /// feed line has been quiet past the timeout (or the core faulted), a
+  /// failed attack is declared and the binary is immediately
+  /// re-randomized and reprogrammed.
+  /// Returns true when an attack was detected on this call.
+  bool service();
+
+  // --- Introspection ----------------------------------------------------------
+  std::uint32_t boots() const { return boots_; }
+  std::uint32_t randomizations() const { return randomizations_; }
+  std::uint64_t attacks_detected() const { return attacks_detected_; }
+  const std::optional<StartupReport>& last_startup() const {
+    return last_startup_;
+  }
+  /// Movable-block count of the loaded container (the paper's n).
+  std::size_t symbol_count() const;
+  /// Remaining flash endurance (10,000-cycle budget, §VI-A).
+  std::int64_t endurance_remaining() const;
+
+  /// Test-only: the permutation currently programmed (an attacker never
+  /// sees this — the fuse blocks readout).
+  const std::vector<std::size_t>& current_permutation() const {
+    return current_permutation_;
+  }
+
+ private:
+  void randomize_and_program();
+  void program_unrandomized();
+  void program_bytes(std::span<const std::uint8_t> image);
+
+  ExternalFlash& flash_;
+  sim::Board& board_;
+  MasterConfig config_;
+  support::Rng rng_;
+  std::uint32_t boots_ = 0;
+  std::uint32_t randomizations_ = 0;
+  std::uint64_t attacks_detected_ = 0;
+  std::uint64_t last_feed_seen_ = 0;
+  std::uint64_t last_feed_cycle_ = 0;
+  std::optional<StartupReport> last_startup_;
+  std::vector<std::size_t> current_permutation_;
+};
+
+}  // namespace mavr::defense

@@ -1,0 +1,47 @@
+#include "defense/preprocess.hpp"
+
+#include "support/error.hpp"
+#include "toolchain/intelhex.hpp"
+
+namespace mavr::defense {
+
+namespace {
+constexpr std::uint32_t kContainerMagic = 0x4D565243;  // "MVRC"
+}
+
+support::Bytes build_container(const toolchain::Image& image) {
+  const toolchain::SymbolBlob blob = toolchain::SymbolBlob::from_image(image);
+  const support::Bytes blob_bytes = blob.serialize();
+  support::Bytes out;
+  support::ByteWriter w(out);
+  w.u32_le(kContainerMagic);
+  w.u32_le(static_cast<std::uint32_t>(blob_bytes.size()));
+  w.bytes(blob_bytes);
+  w.bytes(image.bytes);
+  return out;
+}
+
+std::string preprocess_to_hex(const toolchain::Image& image) {
+  return toolchain::intel_hex_encode(build_container(image));
+}
+
+Container parse_container(std::span<const std::uint8_t> bytes) {
+  support::ByteReader r(bytes);
+  if (r.remaining() < 8 || r.u32_le() != kContainerMagic) {
+    throw support::DataError("bad MAVR container magic");
+  }
+  const std::uint32_t blob_len = r.u32_le();
+  if (r.remaining() < blob_len) {
+    throw support::DataError("MAVR container truncated");
+  }
+  Container c;
+  const support::Bytes blob_bytes = r.bytes(blob_len);
+  c.blob = toolchain::SymbolBlob::deserialize(blob_bytes);
+  c.image = r.bytes(r.remaining());
+  if (c.blob.text_end > c.image.size()) {
+    throw support::DataError("MAVR container image shorter than text");
+  }
+  return c;
+}
+
+}  // namespace mavr::defense

@@ -1,0 +1,38 @@
+// MAVR preprocessing stage (paper §V-B1, §VI-B2).
+//
+// Runs on the host development machine: extracts the function symbols and
+// function-pointer references from the linked image and prepends them to
+// the firmware HEX file, producing the container that is uploaded verbatim
+// to the external flash chip.
+//
+// Container layout (what the HEX encodes):
+//   u32  magic "MVRC"
+//   u32  blob length
+//   blob (toolchain::SymbolBlob wire format, CRC protected)
+//   firmware image bytes
+#pragma once
+
+#include <string>
+
+#include "support/bytes.hpp"
+#include "toolchain/image.hpp"
+
+namespace mavr::defense {
+
+/// The parsed container the master processor works from.
+struct Container {
+  toolchain::SymbolBlob blob;
+  support::Bytes image;
+};
+
+/// Builds the container bytes for a linked image.
+support::Bytes build_container(const toolchain::Image& image);
+
+/// Host preprocessing: image → Intel HEX of the container.
+std::string preprocess_to_hex(const toolchain::Image& image);
+
+/// Parses container bytes (master side). Throws support::DataError on a
+/// corrupt container.
+Container parse_container(std::span<const std::uint8_t> bytes);
+
+}  // namespace mavr::defense

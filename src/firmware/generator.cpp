@@ -1,0 +1,917 @@
+#include "firmware/generator.hpp"
+
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace mavr::firmware {
+
+using toolchain::AsmFunction;
+using toolchain::CodeRef;
+using toolchain::DataBuilder;
+using toolchain::FunctionBuilder;
+using toolchain::Label;
+using toolchain::LinkInput;
+using toolchain::ToolchainOptions;
+
+namespace {
+
+// Callee-saved registers in the canonical order the linker's
+// -mcall-prologues blob expects.
+std::vector<std::uint8_t> canonical_set() {
+  std::vector<std::uint8_t> r;
+  for (std::uint8_t i = 2; i <= 17; ++i) r.push_back(i);
+  r.push_back(28);
+  r.push_back(29);
+  return r;
+}
+
+std::string numbered(const char* stem, std::uint32_t i) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s_%03u", stem, i);
+  return buf;
+}
+
+/// Emits exactly `words` words of deterministic, side-effect-bounded ALU
+/// code operating on r18..r25 (caller-saved) plus loads/stores confined to
+/// the g_scratch area. The mixture mimics compiled expression code so the
+/// gadget scanner sees a realistic instruction distribution.
+void emit_alu_block(FunctionBuilder& fb, support::Rng& rng,
+                    std::uint32_t words) {
+  auto reg = [&] { return static_cast<std::uint8_t>(18 + rng.below(8)); };
+  std::uint32_t left = words;
+  while (left > 0) {
+    const std::uint64_t pick = rng.below(100);
+    if (pick < 18) {
+      fb.ldi(reg(), static_cast<std::uint8_t>(rng.below(256)));
+      left -= 1;
+    } else if (pick < 40) {
+      const std::uint8_t rd = reg(), rr = reg();
+      switch (rng.below(6)) {
+        case 0: fb.add(rd, rr); break;
+        case 1: fb.sub(rd, rr); break;
+        case 2: fb.and_(rd, rr); break;
+        case 3: fb.or_(rd, rr); break;
+        case 4: fb.eor(rd, rr); break;
+        default: fb.mov(rd, rr); break;
+      }
+      left -= 1;
+    } else if (pick < 58) {
+      const std::uint8_t rd = reg();
+      switch (rng.below(7)) {
+        case 0: fb.inc(rd); break;
+        case 1: fb.dec(rd); break;
+        case 2: fb.com(rd); break;
+        case 3: fb.swap(rd); break;
+        case 4: fb.lsr(rd); break;
+        case 5: fb.asr(rd); break;
+        default: fb.ror(rd); break;
+      }
+      left -= 1;
+    } else if (pick < 66) {
+      fb.cpi(reg(), static_cast<std::uint8_t>(rng.below(256)));
+      left -= 1;
+    } else if (pick < 72 && left >= 2) {
+      fb.subi(reg(), static_cast<std::uint8_t>(rng.below(64)));
+      fb.sbci(reg(), 0);
+      left -= 2;
+    } else if (pick < 86 && left >= 2) {
+      const std::uint16_t off = static_cast<std::uint16_t>(rng.below(64));
+      if (rng.chance(0.5)) {
+        fb.lds_sym(reg(), Globals::kGyro);  // cheap read of live state
+      } else {
+        fb.lds_sym(reg(), "g_scratch", off);
+      }
+      left -= 2;
+    } else if (pick < 94 && left >= 2) {
+      fb.sts_sym("g_scratch", reg(), static_cast<std::uint16_t>(rng.below(64)));
+      left -= 2;
+    } else if (left >= 6 && rng.chance(0.25)) {
+      // Small bounded loop: ldi r23,k ; body ; dec ; brne.
+      const std::uint8_t iters = static_cast<std::uint8_t>(2 + rng.below(3));
+      fb.ldi(23, iters);
+      Label top = fb.make_label();
+      fb.bind(top);
+      std::uint32_t body = std::min<std::uint32_t>(left - 3, 3);
+      while (body-- > 0) {
+        const std::uint8_t rd = static_cast<std::uint8_t>(18 + rng.below(5));
+        fb.add(rd, rd);
+        --left;
+      }
+      fb.dec(23);
+      fb.brne(top);
+      left -= 3;
+    } else {
+      fb.nop();
+      left -= 1;
+    }
+  }
+}
+
+/// Folds a task's result into the globally observable accumulator so that
+/// a mispatched function corrupts state the tests and telemetry can see.
+void emit_mix_into_acc(FunctionBuilder& fb) {
+  fb.lds_sym(24, "g_task_acc");
+  fb.eor(24, 18);
+  fb.add(24, 20);
+  fb.sts_sym("g_task_acc", 24);
+}
+
+/// Inline prologue/epilogue used by the cross-jump cluster functions so
+/// their item sizes are fixed (fixed_offset_of requirement). Mirrors the
+/// linker's inline lowering exactly.
+void emit_raw_prologue(FunctionBuilder& fb,
+                       const std::vector<std::uint8_t>& saves,
+                       std::uint8_t frame) {
+  for (std::uint8_t r : saves) fb.push(r);
+  fb.in(28, avr::kIoSpl);
+  fb.in(29, avr::kIoSph);
+  fb.sbiw(28, frame);
+  fb.in(0, avr::kIoSreg);
+  fb.out(avr::kIoSph, 29);
+  fb.out(avr::kIoSreg, 0);
+  fb.out(avr::kIoSpl, 28);
+}
+
+void emit_raw_epilogue(FunctionBuilder& fb,
+                       const std::vector<std::uint8_t>& saves,
+                       std::uint8_t frame) {
+  fb.adiw(28, frame);
+  fb.in(0, avr::kIoSreg);
+  fb.out(avr::kIoSph, 29);
+  fb.out(avr::kIoSreg, 0);
+  fb.out(avr::kIoSpl, 28);
+  for (auto it = saves.rbegin(); it != saves.rend(); ++it) fb.pop(*it);
+  fb.ret();
+}
+
+// ---------------------------------------------------------------------------
+// Core autopilot functions
+// ---------------------------------------------------------------------------
+
+AsmFunction build_main() {
+  FunctionBuilder fb("main");
+  fb.raw(toolchain::enc_bset_bclr(avr::Op::Bset, avr::kI));  // sei
+  Label loop = fb.make_label();
+  fb.bind(loop);
+  fb.call("sens_read");
+  fb.call("ctrl_update");
+  fb.call("servo_write");
+  fb.call("mav_poll");
+  fb.call("task_step");
+  fb.call("telemetry_step");
+  fb.call("feed_master");
+  fb.rjmp(loop);
+  return fb.take();
+}
+
+AsmFunction build_sens_read() {
+  FunctionBuilder fb("sens_read");
+  // Gyro: raw reading from the sensor front-end plus the calibration
+  // offsets in RAM — the "configuration registers stored in memory" the
+  // paper names as the attack's persistent target (§IV-C).
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::uint16_t io = BoardIo::kGyroX + 2 * axis;
+    const std::uint16_t off = static_cast<std::uint16_t>(2 * axis);
+    fb.lds(24, io);
+    fb.lds(25, static_cast<std::uint16_t>(io + 1));
+    fb.lds_sym(18, Globals::kGyroCal, off);
+    fb.lds_sym(19, Globals::kGyroCal, static_cast<std::uint16_t>(off + 1));
+    fb.add(24, 18);
+    fb.adc(25, 19);
+    fb.sts_sym(Globals::kGyro, 24, off);
+    fb.sts_sym(Globals::kGyro, 25, static_cast<std::uint16_t>(off + 1));
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::uint16_t io = BoardIo::kAccX + 2 * axis;
+    const std::uint16_t off = static_cast<std::uint16_t>(2 * axis);
+    fb.lds(24, io);
+    fb.sts_sym(Globals::kAcc, 24, off);
+    fb.lds(24, static_cast<std::uint16_t>(io + 1));
+    fb.sts_sym(Globals::kAcc, 24, static_cast<std::uint16_t>(off + 1));
+  }
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_ctrl_update() {
+  FunctionBuilder fb("ctrl_update");
+  // Per axis: error = setpoint - gyro; command = 128 + (error >> 2).
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::uint16_t off = static_cast<std::uint16_t>(2 * axis);
+    fb.lds_sym(24, Globals::kGyro, off);
+    fb.lds_sym(25, Globals::kGyro, static_cast<std::uint16_t>(off + 1));
+    fb.lds_sym(18, Globals::kSetpoint, off);
+    fb.lds_sym(19, Globals::kSetpoint, static_cast<std::uint16_t>(off + 1));
+    fb.sub(18, 24);
+    fb.sbc(19, 25);
+    fb.asr(19);
+    fb.ror(18);
+    fb.asr(19);
+    fb.ror(18);
+    fb.ldi(24, 128);
+    fb.add(24, 18);
+    fb.sts_sym(Globals::kServoCmd, 24, static_cast<std::uint16_t>(axis));
+  }
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_servo_write() {
+  FunctionBuilder fb("servo_write");
+  for (int ch = 0; ch < 4; ++ch) {
+    fb.lds_sym(24, Globals::kServoCmd, static_cast<std::uint16_t>(ch));
+    fb.sts(static_cast<std::uint16_t>(BoardIo::kServo0 + ch), 24);
+  }
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_isr_timer() {
+  // Timer compare-match ISR (vector slot kTimerVector): 16-bit tick
+  // counter, avr-gcc style SREG-safe prologue/epilogue. Runs between any
+  // two instructions of the application — including mid-ROP-chain, which
+  // the stealthy attack survives because the ISR only writes below SP.
+  FunctionBuilder fb("isr_timer");
+  fb.push(24);
+  fb.in(24, avr::kIoSreg);
+  fb.push(24);
+  fb.lds_sym(24, "g_ticks");
+  fb.inc(24);
+  fb.sts_sym("g_ticks", 24);
+  Label done = fb.make_label();
+  fb.brne(done);
+  fb.lds_sym(24, "g_ticks", 1);
+  fb.inc(24);
+  fb.sts_sym("g_ticks", 24, 1);
+  fb.bind(done);
+  fb.pop(24);
+  fb.out(avr::kIoSreg, 24);
+  fb.pop(24);
+  fb.raw(toolchain::enc_no_operand(avr::Op::Reti));
+  return fb.take();
+}
+
+AsmFunction build_feed_master() {
+  FunctionBuilder fb("feed_master");
+  fb.lds_sym(24, "g_feed");
+  fb.com(24);
+  fb.sts_sym("g_feed", 24);
+  fb.sts(BoardIo::kFeed, 24);
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_mav_poll() {
+  FunctionBuilder fb("mav_poll");
+  Label loop = fb.make_label();
+  Label done = fb.make_label();
+  fb.bind(loop);
+  fb.lds(24, BoardIo::kUartStatus);
+  fb.sbrs(24, 7);  // RXC set → skip the exit branch
+  fb.rjmp(done);
+  fb.lds(24, BoardIo::kUartData);
+  fb.call("mav_byte");
+  fb.rjmp(loop);
+  fb.bind(done);
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_mav_byte() {
+  FunctionBuilder fb("mav_byte");  // r24 = received byte
+  Label s_magic = fb.make_label(), s_len = fb.make_label(),
+        s_hdr = fb.make_label(), s_pay = fb.make_label(),
+        s_crc = fb.make_label(), done = fb.make_label();
+  Label j_magic = fb.make_label(), j_len = fb.make_label(),
+        j_hdr = fb.make_label(), j_pay = fb.make_label(),
+        j_crc = fb.make_label();
+
+  // Switch ladder over the parser state (the paper's "trampoline" style
+  // dispatch: compare chain + short jumps).
+  fb.lds_sym(25, "g_mav_state");
+  fb.cpi(25, 0);
+  fb.breq(j_magic);
+  fb.cpi(25, 1);
+  fb.breq(j_len);
+  fb.cpi(25, 2);
+  fb.breq(j_hdr);
+  fb.cpi(25, 3);
+  fb.breq(j_pay);
+  fb.cpi(25, 4);
+  fb.breq(j_crc);
+  fb.ldi(25, 0);  // unknown state → reset
+  fb.sts_sym("g_mav_state", 25);
+  fb.ret();
+  fb.bind(j_magic);
+  fb.rjmp(s_magic);
+  fb.bind(j_len);
+  fb.rjmp(s_len);
+  fb.bind(j_hdr);
+  fb.rjmp(s_hdr);
+  fb.bind(j_pay);
+  fb.rjmp(s_pay);
+  fb.bind(j_crc);
+  fb.rjmp(s_crc);
+
+  fb.bind(s_magic);
+  {
+    Label not_magic = fb.make_label();
+    fb.cpi(24, 0xFE);
+    fb.brne(not_magic);
+    fb.ldi(25, 1);
+    fb.sts_sym("g_mav_state", 25);
+    fb.bind(not_magic);
+    fb.ret();
+  }
+
+  fb.bind(s_len);
+  fb.sts_sym(Globals::kMavLen, 24);
+  fb.ldi(25, 0);
+  fb.sts_sym("g_mav_hidx", 25);
+  fb.ldi(25, 2);
+  fb.sts_sym("g_mav_state", 25);
+  fb.ret();
+
+  Label hdr_done = fb.make_label();
+  fb.bind(s_hdr);
+  fb.lds_sym(25, "g_mav_hidx");
+  fb.ldi_data(26, "g_mav_hdr", 0, false);
+  fb.ldi_data(27, "g_mav_hdr", 0, true);
+  fb.add(26, 25);
+  fb.adc(27, 1);
+  fb.st_x(24);
+  fb.inc(25);
+  fb.sts_sym("g_mav_hidx", 25);
+  fb.cpi(25, 4);
+  fb.brne(hdr_done);
+  fb.ldi(25, 0);
+  fb.sts_sym("g_mav_pidx", 25);
+  fb.sts_sym("g_mav_cidx", 25);
+  fb.lds_sym(25, Globals::kMavLen);
+  fb.cpi(25, 0);
+  {
+    Label to_pay = fb.make_label();
+    fb.brne(to_pay);
+    fb.ldi(25, 4);  // zero-length payload → straight to CRC
+    fb.sts_sym("g_mav_state", 25);
+    fb.ret();
+    fb.bind(to_pay);
+    fb.ldi(25, 3);
+    fb.sts_sym("g_mav_state", 25);
+    fb.bind(hdr_done);
+    fb.ret();
+  }
+
+  fb.bind(s_pay);
+  fb.lds_sym(25, "g_mav_pidx");
+  fb.ldi_data(26, Globals::kMavPayload, 0, false);
+  fb.ldi_data(27, Globals::kMavPayload, 0, true);
+  fb.add(26, 25);
+  fb.adc(27, 1);
+  fb.st_x(24);
+  fb.inc(25);
+  fb.sts_sym("g_mav_pidx", 25);
+  fb.lds_sym(24, Globals::kMavLen);
+  fb.cp(25, 24);
+  {
+    Label pay_done = fb.make_label();
+    fb.brne(pay_done);
+    fb.ldi(25, 4);
+    fb.sts_sym("g_mav_state", 25);
+    fb.bind(pay_done);
+    fb.ret();
+  }
+
+  fb.bind(s_crc);
+  // CRC bytes are accepted without verification by the test application —
+  // part of its deliberately weakened input path (paper §IV-B).
+  fb.lds_sym(25, "g_mav_cidx");
+  fb.inc(25);
+  fb.sts_sym("g_mav_cidx", 25);
+  fb.cpi(25, 2);
+  fb.brne(done);
+  fb.ldi(25, 0);
+  fb.sts_sym("g_mav_state", 25);
+  fb.call("mav_handle");
+  fb.bind(done);
+  fb.ret();
+  return fb.take();
+}
+
+void emit_dispatch_call(FunctionBuilder& fb, std::uint16_t table_offset) {
+  // Load a 3-byte far pointer from g_dispatch and EICALL through it —
+  // the function-pointer indirection the MAVR preprocessor must find and
+  // the patcher must rewrite (paper §VI-B2/B3).
+  fb.lds_sym(30, "g_dispatch", table_offset);
+  fb.lds_sym(31, "g_dispatch", static_cast<std::uint16_t>(table_offset + 1));
+  fb.lds_sym(24, "g_dispatch", static_cast<std::uint16_t>(table_offset + 2));
+  fb.out(avr::kIoEind, 24);
+  fb.eicall();
+}
+
+AsmFunction build_mav_handle() {
+  // Framed like the real ArduPlane dispatch path: the handler runs a few
+  // dozen bytes below the top of the stack, leaving headroom above its
+  // frame (the space the V1 attack's chain consumes).
+  FunctionBuilder fb("mav_handle");
+  const std::vector<std::uint8_t> saves = {12, 13, 14, 15, 16, 17, 28, 29};
+  const std::uint16_t frame = 24;
+  fb.prologue(saves, frame);
+  Label p = fb.make_label(), h = fb.make_label(), c = fb.make_label(),
+        done = fb.make_label();
+  fb.lds_sym(24, "g_mav_hdr", 3);  // msgid
+  fb.cpi(24, 23);                  // PARAM_SET
+  fb.breq(p);
+  fb.cpi(24, 0);  // HEARTBEAT
+  fb.breq(h);
+  fb.cpi(24, 76);  // COMMAND_LONG
+  fb.breq(c);
+  fb.rjmp(done);
+  fb.bind(p);
+  emit_dispatch_call(fb, 0);
+  fb.rjmp(done);
+  fb.bind(h);
+  emit_dispatch_call(fb, 4);
+  fb.rjmp(done);
+  fb.bind(c);
+  emit_dispatch_call(fb, 8);
+  fb.bind(done);
+  fb.epilogue(saves, frame);
+  return fb.take();
+}
+
+AsmFunction build_h_param_set(bool vulnerable) {
+  FunctionBuilder fb("h_param_set");
+  fb.prologue({28, 29}, kVulnFrameBytes);
+  // Z <- buffer (Y+1); X <- frame-assembly payload; r20 <- packet length.
+  fb.movw(30, 28);
+  fb.adiw(30, 1);
+  fb.ldi_data(26, Globals::kMavPayload, 0, false);
+  fb.ldi_data(27, Globals::kMavPayload, 0, true);
+  fb.lds_sym(20, Globals::kMavLen);
+  if (!vulnerable) {
+    // The length check the paper's attack setup disables (§IV-B): clamp
+    // the copy to the buffer size.
+    Label ok = fb.make_label();
+    fb.cpi(20, kVulnBufBytes + 1);
+    fb.brcs(ok);  // unsigned less-than
+    fb.ldi(20, kVulnBufBytes);
+    fb.bind(ok);
+  }
+  {
+    Label done = fb.make_label(), loop = fb.make_label();
+    fb.cpi(20, 0);
+    fb.breq(done);
+    fb.bind(loop);
+    fb.ld_x_inc(24);
+    fb.st_z_inc(24);
+    fb.dec(20);
+    fb.brne(loop);
+    fb.bind(done);
+  }
+  // "Process" the parameter: store the 4-byte value into the store.
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    fb.ldd_y(24, static_cast<std::uint8_t>(1 + i));
+    fb.sts_sym(Globals::kParams, 24, i);
+  }
+  fb.epilogue({28, 29}, kVulnFrameBytes);
+  return fb.take();
+}
+
+AsmFunction build_h_heartbeat() {
+  FunctionBuilder fb("h_heartbeat");
+  fb.lds_sym(24, Globals::kHbCount);
+  fb.inc(24);
+  fb.sts_sym(Globals::kHbCount, 24);
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_h_command() {
+  FunctionBuilder fb("h_command");
+  // First two payload bytes select the roll setpoint.
+  fb.lds_sym(24, Globals::kMavPayload, 0);
+  fb.sts_sym(Globals::kSetpoint, 24, 0);
+  fb.lds_sym(24, Globals::kMavPayload, 1);
+  fb.sts_sym(Globals::kSetpoint, 24, 1);
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_task_step(std::uint32_t task_count) {
+  FunctionBuilder fb("task_step");
+  Label nowrap = fb.make_label();
+  fb.lds_sym(24, "g_task_idx");
+  fb.inc(24);
+  fb.cpi(24, static_cast<std::uint8_t>(task_count));
+  fb.brne(nowrap);
+  fb.ldi(24, 0);
+  fb.bind(nowrap);
+  fb.sts_sym("g_task_idx", 24);
+  // X <- g_task_table + 4*idx, then EICALL through the far pointer.
+  fb.mov(25, 24);
+  fb.add(25, 25);
+  fb.add(25, 25);
+  fb.ldi_data(26, "g_task_table", 0, false);
+  fb.ldi_data(27, "g_task_table", 0, true);
+  fb.add(26, 25);
+  fb.adc(27, 1);
+  fb.ld_x_inc(30);
+  fb.ld_x_inc(31);
+  fb.ld_x(24);
+  fb.out(avr::kIoEind, 24);
+  fb.eicall();
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_crc16_update() {
+  // crc16/X.25 step over the byte in r24; state in g_crc (see
+  // support::Crc16 for the reference implementation).
+  FunctionBuilder fb("crc16_update");
+  fb.lds_sym(25, "g_crc");  // crc low byte
+  fb.eor(24, 25);           // tmp = byte ^ crc_lo
+  fb.mov(25, 24);
+  fb.swap(25);
+  fb.andi(25, 0xF0);
+  fb.eor(24, 25);  // tmp ^= tmp << 4
+  fb.mov(20, 24);
+  fb.swap(20);
+  fb.andi(20, 0x0F);  // tmp >> 4
+  fb.mov(21, 24);
+  fb.mov(22, 1);  // r22:r21 = tmp (r1 = 0)
+  for (int i = 0; i < 3; ++i) {
+    fb.add(21, 21);
+    fb.adc(22, 22);  // << 3
+  }
+  fb.lds_sym(25, "g_crc", 1);  // crc high byte
+  fb.eor(25, 20);
+  fb.eor(25, 21);
+  fb.sts_sym("g_crc", 25);  // new low = crc_hi ^ (tmp>>4) ^ lo(tmp<<3)
+  fb.eor(24, 22);
+  fb.sts_sym("g_crc", 24, 1);  // new high = tmp ^ hi(tmp<<3)
+  fb.ret();
+  return fb.take();
+}
+
+AsmFunction build_telemetry_step() {
+  FunctionBuilder fb("telemetry_step");
+  fb.prologue({16}, 0);
+  Label send = fb.make_label();
+  fb.lds_sym(24, "g_tel_cnt");
+  fb.inc(24);
+  fb.sts_sym("g_tel_cnt", 24);
+  fb.andi(24, 0x3F);
+  fb.breq(send);
+  fb.epilogue({16}, 0);
+  fb.bind(send);
+  // CRC state <- 0xFFFF.
+  fb.ldi(24, 0xFF);
+  fb.sts_sym("g_crc", 24);
+  fb.sts_sym("g_crc", 24, 1);
+  // Header: magic is not covered by the checksum.
+  fb.ldi(24, 0xFE);
+  fb.sts(BoardIo::kUartData, 24);
+  auto hdr_byte = [&](bool load_seq, std::uint8_t k) {
+    if (load_seq) {
+      fb.lds_sym(24, "g_tel_seq");
+      fb.inc(24);
+      fb.sts_sym("g_tel_seq", 24);
+    } else {
+      fb.ldi(24, k);
+    }
+    fb.sts(BoardIo::kUartData, 24);
+    fb.call("crc16_update");
+  };
+  hdr_byte(false, 12);  // payload length (RAW_IMU: 6 x int16)
+  hdr_byte(false, 1);   // sysid
+  hdr_byte(true, 0);    // sequence number
+  hdr_byte(false, 1);   // compid
+  hdr_byte(false, 27);  // msgid RAW_IMU
+  // Payload: g_gyro (6 bytes) followed contiguously by g_acc (6 bytes).
+  fb.ldi_data(26, Globals::kGyro, 0, false);
+  fb.ldi_data(27, Globals::kGyro, 0, true);
+  fb.ldi(16, 12);
+  {
+    Label loop = fb.make_label();
+    fb.bind(loop);
+    fb.ld_x_inc(24);
+    fb.sts(BoardIo::kUartData, 24);
+    fb.call("crc16_update");
+    fb.dec(16);
+    fb.brne(loop);
+  }
+  fb.lds_sym(24, "g_crc");
+  fb.sts(BoardIo::kUartData, 24);
+  fb.lds_sym(24, "g_crc", 1);
+  fb.sts(BoardIo::kUartData, 24);
+  fb.epilogue({16}, 0);
+  return fb.take();
+}
+
+// ---------------------------------------------------------------------------
+// Filler functions (the ArduPlane-scale body of the application)
+// ---------------------------------------------------------------------------
+
+struct FillerPlan {
+  std::vector<AsmFunction> fns;
+  std::vector<CodeRef> task_refs;  ///< entries for g_task_table
+};
+
+FillerPlan build_fillers(const AppProfile& profile, support::Rng& rng,
+                         std::uint32_t filler_count) {
+  FillerPlan plan;
+  const std::uint32_t body = profile.filler_body_words;
+  auto body_words = [&] {
+    return static_cast<std::uint32_t>(body * 2 / 5 + rng.below(body * 6 / 5));
+  };
+
+  // Partition.
+  const std::uint32_t n_tasks = std::min(profile.task_count, filler_count / 2);
+  const std::uint32_t n_canon =
+      std::min(profile.canonical_save_fns, filler_count / 8);
+  const std::uint32_t n_clusters = std::min<std::uint32_t>(
+      8, std::max<std::uint32_t>(1, filler_count / 80));
+  const std::uint32_t cluster_members = 3;  // per cluster, plus canonical
+  const std::uint32_t n_ywriters =
+      std::max<std::uint32_t>(4, filler_count * 6 / 100);
+  const std::uint32_t n_callers = filler_count * 12 / 100;
+  std::uint32_t used = n_tasks + n_canon + n_clusters * (1 + cluster_members) +
+                       n_ywriters + n_callers;
+  MAVR_REQUIRE(used < filler_count, "profile too small for filler mix");
+  const std::uint32_t n_framed = (filler_count - used) * 2 / 5;
+  const std::uint32_t n_leaves = filler_count - used - n_framed;
+
+  std::vector<std::string> leaf_pool;
+  std::vector<std::string> mid_pool;  // callers and framed: callable by tasks
+
+  // --- Plain leaves ---------------------------------------------------------
+  for (std::uint32_t i = 0; i < n_leaves; ++i) {
+    FunctionBuilder fb(numbered("leaf", i));
+    emit_alu_block(fb, rng, body_words());
+    fb.ret();
+    leaf_pool.push_back(fb.name());
+    plan.fns.push_back(fb.take());
+  }
+
+  // --- Framed fillers (stk_move gadget providers) ---------------------------
+  static const std::vector<std::vector<std::uint8_t>> save_variants = {
+      {16, 28, 29},
+      {14, 15, 16, 17, 28, 29},
+      {12, 13, 14, 15, 16, 17, 28, 29},
+  };
+  static const std::vector<std::uint16_t> frame_variants = {4,  8,  12, 16,
+                                                            24, 32, 48, 70};
+  for (std::uint32_t i = 0; i < n_framed; ++i) {
+    FunctionBuilder fb(numbered("calc", i));
+    const auto& saves = save_variants[rng.below(save_variants.size())];
+    const std::uint16_t frame = frame_variants[rng.below(frame_variants.size())];
+    fb.prologue(saves, frame);
+    const std::uint32_t words = body_words();
+    // Mix frame accesses into the ALU body.
+    const std::uint32_t spills = std::min<std::uint32_t>(words / 8, 6);
+    for (std::uint32_t s = 0; s < spills; ++s) {
+      fb.std_y(static_cast<std::uint8_t>(1 + rng.below(std::min<std::uint16_t>(
+                   frame, 63))),
+               static_cast<std::uint8_t>(18 + rng.below(8)));
+    }
+    emit_alu_block(fb, rng, words > spills ? words - spills : 1);
+    for (std::uint32_t s = 0; s < spills / 2; ++s) {
+      fb.ldd_y(static_cast<std::uint8_t>(18 + rng.below(8)),
+               static_cast<std::uint8_t>(1 + rng.below(std::min<std::uint16_t>(
+                   frame, 63))));
+    }
+    fb.epilogue(saves, frame);
+    mid_pool.push_back(fb.name());
+    plan.fns.push_back(fb.take());
+  }
+
+  // --- Y-writer fillers (write_mem gadget providers, Fig. 5) ----------------
+  for (std::uint32_t i = 0; i < n_ywriters; ++i) {
+    FunctionBuilder fb(numbered("store", i));
+    std::vector<std::uint8_t> saves;
+    for (std::uint8_t r = 4; r <= 17; ++r) saves.push_back(r);
+    saves.push_back(28);
+    saves.push_back(29);
+    fb.prologue(saves, 0);
+    fb.ldi_data(28, "g_wbuf", 0, false);
+    fb.ldi_data(29, "g_wbuf", 0, true);
+    emit_alu_block(fb, rng, body_words());
+    fb.mov(5, 18);
+    fb.mov(6, 19);
+    fb.mov(7, 20);
+    // The exact store triple of the paper's write_mem gadget.
+    fb.std_y(1, 5);
+    fb.std_y(2, 6);
+    fb.std_y(3, 7);
+    fb.epilogue(saves, 0);
+    mid_pool.push_back(fb.name());
+    plan.fns.push_back(fb.take());
+  }
+
+  // --- Canonical-save fillers (what -mcall-prologues consolidates) ----------
+  for (std::uint32_t i = 0; i < n_canon; ++i) {
+    FunctionBuilder fb(numbered("heavy", i));
+    const std::uint16_t frame = 16;
+    fb.prologue(canonical_set(), frame);
+    emit_alu_block(fb, rng, body_words());
+    fb.std_y(2, 18);
+    fb.ldd_y(19, 2);
+    fb.epilogue(canonical_set(), frame);
+    mid_pool.push_back(fb.name());
+    plan.fns.push_back(fb.take());
+  }
+
+  // --- Cross-jump clusters (shared epilogue tails → mid-function JMP
+  // targets, the binary-search case of the patcher, §VI-B3) -----------------
+  for (std::uint32_t c = 0; c < n_clusters; ++c) {
+    const std::uint8_t frame = 8;
+    const std::vector<std::uint8_t> saves = {28, 29};
+    FunctionBuilder canon(numbered("shared_tail", c));
+    emit_raw_prologue(canon, saves, frame);
+    emit_alu_block(canon, rng, body_words());
+    Label tail = canon.make_label();
+    canon.bind(tail);
+    emit_raw_epilogue(canon, saves, frame);
+    const std::uint32_t tail_bytes = canon.fixed_offset_of(tail) * 2;
+    const std::string canon_name = canon.name();
+    mid_pool.push_back(canon_name);
+    plan.fns.push_back(canon.take());
+
+    for (std::uint32_t m = 0; m < cluster_members; ++m) {
+      FunctionBuilder fb(numbered("twin", c * 10 + m));
+      emit_raw_prologue(fb, saves, frame);
+      emit_alu_block(fb, rng, body_words());
+      // Cross-jumped shared epilogue: identical frame/saves, so jumping
+      // into the sibling's teardown is semantically sound.
+      fb.jmp_into(canon_name, tail_bytes);
+      mid_pool.push_back(fb.name());
+      plan.fns.push_back(fb.take());
+    }
+  }
+
+  // --- Caller fillers ---------------------------------------------------------
+  for (std::uint32_t i = 0; i < n_callers; ++i) {
+    FunctionBuilder fb(numbered("step", i));
+    const std::uint32_t words = body_words();
+    const std::uint32_t n_calls = 1 + rng.below(2);
+    for (std::uint32_t k = 0; k < n_calls; ++k) {
+      emit_alu_block(fb, rng, std::max<std::uint32_t>(words / (n_calls + 1), 1));
+      fb.call(leaf_pool[rng.below(leaf_pool.size())]);
+    }
+    emit_alu_block(fb, rng, std::max<std::uint32_t>(words / (n_calls + 1), 1));
+    fb.ret();
+    mid_pool.push_back(fb.name());
+    plan.fns.push_back(fb.take());
+  }
+
+  // --- Tasks (round-robin entries of g_task_table) ----------------------------
+  for (std::uint32_t i = 0; i < n_tasks; ++i) {
+    FunctionBuilder fb(numbered("task", i));
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 3) {
+      // Caller task: exercises CALL patching along real control flow.
+      emit_alu_block(fb, rng, body_words() / 2);
+      fb.call(mid_pool[rng.below(mid_pool.size())]);
+      emit_mix_into_acc(fb);
+      fb.ret();
+      plan.task_refs.push_back(CodeRef{fb.name(), 0});
+    } else if (kind < 6) {
+      // Mid-entry leaf task: the dispatch table points *inside* it —
+      // the pointer case that needs the patcher's binary search.
+      emit_alu_block(fb, rng, 6);
+      Label mid = fb.make_label();
+      fb.bind(mid);
+      emit_alu_block(fb, rng, body_words() / 2);
+      emit_mix_into_acc(fb);
+      fb.ret();
+      const std::uint32_t mid_bytes = fb.fixed_offset_of(mid) * 2;
+      if (i % 2 == 0) {
+        plan.task_refs.push_back(CodeRef{fb.name(), mid_bytes});
+      } else {
+        plan.task_refs.push_back(CodeRef{fb.name(), 0});
+      }
+    } else {
+      // Plain leaf task.
+      emit_alu_block(fb, rng, body_words() / 2);
+      emit_mix_into_acc(fb);
+      fb.ret();
+      plan.task_refs.push_back(CodeRef{fb.name(), 0});
+    }
+    plan.fns.push_back(fb.take());
+  }
+
+  return plan;
+}
+
+DataBuilder build_data(const FillerPlan& fillers) {
+  DataBuilder data;
+  data.reserve(Globals::kGyro, 6);
+  data.reserve(Globals::kAcc, 6);
+  data.reserve("g_baro", 2);
+  data.reserve(Globals::kGyroCal, 6);
+  data.reserve(Globals::kSetpoint, 6);
+  data.reserve(Globals::kServoCmd, 4);
+  data.reserve("g_feed", 2);
+  data.reserve("g_mav_state", 2);
+  data.reserve(Globals::kMavLen, 2);
+  data.reserve("g_mav_hidx", 2);
+  data.reserve("g_mav_pidx", 2);
+  data.reserve("g_mav_cidx", 2);
+  data.reserve("g_mav_hdr", 4);
+  data.reserve(Globals::kMavPayload, 256);
+  data.reserve(Globals::kHbCount, 2);
+  data.reserve(Globals::kParams, 8);
+  data.reserve("g_tel_cnt", 2);
+  data.reserve("g_tel_seq", 2);
+  data.reserve("g_crc", 2);
+  data.reserve("g_task_idx", 2);
+  data.reserve("g_task_acc", 2);
+  data.reserve("g_ticks", 2);
+  data.reserve("g_scratch", 64);
+  data.reserve("g_wbuf", 8);
+  data.code_ptr_table("g_dispatch", {CodeRef{"h_param_set", 0},
+                                     CodeRef{"h_heartbeat", 0},
+                                     CodeRef{"h_command", 0}});
+  data.code_ptr_table("g_task_table", fillers.task_refs);
+  return data;
+}
+
+toolchain::Image link_once(const AppProfile& profile,
+                           const ToolchainOptions& options,
+                           std::uint32_t pad_words) {
+  support::Rng rng(profile.seed);
+  // 15 core + __init + __bad_interrupt = 17 linker-visible functions, plus
+  // one pad function that absorbs the size-calibration remainder.
+  constexpr std::uint32_t kNonFiller = 17 + 1;
+  MAVR_REQUIRE(profile.function_count > kNonFiller + 40,
+               "function_count too small");
+  const std::uint32_t filler_count = profile.function_count - kNonFiller;
+
+  std::vector<AsmFunction> fns;
+  fns.push_back(build_main());
+  fns.push_back(build_sens_read());
+  fns.push_back(build_ctrl_update());
+  fns.push_back(build_servo_write());
+  fns.push_back(build_mav_poll());
+  fns.push_back(build_mav_byte());
+  fns.push_back(build_mav_handle());
+  fns.push_back(build_h_param_set(profile.vulnerable));
+  fns.push_back(build_h_heartbeat());
+  fns.push_back(build_h_command());
+  fns.push_back(build_task_step(profile.task_count));
+  fns.push_back(build_telemetry_step());
+  fns.push_back(build_crc16_update());
+  fns.push_back(build_feed_master());
+  fns.push_back(build_isr_timer());
+
+  FillerPlan fillers = build_fillers(profile, rng, filler_count);
+  // Pad function: plain never-called leaf of the requested size.
+  {
+    FunctionBuilder fb("__size_pad");
+    support::Rng pad_rng(profile.seed ^ 0x5AD);
+    if (pad_words > 1) emit_alu_block(fb, pad_rng, pad_words - 1);
+    fb.ret();
+    fillers.fns.push_back(fb.take());
+  }
+
+  LinkInput input;
+  input.options = options;
+  input.reserve_padding_bytes = profile.reserve_padding_bytes;
+  input.vectors = {{kTimerVector, "isr_timer"}};
+  input.data = build_data(fillers).take();
+  for (AsmFunction& f : fillers.fns) fns.push_back(std::move(f));
+  input.functions = std::move(fns);
+  return toolchain::link(std::move(input));
+}
+
+}  // namespace
+
+Firmware generate(const AppProfile& profile,
+                  const ToolchainOptions& options) {
+  // Two-pass size calibration. The pad function is a property of the
+  // *application* — its size is fixed by linking once under MAVR flags
+  // against the profile's Table III target, then the same function set is
+  // linked under whatever flags were requested. Stock builds therefore
+  // differ from the MAVR build only through the flag mechanisms
+  // (alignment, relaxation, call-prologue consolidation), which is what
+  // Table III compares.
+  constexpr std::uint32_t kNominalPad = 8;
+  std::uint32_t pad_words = kNominalPad;
+  if (profile.target_image_bytes != 0) {
+    const std::uint32_t measured =
+        link_once(profile, ToolchainOptions::mavr(), kNominalPad)
+            .size_bytes();
+    MAVR_REQUIRE(measured <= profile.target_image_bytes,
+                 "profile overshoots its Table III target; lower "
+                 "filler_body_words");
+    pad_words = kNominalPad + (profile.target_image_bytes - measured) / 2;
+  }
+  Firmware fw;
+  fw.profile = profile;
+  fw.image = link_once(profile, options, pad_words);
+  return fw;
+}
+
+}  // namespace mavr::firmware

@@ -1,0 +1,84 @@
+// Synthetic-autopilot firmware generator.
+//
+// Emits a complete, runnable AVR application for the ATmega2560 that plays
+// the role of ArduPlane/ArduCopter/ArduRover in the reproduction:
+//
+//  * a flight loop: read gyro from memory-mapped sensor ports, apply the
+//    calibration offsets in RAM, run a P-controller, write servo ports,
+//    feed the master-processor watchdog line;
+//  * a MAVLink receive path (byte-oriented state machine over USART0) with
+//    per-message handlers dispatched through a function-pointer table; the
+//    PARAM_SET handler copies the payload into a fixed stack buffer using
+//    the packet's length byte — *without* bounds check when the profile is
+//    vulnerable (the injected flaw of paper §IV-B);
+//  * RAW_IMU telemetry with a real CRC-16/X.25, parsed by the host-side
+//    ground station;
+//  * hundreds of deterministic filler functions reproducing the paper's
+//    function counts and code sizes, including the idioms that create the
+//    attack's gadgets (framed epilogues → stk_move, Y-writer epilogues →
+//    write_mem), cross-jumped shared epilogue tails (mid-function JMP
+//    targets) and mid-function dispatch-table entries — the cases the MAVR
+//    patcher must handle (paper §VI-B3).
+#pragma once
+
+#include "firmware/profile.hpp"
+#include "toolchain/image.hpp"
+#include "toolchain/linker.hpp"
+
+namespace mavr::firmware {
+
+/// Memory-mapped I/O addresses of the simulated APM board peripherals
+/// (data-space addresses in the extended-I/O range, see sim::Board).
+struct BoardIo {
+  static constexpr std::uint16_t kGyroX = 0x120;  // 16-bit LE, +2 per axis
+  static constexpr std::uint16_t kGyroY = 0x122;
+  static constexpr std::uint16_t kGyroZ = 0x124;
+  static constexpr std::uint16_t kAccX = 0x126;
+  static constexpr std::uint16_t kAccY = 0x128;
+  static constexpr std::uint16_t kAccZ = 0x12A;
+  static constexpr std::uint16_t kBaro = 0x12C;
+  static constexpr std::uint16_t kServo0 = 0x140;  // one byte per channel
+  static constexpr std::uint16_t kServo1 = 0x141;
+  static constexpr std::uint16_t kServo2 = 0x142;
+  static constexpr std::uint16_t kServo3 = 0x143;
+  static constexpr std::uint16_t kFeed = 0x150;    // master watchdog feed
+  static constexpr std::uint16_t kLed = 0x151;
+  static constexpr std::uint16_t kUartStatus = 0xC0;  // UCSR0A
+  static constexpr std::uint16_t kUartData = 0xC6;    // UDR0
+};
+
+/// Names of the RAM globals the attack and the tests reference through
+/// Image::find_data().
+struct Globals {
+  static constexpr const char* kGyro = "g_gyro";           // 3 x int16 raw+cal
+  static constexpr const char* kGyroCal = "g_gyro_cal";    // 3 x int16 offsets
+  static constexpr const char* kAcc = "g_acc";             // 3 x int16
+  static constexpr const char* kSetpoint = "g_setpoint";   // 3 x int16
+  static constexpr const char* kServoCmd = "g_servo_cmd";  // 4 bytes
+  static constexpr const char* kMavPayload = "g_mav_payload";
+  static constexpr const char* kMavLen = "g_mav_len";
+  static constexpr const char* kHbCount = "g_hb_count";
+  static constexpr const char* kParams = "g_params";
+};
+
+/// Size of the PARAM_SET handler's stack buffer (bytes) and its frame.
+/// The attack builder uses these to compute overflow distances.
+inline constexpr std::uint16_t kVulnBufBytes = 96;
+inline constexpr std::uint16_t kVulnFrameBytes = kVulnBufBytes + 2;
+
+/// Interrupt-vector slot of the timer tick ISR (TIMER1 COMPA on the
+/// ATmega2560). The board fires it every kTimerPeriodCycles.
+inline constexpr std::uint8_t kTimerVector = 17;
+inline constexpr std::uint64_t kTimerPeriodCycles = 10'000;  // 1.6 kHz
+
+/// Generation result: the linked image plus provenance.
+struct Firmware {
+  toolchain::Image image;
+  AppProfile profile;
+};
+
+/// Generates and links the firmware for `profile` under `options`.
+Firmware generate(const AppProfile& profile,
+                  const toolchain::ToolchainOptions& options);
+
+}  // namespace mavr::firmware

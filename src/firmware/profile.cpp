@@ -1,0 +1,57 @@
+#include "firmware/profile.hpp"
+
+namespace mavr::firmware {
+
+AppProfile arduplane(bool vulnerable) {
+  AppProfile p;
+  p.name = "Arduplane";
+  p.seed = 0xA12D01;
+  p.function_count = 917;   // Table I
+  p.filler_body_words = 107; // undershoot; pad calibrates to Table III
+  p.canonical_save_fns = 10;
+  p.task_count = 48;
+  p.target_image_bytes = 221294;  // Table III, MAVR column
+  p.vulnerable = vulnerable;
+  return p;
+}
+
+AppProfile arducopter(bool vulnerable) {
+  AppProfile p;
+  p.name = "Arducopter";
+  p.seed = 0xA12D02;
+  p.function_count = 1030;
+  p.filler_body_words = 106;
+  p.canonical_save_fns = 14;
+  p.task_count = 52;
+  p.target_image_bytes = 244292;
+  p.vulnerable = vulnerable;
+  return p;
+}
+
+AppProfile ardurover(bool vulnerable) {
+  AppProfile p;
+  p.name = "Ardurover";
+  p.seed = 0xA12D03;
+  p.function_count = 800;
+  p.filler_body_words = 97;
+  p.canonical_save_fns = 9;
+  p.task_count = 44;
+  p.target_image_bytes = 177556;
+  p.vulnerable = vulnerable;
+  return p;
+}
+
+AppProfile testapp(bool vulnerable) {
+  AppProfile p;
+  p.name = "TestApp";
+  p.seed = 0x7E57;
+  p.function_count = 96;
+  p.filler_body_words = 28;
+  p.canonical_save_fns = 2;
+  p.task_count = 12;
+  p.target_image_bytes = 0;  // no calibration: keep it small and fast
+  p.vulnerable = vulnerable;
+  return p;
+}
+
+}  // namespace mavr::firmware

@@ -1,0 +1,56 @@
+// Application profiles for the synthetic-autopilot firmware generator.
+//
+// Each profile is calibrated to one of the paper's three evaluation targets
+// (Table I function counts; Table III code sizes): ArduPlane 2.7.4 (917
+// functions, ~221 KB), ArduCopter (1030 functions, ~244 KB) and ArduRover
+// (800 functions, ~178 KB). Since the original GCC-4.5.4-built binaries are
+// not reproducible here, the generator emits runnable AVR firmware with the
+// same structural statistics; see DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mavr::firmware {
+
+struct AppProfile {
+  std::string name;
+  std::uint64_t seed = 1;
+  /// Total function-symbol count of the linked MAVR-flags image
+  /// (Table I: includes startup/runtime functions, excludes the vector
+  /// table object).
+  std::uint32_t function_count = 0;
+  /// Average filler-function body size knob (words); tuned per profile so
+  /// the linked image size approaches the paper's Table III numbers.
+  std::uint32_t filler_body_words = 0;
+  /// Number of filler functions using the full canonical callee-save set —
+  /// these are the ones -mcall-prologues consolidates in stock builds.
+  std::uint32_t canonical_save_fns = 0;
+  /// Number of task-table entries (round-robin work the main loop runs).
+  std::uint32_t task_count = 48;
+  /// Table III target for the MAVR-flags build in bytes (0 = no size
+  /// calibration). The generator undershoots with its nominal function mix
+  /// and sizes a pad function to land exactly on this value.
+  std::uint32_t target_image_bytes = 0;
+  /// Erased-flash slack reserved between code and .data so the MAVR
+  /// randomizer can insert random inter-function padding (§VIII-B
+  /// extension; the paper judged it unnecessary at 800+ symbols).
+  std::uint32_t reserve_padding_bytes = 0;
+  /// Inject the MAVLink length-check vulnerability (paper §IV-B)?
+  bool vulnerable = false;
+};
+
+/// ArduPlane 2.7.4 analogue: 917 functions, ~221.3 KB under MAVR flags.
+AppProfile arduplane(bool vulnerable = false);
+
+/// ArduCopter analogue: 1030 functions, ~244.3 KB under MAVR flags.
+AppProfile arducopter(bool vulnerable = false);
+
+/// ArduRover analogue: 800 functions, ~177.6 KB under MAVR flags.
+AppProfile ardurover(bool vulnerable = false);
+
+/// A small fast-to-simulate profile for unit tests (not a paper target).
+AppProfile testapp(bool vulnerable = true);
+
+}  // namespace mavr::firmware

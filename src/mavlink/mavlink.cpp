@@ -1,0 +1,236 @@
+#include "mavlink/mavlink.hpp"
+
+#include <cstring>
+
+#include "support/crc.hpp"
+#include "support/error.hpp"
+
+namespace mavr::mavlink {
+
+namespace {
+
+std::uint16_t crc_over(std::uint8_t len, const Packet& p) {
+  support::Crc16 crc;
+  crc.update(len);
+  crc.update(p.sysid);
+  crc.update(p.seq);
+  crc.update(p.compid);
+  crc.update(p.msgid);
+  crc.update(p.payload);
+  return crc.value();
+}
+
+void put_float(support::ByteWriter& w, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  w.u32_le(bits);
+}
+
+float get_float(support::ByteReader& r) {
+  const std::uint32_t bits = r.u32_le();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+}  // namespace
+
+std::uint16_t packet_crc(const Packet& packet) {
+  return crc_over(static_cast<std::uint8_t>(packet.payload.size() & 0xFF),
+                  packet);
+}
+
+support::Bytes encode(const Packet& packet) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  const std::uint8_t len =
+      static_cast<std::uint8_t>(packet.payload.size() & 0xFF);
+  w.u8(kMagic);
+  w.u8(len);
+  w.u8(packet.sysid);
+  w.u8(packet.seq);
+  w.u8(packet.compid);
+  w.u8(packet.msgid);
+  w.bytes(packet.payload);
+  w.u16_le(crc_over(len, packet));
+  return out;
+}
+
+std::optional<Packet> Parser::push(std::uint8_t byte) {
+  switch (state_) {
+    case State::Magic:
+      if (byte == kMagic) {
+        current_ = Packet{};
+        crc_bytes_.clear();
+        state_ = State::Length;
+      } else {
+        ++dropped_bytes_;
+      }
+      return std::nullopt;
+    case State::Length:
+      want_payload_ = byte;
+      state_ = State::Sysid;
+      return std::nullopt;
+    case State::Sysid:
+      current_.sysid = byte;
+      state_ = State::Seq;
+      return std::nullopt;
+    case State::Seq:
+      current_.seq = byte;
+      state_ = State::Compid;
+      return std::nullopt;
+    case State::Compid:
+      current_.compid = byte;
+      state_ = State::Msgid;
+      return std::nullopt;
+    case State::Msgid:
+      current_.msgid = byte;
+      state_ = (want_payload_ > 0) ? State::Payload : State::Crc;
+      return std::nullopt;
+    case State::Payload:
+      current_.payload.push_back(byte);
+      if (current_.payload.size() == want_payload_) state_ = State::Crc;
+      return std::nullopt;
+    case State::Crc:
+      crc_bytes_.push_back(byte);
+      if (crc_bytes_.size() < kChecksumLen) return std::nullopt;
+      state_ = State::Magic;
+      {
+        const std::uint16_t received = static_cast<std::uint16_t>(
+            crc_bytes_[0] | (crc_bytes_[1] << 8));
+        if (received != crc_over(want_payload_, current_)) {
+          ++crc_errors_;
+          return std::nullopt;
+        }
+      }
+      return current_;
+  }
+  return std::nullopt;
+}
+
+std::vector<Packet> Parser::push(std::span<const std::uint8_t> bytes) {
+  std::vector<Packet> out;
+  for (std::uint8_t b : bytes) {
+    if (auto packet = push(b)) out.push_back(std::move(*packet));
+  }
+  return out;
+}
+
+// --- Typed messages ----------------------------------------------------------
+
+Packet Heartbeat::to_packet(std::uint8_t sysid, std::uint8_t seq) const {
+  Packet p;
+  p.sysid = sysid;
+  p.seq = seq;
+  p.compid = 1;
+  p.msgid = static_cast<std::uint8_t>(MsgId::Heartbeat);
+  support::ByteWriter w(p.payload);
+  w.u32_le(custom_mode);
+  w.u8(type);
+  w.u8(autopilot);
+  w.u8(base_mode);
+  w.u8(system_status);
+  w.u8(mavlink_version);
+  return p;
+}
+
+Heartbeat Heartbeat::from_packet(const Packet& packet) {
+  MAVR_REQUIRE(packet.id() == MsgId::Heartbeat, "not a HEARTBEAT packet");
+  support::ByteReader r(packet.payload);
+  Heartbeat h;
+  h.custom_mode = r.u32_le();
+  h.type = r.u8();
+  h.autopilot = r.u8();
+  h.base_mode = r.u8();
+  h.system_status = r.u8();
+  h.mavlink_version = r.u8();
+  return h;
+}
+
+Packet ParamSet::to_packet(std::uint8_t sysid, std::uint8_t seq) const {
+  Packet p;
+  p.sysid = sysid;
+  p.seq = seq;
+  p.compid = 1;
+  p.msgid = static_cast<std::uint8_t>(MsgId::ParamSet);
+  support::ByteWriter w(p.payload);
+  put_float(w, param_value);
+  w.u8(target_system);
+  w.u8(target_component);
+  w.bytes(std::span(reinterpret_cast<const std::uint8_t*>(param_id), 16));
+  return p;
+}
+
+ParamSet ParamSet::from_packet(const Packet& packet) {
+  MAVR_REQUIRE(packet.id() == MsgId::ParamSet, "not a PARAM_SET packet");
+  support::ByteReader r(packet.payload);
+  ParamSet s;
+  s.param_value = get_float(r);
+  s.target_system = r.u8();
+  s.target_component = r.u8();
+  const support::Bytes id = r.bytes(16);
+  std::memcpy(s.param_id, id.data(), 16);
+  return s;
+}
+
+Packet Attitude::to_packet(std::uint8_t sysid, std::uint8_t seq) const {
+  Packet p;
+  p.sysid = sysid;
+  p.seq = seq;
+  p.compid = 1;
+  p.msgid = static_cast<std::uint8_t>(MsgId::Attitude);
+  support::ByteWriter w(p.payload);
+  w.u32_le(time_boot_ms);
+  put_float(w, roll);
+  put_float(w, pitch);
+  put_float(w, yaw);
+  put_float(w, rollspeed);
+  put_float(w, pitchspeed);
+  put_float(w, yawspeed);
+  return p;
+}
+
+Attitude Attitude::from_packet(const Packet& packet) {
+  MAVR_REQUIRE(packet.id() == MsgId::Attitude, "not an ATTITUDE packet");
+  support::ByteReader r(packet.payload);
+  Attitude a;
+  a.time_boot_ms = r.u32_le();
+  a.roll = get_float(r);
+  a.pitch = get_float(r);
+  a.yaw = get_float(r);
+  a.rollspeed = get_float(r);
+  a.pitchspeed = get_float(r);
+  a.yawspeed = get_float(r);
+  return a;
+}
+
+Packet RawImu::to_packet(std::uint8_t sysid, std::uint8_t seq) const {
+  Packet p;
+  p.sysid = sysid;
+  p.seq = seq;
+  p.compid = 1;
+  p.msgid = static_cast<std::uint8_t>(MsgId::RawImu);
+  support::ByteWriter w(p.payload);
+  w.u16_le(static_cast<std::uint16_t>(xgyro));
+  w.u16_le(static_cast<std::uint16_t>(ygyro));
+  w.u16_le(static_cast<std::uint16_t>(zgyro));
+  w.u16_le(static_cast<std::uint16_t>(xacc));
+  w.u16_le(static_cast<std::uint16_t>(yacc));
+  w.u16_le(static_cast<std::uint16_t>(zacc));
+  return p;
+}
+
+RawImu RawImu::from_packet(const Packet& packet) {
+  MAVR_REQUIRE(packet.id() == MsgId::RawImu, "not a RAW_IMU packet");
+  support::ByteReader r(packet.payload);
+  RawImu m;
+  m.xgyro = static_cast<std::int16_t>(r.u16_le());
+  m.ygyro = static_cast<std::int16_t>(r.u16_le());
+  m.zgyro = static_cast<std::int16_t>(r.u16_le());
+  m.xacc = static_cast<std::int16_t>(r.u16_le());
+  m.yacc = static_cast<std::int16_t>(r.u16_le());
+  m.zacc = static_cast<std::int16_t>(r.u16_le());
+  return m;
+}
+
+}  // namespace mavr::mavlink

@@ -1,0 +1,139 @@
+// MAVLink (Micro Air Vehicle Link) protocol — paper §II-C, Fig. 2.
+//
+// Packet layout follows the paper's figure exactly:
+//
+//   byte 0   magic                  (0xFE)
+//   byte 1   payload length
+//   byte 2   system id of sender
+//   byte 3   packet sequence number
+//   byte 4   component id of sender
+//   byte 5   message id
+//   bytes    payload (up to 255 bytes)
+//   2 bytes  CRC-16/X.25 checksum over bytes 1..end-of-payload
+//
+// Minimum packet: 6-byte header + 9-byte payload + 2-byte CRC = 17 bytes
+// (the paper's stated minimum; HEARTBEAT has a 9-byte payload).
+//
+// Simplification vs. the real protocol: no per-message CRC_EXTRA seed —
+// the checksum is plain X.25 over header-after-magic plus payload. This
+// preserves everything the attack path depends on (framing, the length
+// byte that the vulnerable firmware fails to validate, integrity check).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace mavr::mavlink {
+
+inline constexpr std::uint8_t kMagic = 0xFE;
+inline constexpr std::size_t kHeaderLen = 6;
+inline constexpr std::size_t kChecksumLen = 2;
+inline constexpr std::size_t kMaxPayload = 255;
+
+/// Standard message ids used by the reproduction.
+enum class MsgId : std::uint8_t {
+  Heartbeat = 0,
+  ParamSet = 23,
+  RawImu = 27,
+  Attitude = 30,
+  MissionItem = 39,
+  CommandLong = 76,
+  Statustext = 253,
+};
+
+/// One MAVLink packet (decoded form).
+struct Packet {
+  std::uint8_t sysid = 0;
+  std::uint8_t seq = 0;
+  std::uint8_t compid = 0;
+  std::uint8_t msgid = 0;
+  support::Bytes payload;
+
+  MsgId id() const { return static_cast<MsgId>(msgid); }
+};
+
+/// Serializes a packet. Payloads longer than 255 bytes are *permitted* and
+/// encoded with a wrapped length byte — this is deliberately the attacker's
+/// oversized-packet capability from §IV-B (the paper removed the length
+/// check; a conforming implementation would reject these).
+support::Bytes encode(const Packet& packet);
+
+/// Computes the checksum the same way encode() does.
+std::uint16_t packet_crc(const Packet& packet);
+
+/// Streaming parser: feed bytes, poll packets. Malformed input (bad magic,
+/// bad checksum) is dropped and counted, as a ground station would.
+class Parser {
+ public:
+  /// Feeds one byte; returns a completed packet when it finishes one.
+  std::optional<Packet> push(std::uint8_t byte);
+
+  /// Feeds many bytes, collecting every completed packet.
+  std::vector<Packet> push(std::span<const std::uint8_t> bytes);
+
+  std::uint64_t crc_errors() const { return crc_errors_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  enum class State { Magic, Length, Sysid, Seq, Compid, Msgid, Payload, Crc };
+  State state_ = State::Magic;
+  Packet current_;
+  std::uint8_t want_payload_ = 0;
+  support::Bytes crc_bytes_;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+};
+
+// --- Typed messages ---------------------------------------------------------
+
+/// HEARTBEAT (id 0, 9-byte payload).
+struct Heartbeat {
+  std::uint8_t type = 1;          // fixed wing
+  std::uint8_t autopilot = 3;     // ArduPilot
+  std::uint8_t base_mode = 0;
+  std::uint32_t custom_mode = 0;
+  std::uint8_t system_status = 4; // active
+  std::uint8_t mavlink_version = 3;
+
+  Packet to_packet(std::uint8_t sysid, std::uint8_t seq) const;
+  static Heartbeat from_packet(const Packet& packet);
+};
+
+/// PARAM_SET (id 23): the message whose handler carries the injected
+/// buffer-overflow vulnerability in the test firmware (paper §IV-B).
+struct ParamSet {
+  char param_id[16] = {};
+  float param_value = 0;
+  std::uint8_t target_system = 1;
+  std::uint8_t target_component = 1;
+
+  Packet to_packet(std::uint8_t sysid, std::uint8_t seq) const;
+  static ParamSet from_packet(const Packet& packet);
+};
+
+/// ATTITUDE (id 30): telemetry the UAV streams to the ground station; the
+/// stealthy attack's success criterion is that this stream continues
+/// uninterrupted while the sensor value changes.
+struct Attitude {
+  std::uint32_t time_boot_ms = 0;
+  float roll = 0, pitch = 0, yaw = 0;
+  float rollspeed = 0, pitchspeed = 0, yawspeed = 0;
+
+  Packet to_packet(std::uint8_t sysid, std::uint8_t seq) const;
+  static Attitude from_packet(const Packet& packet);
+};
+
+/// RAW_IMU (id 27, abridged to the three gyro axes the attack targets).
+struct RawImu {
+  std::int16_t xgyro = 0, ygyro = 0, zgyro = 0;
+  std::int16_t xacc = 0, yacc = 0, zacc = 0;
+
+  Packet to_packet(std::uint8_t sysid, std::uint8_t seq) const;
+  static RawImu from_packet(const Packet& packet);
+};
+
+}  // namespace mavr::mavlink

@@ -1,0 +1,92 @@
+#include "sim/board.hpp"
+
+#include "firmware/generator.hpp"
+#include "support/error.hpp"
+
+namespace mavr::sim {
+
+using firmware::BoardIo;
+
+Board::Board(std::uint32_t baud) : cpu_(avr::atmega2560()) {
+  avr::IoBus& bus = cpu_.io();
+  uart_ = std::make_unique<avr::Uart>(
+      bus, avr::usart0_config(cpu_.spec().clock_hz, baud));
+  for (int i = 0; i < 3; ++i) {
+    gyro_[i] = std::make_unique<Sensor16>(
+        bus, static_cast<std::uint16_t>(BoardIo::kGyroX + 2 * i));
+    acc_[i] = std::make_unique<Sensor16>(
+        bus, static_cast<std::uint16_t>(BoardIo::kAccX + 2 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    servo_[i] = std::make_unique<avr::OutputPort>(
+        bus, static_cast<std::uint16_t>(BoardIo::kServo0 + i),
+        /*record_history=*/true);
+  }
+  feed_ = std::make_unique<avr::OutputPort>(bus, BoardIo::kFeed,
+                                            /*record_history=*/false);
+  led_ = std::make_unique<avr::OutputPort>(bus, BoardIo::kLed,
+                                           /*record_history=*/false);
+  timer_ = std::make_unique<avr::Timer>(bus, firmware::kTimerPeriodCycles);
+  cpu_.set_irq_line(firmware::kTimerVector,
+                    [this] { return timer_->take_irq(); });
+}
+
+void Board::flash_image(std::span<const std::uint8_t> image) {
+  MAVR_REQUIRE(!readout_protected_,
+               "direct flashing refused: readout protection set "
+               "(use the bootloader)");
+  cpu_.flash().erase();
+  cpu_.flash().program(image);
+  ++flash_write_cycles_;
+  reset();
+}
+
+support::Bytes Board::read_flash() const {
+  MAVR_REQUIRE(!readout_protected_,
+               "flash readout blocked by protection fuse");
+  return cpu_.flash().dump();
+}
+
+void Board::bootloader_enter() {
+  in_bootloader_ = true;
+  erased_this_session_ = false;
+}
+
+void Board::bootloader_erase() {
+  MAVR_REQUIRE(in_bootloader_, "not in bootloader");
+  cpu_.flash().erase();
+  erased_this_session_ = true;
+  ++flash_write_cycles_;
+}
+
+void Board::bootloader_write_page(std::uint32_t byte_addr,
+                                  std::span<const std::uint8_t> page) {
+  MAVR_REQUIRE(in_bootloader_, "not in bootloader");
+  MAVR_REQUIRE(erased_this_session_, "write before chip erase");
+  MAVR_REQUIRE(page.size() <= cpu_.spec().flash_page_bytes,
+               "page larger than flash page");
+  cpu_.flash().program_page(byte_addr, page);
+}
+
+void Board::bootloader_run_application() {
+  MAVR_REQUIRE(in_bootloader_, "not in bootloader");
+  in_bootloader_ = false;
+  reset();
+}
+
+void Board::reset() { cpu_.reset(); }
+
+void Board::run_cycles(std::uint64_t cycles) {
+  if (in_bootloader_) return;  // core held in the bootloader stub
+  if (!trace_hook_) {
+    cpu_.run(cycles);
+    return;
+  }
+  const std::uint64_t deadline = cpu_.cycles() + cycles;
+  while (cpu_.state() == avr::CpuState::Running && cpu_.cycles() < deadline) {
+    trace_hook_(cpu_);
+    cpu_.step();
+  }
+}
+
+}  // namespace mavr::sim

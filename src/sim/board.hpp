@@ -1,0 +1,127 @@
+// Simulated ArduPilot Mega 2.5 board: the ATmega2560 application processor
+// wired to its telemetry USART, sensor front-ends, servo outputs and the
+// MAVR feed line (paper Fig. 7/8).
+//
+// Also models the two hardware security mechanisms the defense relies on:
+//  * the serial *bootloader* the master processor programs the application
+//    processor through (paper §VI-B4) — entered by asserting RESET, pages
+//    written to flash, wear counted against the 10,000-cycle endurance;
+//  * the *readout-protection fuse* (paper §V-A3): once set, any attempt to
+//    dump the flash (i.e. the randomized binary) is refused.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "avr/cpu.hpp"
+#include "avr/gpio.hpp"
+#include "avr/timer.hpp"
+#include "avr/uart.hpp"
+#include "firmware/generator.hpp"
+#include "support/bytes.hpp"
+
+namespace mavr::sim {
+
+/// One 16-bit little-endian sensor channel exposed as two input ports.
+class Sensor16 {
+ public:
+  Sensor16(avr::IoBus& bus, std::uint16_t addr)
+      : lo_(bus, addr), hi_(bus, static_cast<std::uint16_t>(addr + 1)) {}
+
+  void set(std::int16_t value) {
+    lo_.set(static_cast<std::uint8_t>(value & 0xFF));
+    hi_.set(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  }
+
+ private:
+  avr::InputPort lo_;
+  avr::InputPort hi_;
+};
+
+class Board {
+ public:
+  /// `baud` is the telemetry line rate (paper prototype: 115200).
+  explicit Board(std::uint32_t baud = 115200);
+
+  // --- Programming ----------------------------------------------------------
+  /// Direct flash programming (host flashing path; counts one write cycle).
+  /// Refused while readout protection is set and the caller is not the
+  /// bootloader — use the bootloader interface instead.
+  void flash_image(std::span<const std::uint8_t> image);
+
+  /// Enables the readout-protection fuse (irreversible short of a chip
+  /// erase, like the real lock bits).
+  void set_readout_protection() { readout_protected_ = true; }
+  bool readout_protected() const { return readout_protected_; }
+
+  /// Dumps the flash contents — the attacker's static-analysis path.
+  /// Throws support::PreconditionError when the fuse is set (paper §V-D:
+  /// "there is no way for an attacker to gain access to the randomized
+  /// code").
+  support::Bytes read_flash() const;
+
+  // --- Bootloader (master-processor facing) ----------------------------------
+  /// Asserts RESET and sends the bootloader magic: core halts, flash
+  /// writable page by page.
+  void bootloader_enter();
+  bool in_bootloader() const { return in_bootloader_; }
+  /// Chip erase (begins a programming cycle; counts flash wear).
+  void bootloader_erase();
+  void bootloader_write_page(std::uint32_t byte_addr,
+                             std::span<const std::uint8_t> page);
+  /// Leaves the bootloader and restarts the application from reset.
+  void bootloader_run_application();
+
+  /// Completed flash programming cycles — measured against the part's
+  /// 10,000-cycle endurance (paper §VI-A).
+  std::uint32_t flash_write_cycles() const { return flash_write_cycles_; }
+
+  // --- Execution ----------------------------------------------------------------
+  /// Hard reset of the application core (data memory cleared, PC = 0).
+  void reset();
+
+  /// Runs the application for `cycles` CPU cycles (no-op in bootloader).
+  /// When a trace hook is installed it is invoked before every instruction.
+  void run_cycles(std::uint64_t cycles);
+
+  /// True when the core faulted (invalid opcode — "executing garbage").
+  bool crashed() const {
+    return cpu_.state() == avr::CpuState::Faulted;
+  }
+
+  /// Per-instruction observation hook (used by the attacker's replica run
+  /// to locate the vulnerable frame). Pass nullptr to remove.
+  void set_trace_hook(std::function<void(const avr::Cpu&)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
+  // --- Peripherals ----------------------------------------------------------------
+  avr::Cpu& cpu() { return cpu_; }
+  const avr::Cpu& cpu() const { return cpu_; }
+  avr::Uart& telemetry() { return *uart_; }
+
+  void set_gyro(int axis, std::int16_t value) { gyro_[axis]->set(value); }
+  void set_acc(int axis, std::int16_t value) { acc_[axis]->set(value); }
+
+  avr::OutputPort& servo(int channel) { return *servo_[channel]; }
+  avr::OutputPort& feed_line() { return *feed_; }
+  avr::Timer& tick_timer() { return *timer_; }
+
+ private:
+  avr::Cpu cpu_;
+  std::unique_ptr<avr::Uart> uart_;
+  std::unique_ptr<Sensor16> gyro_[3];
+  std::unique_ptr<Sensor16> acc_[3];
+  std::unique_ptr<avr::OutputPort> servo_[4];
+  std::unique_ptr<avr::OutputPort> feed_;
+  std::unique_ptr<avr::OutputPort> led_;
+  std::unique_ptr<avr::Timer> timer_;
+  std::function<void(const avr::Cpu&)> trace_hook_;
+  bool readout_protected_ = false;
+  bool in_bootloader_ = false;
+  bool erased_this_session_ = false;
+  std::uint32_t flash_write_cycles_ = 0;
+};
+
+}  // namespace mavr::sim

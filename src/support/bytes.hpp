@@ -1,0 +1,137 @@
+// Byte-buffer utilities: bounded readers/writers with explicit endianness.
+//
+// AVR quirks honoured here:
+//  * return addresses live on the stack big-endian (MSB at the lowest
+//    address) — see ByteWriter::u24_be and the attack payload builder;
+//  * everything else on AVR (vectors, pointers in data) is little-endian.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mavr::support {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Sequential writer appending primitives to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16_le(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u16_be(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+  }
+
+  void u32_le(std::uint32_t v) {
+    u16_le(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16_le(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  /// 24-bit big-endian value — the layout of an ATmega2560 return address
+  /// in ascending stack memory.
+  void u24_be(std::uint32_t v) {
+    MAVR_REQUIRE(v <= 0xFFFFFF, "u24 value out of range");
+    u8(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+    u8(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  void fill(std::uint8_t value, std::size_t count) {
+    out_.insert(out_.end(), count, value);
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Sequential bounds-checked reader over a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    MAVR_REQUIRE(remaining() >= 1, "ByteReader underflow");
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16_le() {
+    std::uint16_t lo = u8();
+    std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint16_t u16_be() {
+    std::uint16_t hi = u8();
+    std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t u32_le() {
+    std::uint32_t lo = u16_le();
+    std::uint32_t hi = u16_le();
+    return lo | (hi << 16);
+  }
+
+  std::uint32_t u24_be() {
+    std::uint32_t b0 = u8();
+    std::uint32_t b1 = u8();
+    std::uint32_t b2 = u8();
+    return (b0 << 16) | (b1 << 8) | b2;
+  }
+
+  Bytes bytes(std::size_t count) {
+    MAVR_REQUIRE(remaining() >= count, "ByteReader underflow");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return out;
+  }
+
+  void skip(std::size_t count) {
+    MAVR_REQUIRE(remaining() >= count, "ByteReader underflow");
+    pos_ += count;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads a little-endian u16 at `offset` from a span (random access).
+inline std::uint16_t load_u16_le(std::span<const std::uint8_t> data,
+                                 std::size_t offset) {
+  MAVR_REQUIRE(offset + 2 <= data.size(), "load_u16_le out of range");
+  return static_cast<std::uint16_t>(data[offset] | (data[offset + 1] << 8));
+}
+
+/// Writes a little-endian u16 at `offset` into a span (random access).
+inline void store_u16_le(std::span<std::uint8_t> data, std::size_t offset,
+                         std::uint16_t value) {
+  MAVR_REQUIRE(offset + 2 <= data.size(), "store_u16_le out of range");
+  data[offset] = static_cast<std::uint8_t>(value & 0xFF);
+  data[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+}  // namespace mavr::support

@@ -1,0 +1,22 @@
+#include "support/crc.hpp"
+
+namespace mavr::support {
+
+void Crc16::update(std::uint8_t byte) {
+  std::uint8_t tmp = byte ^ static_cast<std::uint8_t>(crc_ & 0xFF);
+  tmp ^= static_cast<std::uint8_t>(tmp << 4);
+  crc_ = static_cast<std::uint16_t>((crc_ >> 8) ^ (tmp << 8) ^ (tmp << 3) ^
+                                    (tmp >> 4));
+}
+
+void Crc16::update(std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) update(b);
+}
+
+std::uint16_t crc16_x25(std::span<const std::uint8_t> data) {
+  Crc16 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace mavr::support

@@ -1,0 +1,29 @@
+// CRC-16/X.25 (a.k.a. CRC-16/MCRF4XX in its non-inverted accumulate form),
+// the checksum MAVLink uses for packet integrity (paper Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mavr::support {
+
+/// Incremental CRC-16/X.25 accumulator (init 0xFFFF, poly 0x8408 reflected).
+class Crc16 {
+ public:
+  /// Folds one byte into the accumulator.
+  void update(std::uint8_t byte);
+
+  /// Folds a byte range into the accumulator.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Current checksum value.
+  std::uint16_t value() const { return crc_; }
+
+ private:
+  std::uint16_t crc_ = 0xFFFF;
+};
+
+/// One-shot CRC-16/X.25 over a byte range.
+std::uint16_t crc16_x25(std::span<const std::uint8_t> data);
+
+}  // namespace mavr::support

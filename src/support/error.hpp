@@ -1,0 +1,68 @@
+// Error handling primitives shared by every MAVR module.
+//
+// Policy (see DESIGN.md): broken invariants and programmer misuse throw;
+// expected runtime failures (parse errors, device faults) are reported
+// through status-returning APIs local to each module.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mavr::support {
+
+/// Base class for all exceptions thrown by the MAVR library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates an API precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is found broken (a bug in MAVR itself).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when input data (binary image, HEX file, packet) is malformed.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "MAVR_REQUIRE") throw PreconditionError(os.str());
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mavr::support
+
+/// Precondition check: throws PreconditionError when `expr` is false.
+#define MAVR_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::mavr::support::detail::fail_check("MAVR_REQUIRE", #expr, __FILE__,  \
+                                          __LINE__, (msg));                 \
+  } while (0)
+
+/// Internal invariant check: throws InvariantError when `expr` is false.
+#define MAVR_CHECK(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::mavr::support::detail::fail_check("MAVR_CHECK", #expr, __FILE__,    \
+                                          __LINE__, (msg));                 \
+  } while (0)

@@ -1,0 +1,35 @@
+#include "support/hexdump.hpp"
+
+#include <cstdio>
+
+namespace mavr::support {
+
+std::string hexdump(std::span<const std::uint8_t> data, std::uint32_t base,
+                    std::size_t width) {
+  std::string out;
+  char buf[32];
+  for (std::size_t i = 0; i < data.size(); i += width) {
+    std::snprintf(buf, sizeof buf, "0x%06X:", base + static_cast<std::uint32_t>(i));
+    out += buf;
+    for (std::size_t j = i; j < i + width && j < data.size(); ++j) {
+      std::snprintf(buf, sizeof buf, " 0x%02X", data[j]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string hex_byte(std::uint8_t byte) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%02X", byte);
+  return buf;
+}
+
+std::string hex_value(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%X", value);
+  return buf;
+}
+
+}  // namespace mavr::support

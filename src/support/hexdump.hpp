@@ -1,0 +1,23 @@
+// Hexdump formatting used by the Fig. 6 stack-progression output and by
+// diagnostic tooling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mavr::support {
+
+/// Formats `data` as `0xADDR: b0 b1 ...` rows of `width` bytes, with `base`
+/// as the address of the first byte — the exact layout of Fig. 6 in the
+/// paper.
+std::string hexdump(std::span<const std::uint8_t> data, std::uint32_t base,
+                    std::size_t width = 8);
+
+/// Formats a single byte as two uppercase hex digits with 0x prefix.
+std::string hex_byte(std::uint8_t byte);
+
+/// Formats a value as 0x-prefixed uppercase hex with minimal digits.
+std::string hex_value(std::uint32_t value);
+
+}  // namespace mavr::support

@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in MAVR (randomizer permutations, firmware
+// generator, Monte-Carlo security evaluation) draws from a seeded Rng so
+// experiments reproduce bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mavr::support {
+
+/// xoshiro256** PRNG. Not cryptographic — the paper's security argument
+/// rests on permutation count, not generator strength, and determinism is
+/// required for the reproduction harness.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using rejection sampling (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool chance(double p);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mavr::support

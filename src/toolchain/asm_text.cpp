@@ -1,0 +1,422 @@
+#include "toolchain/asm_text.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mavr::toolchain {
+
+namespace {
+
+using avr::Op;
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "asm parse error at line " << line << ": " << message;
+  throw support::DataError(os.str());
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// One operand token: register, number, identifier, or addressing form.
+struct Operand {
+  enum class Kind { Reg, Number, Ident, DataSym, YDisp, ZDisp, Indirect };
+  Kind kind;
+  std::uint8_t reg = 0;       // Reg
+  std::int64_t number = 0;    // Number
+  std::string ident;          // Ident / DataSym / Indirect ("X+", "-Y", ...)
+  std::uint16_t offset = 0;   // DataSym offset / displacement
+};
+
+bool parse_number(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  try {
+    std::size_t used = 0;
+    const std::string s(text);
+    const std::int64_t value = std::stoll(s, &used, 0);
+    if (used != s.size()) return false;
+    *out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+Operand parse_operand(std::string_view text, int line) {
+  text = trim(text);
+  if (text.empty()) fail(line, "empty operand");
+  Operand op;
+
+  // Register: rN.
+  if ((text[0] == 'r' || text[0] == 'R') && text.size() >= 2 &&
+      std::isdigit(static_cast<unsigned char>(text[1]))) {
+    std::int64_t n = 0;
+    if (parse_number(text.substr(1), &n) && n >= 0 && n < 32) {
+      op.kind = Operand::Kind::Reg;
+      op.reg = static_cast<std::uint8_t>(n);
+      return op;
+    }
+  }
+  // Displacement: Y+q / Z+q (also bare Y/Z as q=0 indirect-displaced).
+  if ((text[0] == 'Y' || text[0] == 'Z') &&
+      (text.size() == 1 || text[1] == '+')) {
+    std::int64_t q = 0;
+    if (text.size() > 1 && !parse_number(text.substr(2), &q)) {
+      fail(line, "bad displacement: " + std::string(text));
+    }
+    if (q < 0 || q > 63) fail(line, "displacement out of range");
+    op.kind = (text[0] == 'Y') ? Operand::Kind::YDisp : Operand::Kind::ZDisp;
+    op.offset = static_cast<std::uint16_t>(q);
+    return op;
+  }
+  // Indirect with pre-dec/post-inc: X, X+, -X, Y+, -Y, Z+, -Z.
+  if (text == "X" || text == "X+" || text == "-X" || text == "Y+" ||
+      text == "-Y" || text == "Z+" || text == "-Z") {
+    op.kind = Operand::Kind::Indirect;
+    op.ident = std::string(text);
+    return op;
+  }
+  // Data symbol: @name or @name+off.
+  if (text[0] == '@') {
+    const std::size_t plus = text.find('+');
+    op.kind = Operand::Kind::DataSym;
+    op.ident = std::string(text.substr(1, plus == std::string_view::npos
+                                              ? std::string_view::npos
+                                              : plus - 1));
+    if (plus != std::string_view::npos) {
+      std::int64_t off = 0;
+      if (!parse_number(text.substr(plus + 1), &off) || off < 0 ||
+          off > 0xFFFF) {
+        fail(line, "bad symbol offset: " + std::string(text));
+      }
+      op.offset = static_cast<std::uint16_t>(off);
+    }
+    if (op.ident.empty()) fail(line, "empty symbol name");
+    return op;
+  }
+  // Number.
+  std::int64_t n = 0;
+  if (parse_number(text, &n)) {
+    op.kind = Operand::Kind::Number;
+    op.number = n;
+    return op;
+  }
+  // Identifier (label or global symbol).
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      fail(line, "unrecognized operand: " + std::string(text));
+    }
+  }
+  op.kind = Operand::Kind::Ident;
+  op.ident = std::string(text);
+  return op;
+}
+
+std::vector<Operand> split_operands(std::string_view text, int line) {
+  std::vector<Operand> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view piece =
+        text.substr(start, comma == std::string_view::npos
+                               ? std::string_view::npos
+                               : comma - start);
+    if (!trim(piece).empty()) out.push_back(parse_operand(piece, line));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& name, std::string_view source)
+      : fb_(name), source_(source) {}
+
+  AsmFunction run() {
+    std::size_t pos = 0;
+    int line_no = 0;
+    while (pos <= source_.size()) {
+      const std::size_t nl = source_.find('\n', pos);
+      std::string_view line =
+          source_.substr(pos, nl == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : nl - pos);
+      ++line_no;
+      handle_line(line, line_no);
+      if (nl == std::string_view::npos) break;
+      pos = nl + 1;
+    }
+    // Every referenced label must have been bound.
+    for (const auto& [label_name, state] : labels_) {
+      if (!state.bound) {
+        fail(state.first_use_line, "undefined label: " + label_name);
+      }
+    }
+    return fb_.take();
+  }
+
+ private:
+  struct LabelState {
+    Label label;
+    bool bound = false;
+    int first_use_line = 0;
+  };
+
+  Label label_for(const std::string& label_name, int line) {
+    auto it = labels_.find(label_name);
+    if (it == labels_.end()) {
+      it = labels_.emplace(label_name,
+                           LabelState{fb_.make_label(), false, line})
+               .first;
+    }
+    return it->second.label;
+  }
+
+  void handle_line(std::string_view raw, int line) {
+    // Strip comments.
+    for (std::string_view marker : {";", "//"}) {
+      const std::size_t at = raw.find(marker);
+      if (at != std::string_view::npos) raw = raw.substr(0, at);
+    }
+    std::string_view text = trim(raw);
+    if (text.empty()) return;
+
+    // Label definition(s).
+    while (true) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string label_name(trim(text.substr(0, colon)));
+      if (label_name.empty()) fail(line, "empty label");
+      auto& state =
+          labels_.emplace(label_name, LabelState{fb_.make_label(), false, line})
+              .first->second;
+      if (state.bound) fail(line, "duplicate label: " + label_name);
+      fb_.bind(state.label);
+      state.bound = true;
+      text = trim(text.substr(colon + 1));
+      if (text.empty()) return;
+    }
+
+    // Mnemonic + operands.
+    std::size_t sp = 0;
+    while (sp < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[sp]))) {
+      ++sp;
+    }
+    std::string mnemonic(text.substr(0, sp));
+    for (char& c : mnemonic) c = static_cast<char>(std::tolower(c));
+    const std::vector<Operand> ops = split_operands(text.substr(sp), line);
+    emit(mnemonic, ops, line);
+  }
+
+  // --- operand accessors with checking --------------------------------------
+  std::uint8_t want_reg(const std::vector<Operand>& ops, std::size_t i,
+                        int line) const {
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Reg) {
+      fail(line, "expected register operand");
+    }
+    return ops[i].reg;
+  }
+  std::uint8_t want_imm8(const std::vector<Operand>& ops, std::size_t i,
+                         int line) const {
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Number ||
+        ops[i].number < 0 || ops[i].number > 255) {
+      fail(line, "expected 8-bit immediate");
+    }
+    return static_cast<std::uint8_t>(ops[i].number);
+  }
+  std::string want_ident(const std::vector<Operand>& ops, std::size_t i,
+                         int line) const {
+    if (i >= ops.size() || ops[i].kind != Operand::Kind::Ident) {
+      fail(line, "expected symbol operand");
+    }
+    return ops[i].ident;
+  }
+
+  void emit(const std::string& m, const std::vector<Operand>& ops, int line) {
+    const auto two_reg = [&](Op op) {
+      fb_.raw(enc_two_reg(op, want_reg(ops, 0, line), want_reg(ops, 1, line)));
+    };
+    const auto imm = [&](Op op) {
+      fb_.raw(enc_imm(op, want_reg(ops, 0, line), want_imm8(ops, 1, line)));
+    };
+    const auto one_reg = [&](Op op) {
+      fb_.raw(enc_one_reg(op, want_reg(ops, 0, line)));
+    };
+    const auto branch = [&](bool set, std::uint8_t bit) {
+      if (set) {
+        fb_.brbs(bit, label_for(want_ident(ops, 0, line), line));
+      } else {
+        fb_.brbc(bit, label_for(want_ident(ops, 0, line), line));
+      }
+    };
+
+    if (m == "add") two_reg(Op::Add);
+    else if (m == "adc") two_reg(Op::Adc);
+    else if (m == "sub") two_reg(Op::Sub);
+    else if (m == "sbc") two_reg(Op::Sbc);
+    else if (m == "and") two_reg(Op::And);
+    else if (m == "or") two_reg(Op::Or);
+    else if (m == "eor") two_reg(Op::Eor);
+    else if (m == "mov") two_reg(Op::Mov);
+    else if (m == "cp") two_reg(Op::Cp);
+    else if (m == "cpc") two_reg(Op::Cpc);
+    else if (m == "cpse") two_reg(Op::Cpse);
+    else if (m == "mul") two_reg(Op::Mul);
+    else if (m == "movw") fb_.movw(want_reg(ops, 0, line), want_reg(ops, 1, line));
+    else if (m == "ldi") imm(Op::Ldi);
+    else if (m == "cpi") imm(Op::Cpi);
+    else if (m == "subi") imm(Op::Subi);
+    else if (m == "sbci") imm(Op::Sbci);
+    else if (m == "andi") imm(Op::Andi);
+    else if (m == "ori") imm(Op::Ori);
+    else if (m == "com") one_reg(Op::Com);
+    else if (m == "neg") one_reg(Op::Neg);
+    else if (m == "inc") one_reg(Op::Inc);
+    else if (m == "dec") one_reg(Op::Dec);
+    else if (m == "swap") one_reg(Op::Swap);
+    else if (m == "asr") one_reg(Op::Asr);
+    else if (m == "lsr") one_reg(Op::Lsr);
+    else if (m == "ror") one_reg(Op::Ror);
+    else if (m == "adiw") fb_.adiw(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "sbiw") fb_.sbiw(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "in") fb_.in(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "out") fb_.out(want_imm8(ops, 0, line), want_reg(ops, 1, line));
+    else if (m == "push") fb_.push(want_reg(ops, 0, line));
+    else if (m == "pop") fb_.pop(want_reg(ops, 0, line));
+    else if (m == "sbi") fb_.sbi(want_imm8(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "cbi") fb_.cbi(want_imm8(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "sbrc") fb_.sbrc(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "sbrs") fb_.sbrs(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "sbic") fb_.sbic(want_imm8(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "sbis") fb_.sbis(want_imm8(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "bst") fb_.bst(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "bld") fb_.bld(want_reg(ops, 0, line), want_imm8(ops, 1, line));
+    else if (m == "lds") emit_lds_sts(false, ops, line);
+    else if (m == "sts") emit_lds_sts(true, ops, line);
+    else if (m == "ldd" || m == "std") emit_displaced(m == "std", ops, line);
+    else if (m == "ld" || m == "st") emit_indirect(m == "st", ops, line);
+    else if (m == "lpm") fb_.lpm(want_reg(ops, 0, line));
+    else if (m == "elpm") fb_.raw(enc_lpm(Op::Elpm, want_reg(ops, 0, line)));
+    else if (m == "breq") branch(true, avr::kZ);
+    else if (m == "brne") branch(false, avr::kZ);
+    else if (m == "brcs" || m == "brlo") branch(true, avr::kC);
+    else if (m == "brcc" || m == "brsh") branch(false, avr::kC);
+    else if (m == "brmi") branch(true, avr::kN);
+    else if (m == "brpl") branch(false, avr::kN);
+    else if (m == "brlt") branch(true, avr::kS);
+    else if (m == "brge") branch(false, avr::kS);
+    else if (m == "rjmp") fb_.rjmp(label_for(want_ident(ops, 0, line), line));
+    else if (m == "call") fb_.call(want_ident(ops, 0, line));
+    else if (m == "jmp") fb_.jmp(want_ident(ops, 0, line));
+    else if (m == "icall") fb_.icall();
+    else if (m == "eicall") fb_.eicall();
+    else if (m == "ijmp") fb_.ijmp();
+    else if (m == "eijmp") fb_.eijmp();
+    else if (m == "ret") fb_.ret();
+    else if (m == "reti") fb_.raw(enc_no_operand(Op::Reti));
+    else if (m == "nop") fb_.nop();
+    else if (m == "break") fb_.break_();
+    else if (m == "sleep") fb_.sleep();
+    else if (m == "wdr") fb_.wdr();
+    else if (m == "sei") fb_.raw(enc_bset_bclr(Op::Bset, avr::kI));
+    else if (m == "cli") fb_.raw(enc_bset_bclr(Op::Bclr, avr::kI));
+    else if (m == "sec") fb_.raw(enc_bset_bclr(Op::Bset, avr::kC));
+    else if (m == "clc") fb_.raw(enc_bset_bclr(Op::Bclr, avr::kC));
+    else fail(line, "unknown mnemonic: " + m);
+  }
+
+  void emit_lds_sts(bool store, const std::vector<Operand>& ops, int line) {
+    const std::size_t addr_index = store ? 0 : 1;
+    const std::size_t reg_index = store ? 1 : 0;
+    const std::uint8_t reg = want_reg(ops, reg_index, line);
+    if (addr_index >= ops.size()) fail(line, "missing address operand");
+    const Operand& addr = ops[addr_index];
+    if (addr.kind == Operand::Kind::DataSym) {
+      if (store) {
+        fb_.sts_sym(addr.ident, reg, addr.offset);
+      } else {
+        fb_.lds_sym(reg, addr.ident, addr.offset);
+      }
+    } else if (addr.kind == Operand::Kind::Number && addr.number >= 0 &&
+               addr.number <= 0xFFFF) {
+      if (store) {
+        fb_.sts(static_cast<std::uint16_t>(addr.number), reg);
+      } else {
+        fb_.lds(reg, static_cast<std::uint16_t>(addr.number));
+      }
+    } else {
+      fail(line, "expected data address (@symbol or number)");
+    }
+  }
+
+  void emit_displaced(bool store, const std::vector<Operand>& ops, int line) {
+    const std::size_t disp_index = store ? 0 : 1;
+    const std::size_t reg_index = store ? 1 : 0;
+    const std::uint8_t reg = want_reg(ops, reg_index, line);
+    if (disp_index >= ops.size() ||
+        (ops[disp_index].kind != Operand::Kind::YDisp &&
+         ops[disp_index].kind != Operand::Kind::ZDisp)) {
+      fail(line, "expected Y+q or Z+q operand");
+    }
+    const bool use_y = ops[disp_index].kind == Operand::Kind::YDisp;
+    const std::uint8_t q = static_cast<std::uint8_t>(ops[disp_index].offset);
+    if (store) {
+      fb_.raw(enc_std(use_y, q, reg));
+    } else {
+      fb_.raw(enc_ldd(reg, use_y, q));
+    }
+  }
+
+  void emit_indirect(bool store, const std::vector<Operand>& ops, int line) {
+    const std::size_t ptr_index = store ? 0 : 1;
+    const std::size_t reg_index = store ? 1 : 0;
+    const std::uint8_t reg = want_reg(ops, reg_index, line);
+    if (ptr_index < ops.size() &&
+        (ops[ptr_index].kind == Operand::Kind::YDisp ||
+         ops[ptr_index].kind == Operand::Kind::ZDisp)) {
+      // `ld rd, Y` / `st Z, rr` are the q=0 displaced forms.
+      emit_displaced(store, ops, line);
+      return;
+    }
+    if (ptr_index >= ops.size() ||
+        ops[ptr_index].kind != Operand::Kind::Indirect) {
+      fail(line, "expected X/X+/-X/Y+/-Y/Z+/-Z operand");
+    }
+    static const std::map<std::string, std::pair<Op, Op>> kForms = {
+        {"X", {Op::LdX, Op::StX}},     {"X+", {Op::LdXInc, Op::StXInc}},
+        {"-X", {Op::LdXDec, Op::StXDec}}, {"Y+", {Op::LdYInc, Op::StYInc}},
+        {"-Y", {Op::LdYDec, Op::StYDec}}, {"Z+", {Op::LdZInc, Op::StZInc}},
+        {"-Z", {Op::LdZDec, Op::StZDec}},
+    };
+    const auto it = kForms.find(ops[ptr_index].ident);
+    if (it == kForms.end()) fail(line, "bad indirect form");
+    fb_.raw(enc_ld_st(store ? it->second.second : it->second.first, reg));
+  }
+
+  FunctionBuilder fb_;
+  std::string_view source_;
+  std::map<std::string, LabelState> labels_;
+};
+
+}  // namespace
+
+AsmFunction parse_asm_function(const std::string& name,
+                               std::string_view source) {
+  return Parser(name, source).run();
+}
+
+}  // namespace mavr::toolchain

@@ -1,0 +1,37 @@
+// Text-mode AVR assembler front-end.
+//
+// Parses one function's worth of GNU-style assembly into an AsmFunction
+// for the linker. Supports the instruction surface of the simulator,
+// function-local labels, symbolic CALL/JMP targets and symbolic data
+// addresses. Used by tests and by downstream users who prefer `.s` text
+// over the programmatic FunctionBuilder.
+//
+// Syntax, one statement per line:
+//
+//   loop:                    ; label definition
+//     ldi   r24, 0x2A        ; immediates in decimal or 0x-hex
+//     sts   @g_state+1, r24  ; '@name[+off]' = data-symbol address
+//     lds   r25, 0x0120      ; bare number   = absolute data address
+//     std   Y+3, r24         ; displacement addressing
+//     ld    r20, X+          ; indirect with post-increment
+//     out   0x3e, r29
+//     brne  loop             ; branches take local labels
+//     call  other_function   ; call/jmp take global symbols
+//     ret
+//
+// Comments start with ';' or '//'. Throws support::DataError with a line
+// number on any parse error.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "toolchain/assembler.hpp"
+
+namespace mavr::toolchain {
+
+/// Parses `source` into a relocatable function named `name`.
+AsmFunction parse_asm_function(const std::string& name,
+                               std::string_view source);
+
+}  // namespace mavr::toolchain

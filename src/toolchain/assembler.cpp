@@ -1,0 +1,40 @@
+#include "toolchain/assembler.hpp"
+
+namespace mavr::toolchain {
+
+std::uint32_t FunctionBuilder::fixed_offset_of(Label l) const {
+  std::uint32_t off = 0;
+  for (const item::Item& it : fn_.items) {
+    if (const auto* b = std::get_if<item::Bind>(&it)) {
+      if (b->label_id == l.id) return off;
+      continue;
+    }
+    struct Sizer {
+      std::uint32_t operator()(const item::Raw&) const { return 1; }
+      std::uint32_t operator()(const item::JmpInto&) const { return 2; }
+      std::uint32_t operator()(const item::LdsSts&) const { return 2; }
+      std::uint32_t operator()(const item::LdiData&) const { return 1; }
+      std::uint32_t operator()(const item::LdiLate&) const { return 1; }
+      std::uint32_t operator()(const item::LdiPm&) const { return 1; }
+      std::uint32_t operator()(const item::LocalBranch&) const { return 1; }
+      std::uint32_t operator()(const item::LocalRjmp&) const { return 1; }
+      std::uint32_t operator()(const item::Bind&) const { return 0; }
+      std::uint32_t operator()(const item::CallSym&) const {
+        throw support::PreconditionError(
+            "fixed_offset_of: relaxable call before label");
+      }
+      std::uint32_t operator()(const item::Prologue&) const {
+        throw support::PreconditionError(
+            "fixed_offset_of: prologue pseudo before label");
+      }
+      std::uint32_t operator()(const item::Epilogue&) const {
+        throw support::PreconditionError(
+            "fixed_offset_of: epilogue pseudo before label");
+      }
+    };
+    off += std::visit(Sizer{}, it);
+  }
+  throw support::PreconditionError("fixed_offset_of: label not bound");
+}
+
+}  // namespace mavr::toolchain

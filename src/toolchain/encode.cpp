@@ -1,0 +1,262 @@
+#include "toolchain/encode.hpp"
+
+namespace mavr::toolchain {
+
+using avr::Op;
+
+namespace {
+
+std::uint16_t with_d5(std::uint16_t base, std::uint8_t rd) {
+  MAVR_REQUIRE(rd < 32, "register out of range");
+  return static_cast<std::uint16_t>(base | (rd << 4));
+}
+
+std::uint16_t with_r5(std::uint16_t word, std::uint8_t rr) {
+  MAVR_REQUIRE(rr < 32, "register out of range");
+  return static_cast<std::uint16_t>(word | ((rr & 0x10) << 5) | (rr & 0x0F));
+}
+
+}  // namespace
+
+std::uint16_t enc_two_reg(Op op, std::uint8_t rd, std::uint8_t rr) {
+  std::uint16_t base = 0;
+  switch (op) {
+    case Op::Cpc: base = 0x0400; break;
+    case Op::Sbc: base = 0x0800; break;
+    case Op::Add: base = 0x0C00; break;
+    case Op::Cpse: base = 0x1000; break;
+    case Op::Cp: base = 0x1400; break;
+    case Op::Sub: base = 0x1800; break;
+    case Op::Adc: base = 0x1C00; break;
+    case Op::And: base = 0x2000; break;
+    case Op::Eor: base = 0x2400; break;
+    case Op::Or: base = 0x2800; break;
+    case Op::Mov: base = 0x2C00; break;
+    case Op::Mul: base = 0x9C00; break;
+    default: MAVR_REQUIRE(false, "not a two-register op");
+  }
+  return with_r5(with_d5(base, rd), rr);
+}
+
+std::uint16_t enc_imm(Op op, std::uint8_t rd, std::uint8_t k) {
+  MAVR_REQUIRE(rd >= 16 && rd < 32, "immediate ops use r16..r31");
+  std::uint16_t base = 0;
+  switch (op) {
+    case Op::Cpi: base = 0x3000; break;
+    case Op::Sbci: base = 0x4000; break;
+    case Op::Subi: base = 0x5000; break;
+    case Op::Ori: base = 0x6000; break;
+    case Op::Andi: base = 0x7000; break;
+    case Op::Ldi: base = 0xE000; break;
+    default: MAVR_REQUIRE(false, "not an immediate op");
+  }
+  return static_cast<std::uint16_t>(base | ((k & 0xF0) << 4) |
+                                    ((rd - 16) << 4) | (k & 0x0F));
+}
+
+std::uint16_t enc_one_reg(Op op, std::uint8_t rd) {
+  std::uint16_t suffix = 0;
+  switch (op) {
+    case Op::Com: suffix = 0x0; break;
+    case Op::Neg: suffix = 0x1; break;
+    case Op::Swap: suffix = 0x2; break;
+    case Op::Inc: suffix = 0x3; break;
+    case Op::Asr: suffix = 0x5; break;
+    case Op::Lsr: suffix = 0x6; break;
+    case Op::Ror: suffix = 0x7; break;
+    case Op::Dec: suffix = 0xA; break;
+    default: MAVR_REQUIRE(false, "not a one-register op");
+  }
+  return static_cast<std::uint16_t>(with_d5(0x9400, rd) | suffix);
+}
+
+std::uint16_t enc_movw(std::uint8_t rd, std::uint8_t rr) {
+  MAVR_REQUIRE(rd % 2 == 0 && rr % 2 == 0 && rd < 32 && rr < 32,
+               "MOVW uses even register pairs");
+  return static_cast<std::uint16_t>(0x0100 | ((rd / 2) << 4) | (rr / 2));
+}
+
+std::uint16_t enc_adiw(Op op, std::uint8_t rd, std::uint8_t k) {
+  MAVR_REQUIRE(rd == 24 || rd == 26 || rd == 28 || rd == 30,
+               "ADIW/SBIW use r24/r26/r28/r30");
+  MAVR_REQUIRE(k < 64, "ADIW/SBIW immediate out of range");
+  const std::uint16_t base = (op == Op::Adiw) ? 0x9600 : 0x9700;
+  MAVR_REQUIRE(op == Op::Adiw || op == Op::Sbiw, "not ADIW/SBIW");
+  return static_cast<std::uint16_t>(base | ((k & 0x30) << 2) |
+                                    (((rd - 24) / 2) << 4) | (k & 0x0F));
+}
+
+std::uint16_t enc_in(std::uint8_t rd, std::uint8_t io_addr) {
+  MAVR_REQUIRE(io_addr < 64, "IN address out of range");
+  return static_cast<std::uint16_t>(with_d5(0xB000, rd) |
+                                    ((io_addr & 0x30) << 5) | (io_addr & 0x0F));
+}
+
+std::uint16_t enc_out(std::uint8_t io_addr, std::uint8_t rr) {
+  MAVR_REQUIRE(io_addr < 64, "OUT address out of range");
+  return static_cast<std::uint16_t>(with_d5(0xB800, rr) |
+                                    ((io_addr & 0x30) << 5) | (io_addr & 0x0F));
+}
+
+std::uint16_t enc_sbi_cbi(Op op, std::uint8_t io_addr, std::uint8_t bit) {
+  MAVR_REQUIRE(io_addr < 32 && bit < 8, "SBI/CBI operand out of range");
+  const std::uint16_t base = (op == Op::Sbi) ? 0x9A00 : 0x9800;
+  MAVR_REQUIRE(op == Op::Sbi || op == Op::Cbi, "not SBI/CBI");
+  return static_cast<std::uint16_t>(base | (io_addr << 3) | bit);
+}
+
+std::uint16_t enc_push(std::uint8_t rr) {
+  return static_cast<std::uint16_t>(with_d5(0x9200, rr) | 0x0F);
+}
+
+std::uint16_t enc_pop(std::uint8_t rd) {
+  return static_cast<std::uint16_t>(with_d5(0x9000, rd) | 0x0F);
+}
+
+WordPair enc_lds(std::uint8_t rd, std::uint16_t addr) {
+  return {with_d5(0x9000, rd), addr};
+}
+
+WordPair enc_sts(std::uint16_t addr, std::uint8_t rr) {
+  return {with_d5(0x9200, rr), addr};
+}
+
+std::uint16_t enc_ldd(std::uint8_t rd, bool use_y, std::uint8_t q) {
+  MAVR_REQUIRE(q < 64, "displacement out of range");
+  return static_cast<std::uint16_t>(
+      0x8000 | with_d5(0, rd) | (use_y ? 0x8 : 0) | ((q & 0x20) << 8) |
+      ((q & 0x18) << 7) | (q & 0x07));
+}
+
+std::uint16_t enc_std(bool use_y, std::uint8_t q, std::uint8_t rr) {
+  MAVR_REQUIRE(q < 64, "displacement out of range");
+  return static_cast<std::uint16_t>(
+      0x8200 | with_d5(0, rr) | (use_y ? 0x8 : 0) | ((q & 0x20) << 8) |
+      ((q & 0x18) << 7) | (q & 0x07));
+}
+
+std::uint16_t enc_ld_st(Op op, std::uint8_t reg) {
+  std::uint16_t base = 0;
+  switch (op) {
+    case Op::LdZInc: base = 0x9001; break;
+    case Op::LdZDec: base = 0x9002; break;
+    case Op::LdYInc: base = 0x9009; break;
+    case Op::LdYDec: base = 0x900A; break;
+    case Op::LdX: base = 0x900C; break;
+    case Op::LdXInc: base = 0x900D; break;
+    case Op::LdXDec: base = 0x900E; break;
+    case Op::StZInc: base = 0x9201; break;
+    case Op::StZDec: base = 0x9202; break;
+    case Op::StYInc: base = 0x9209; break;
+    case Op::StYDec: base = 0x920A; break;
+    case Op::StX: base = 0x920C; break;
+    case Op::StXInc: base = 0x920D; break;
+    case Op::StXDec: base = 0x920E; break;
+    default: MAVR_REQUIRE(false, "not an indirect load/store op");
+  }
+  return with_d5(base, reg);
+}
+
+std::uint16_t enc_lpm(Op op, std::uint8_t rd) {
+  switch (op) {
+    case Op::LpmR0: return 0x95C8;
+    case Op::ElpmR0: return 0x95D8;
+    case Op::Lpm: return static_cast<std::uint16_t>(with_d5(0x9000, rd) | 0x4);
+    case Op::LpmInc:
+      return static_cast<std::uint16_t>(with_d5(0x9000, rd) | 0x5);
+    case Op::Elpm: return static_cast<std::uint16_t>(with_d5(0x9000, rd) | 0x6);
+    case Op::ElpmInc:
+      return static_cast<std::uint16_t>(with_d5(0x9000, rd) | 0x7);
+    default: MAVR_REQUIRE(false, "not an LPM op");
+  }
+  return 0;
+}
+
+std::uint16_t enc_rel_jump(Op op, std::int32_t word_offset) {
+  MAVR_REQUIRE(word_offset >= -2048 && word_offset <= 2047,
+               "relative jump offset out of range");
+  const std::uint16_t base = (op == Op::Rjmp) ? 0xC000 : 0xD000;
+  MAVR_REQUIRE(op == Op::Rjmp || op == Op::Rcall, "not RJMP/RCALL");
+  return static_cast<std::uint16_t>(base | (word_offset & 0x0FFF));
+}
+
+WordPair enc_abs_jump(Op op, std::uint32_t word_addr) {
+  MAVR_REQUIRE(word_addr < (1u << 22), "absolute jump target out of range");
+  const std::uint16_t base = (op == Op::Jmp) ? 0x940C : 0x940E;
+  MAVR_REQUIRE(op == Op::Jmp || op == Op::Call, "not JMP/CALL");
+  const std::uint32_t hi = word_addr >> 16;  // 6 bits
+  const std::uint16_t first = static_cast<std::uint16_t>(
+      base | ((hi & 0x3E) << 3) | (hi & 1));
+  return {first, static_cast<std::uint16_t>(word_addr & 0xFFFF)};
+}
+
+std::uint16_t enc_branch(Op op, std::uint8_t sreg_bit,
+                         std::int32_t word_offset) {
+  MAVR_REQUIRE(word_offset >= -64 && word_offset <= 63,
+               "branch offset out of range");
+  MAVR_REQUIRE(sreg_bit < 8, "SREG bit out of range");
+  const std::uint16_t base = (op == Op::Brbs) ? 0xF000 : 0xF400;
+  MAVR_REQUIRE(op == Op::Brbs || op == Op::Brbc, "not BRBS/BRBC");
+  return static_cast<std::uint16_t>(base | ((word_offset & 0x7F) << 3) |
+                                    sreg_bit);
+}
+
+std::uint16_t enc_skip_reg(Op op, std::uint8_t reg, std::uint8_t bit) {
+  MAVR_REQUIRE(bit < 8, "bit out of range");
+  const std::uint16_t base = (op == Op::Sbrc) ? 0xFC00 : 0xFE00;
+  MAVR_REQUIRE(op == Op::Sbrc || op == Op::Sbrs, "not SBRC/SBRS");
+  return static_cast<std::uint16_t>(with_d5(base, reg) | bit);
+}
+
+std::uint16_t enc_skip_io(Op op, std::uint8_t io_addr, std::uint8_t bit) {
+  MAVR_REQUIRE(io_addr < 32 && bit < 8, "SBIC/SBIS operand out of range");
+  const std::uint16_t base = (op == Op::Sbic) ? 0x9900 : 0x9B00;
+  MAVR_REQUIRE(op == Op::Sbic || op == Op::Sbis, "not SBIC/SBIS");
+  return static_cast<std::uint16_t>(base | (io_addr << 3) | bit);
+}
+
+std::uint16_t enc_no_operand(Op op) {
+  switch (op) {
+    case Op::Nop: return 0x0000;
+    case Op::Ijmp: return 0x9409;
+    case Op::Eijmp: return 0x9419;
+    case Op::Ret: return 0x9508;
+    case Op::Icall: return 0x9509;
+    case Op::Reti: return 0x9518;
+    case Op::Eicall: return 0x9519;
+    case Op::Sleep: return 0x9588;
+    case Op::Break: return 0x9598;
+    case Op::Wdr: return 0x95A8;
+    case Op::Spm: return 0x95E8;
+    default: MAVR_REQUIRE(false, "not a no-operand op");
+  }
+  return 0;
+}
+
+std::uint16_t enc_bset_bclr(Op op, std::uint8_t bit) {
+  MAVR_REQUIRE(bit < 8, "SREG bit out of range");
+  const std::uint16_t base = (op == Op::Bset) ? 0x9408 : 0x9488;
+  MAVR_REQUIRE(op == Op::Bset || op == Op::Bclr, "not BSET/BCLR");
+  return static_cast<std::uint16_t>(base | (bit << 4));
+}
+
+std::uint16_t enc_bst_bld(Op op, std::uint8_t rd, std::uint8_t bit) {
+  MAVR_REQUIRE(bit < 8, "bit out of range");
+  const std::uint16_t base = (op == Op::Bld) ? 0xF800 : 0xFA00;
+  MAVR_REQUIRE(op == Op::Bld || op == Op::Bst, "not BST/BLD");
+  return static_cast<std::uint16_t>(with_d5(base, rd) | bit);
+}
+
+WordPair retarget_abs_jump(std::uint16_t first, std::uint32_t word_addr) {
+  MAVR_REQUIRE((first & 0xFE0C) == 0x940C, "not a JMP/CALL first word");
+  const Op op = ((first & 0x000E) == 0x000C) ? Op::Jmp : Op::Call;
+  return enc_abs_jump(op, word_addr);
+}
+
+std::uint16_t retarget_rel_jump(std::uint16_t word, std::int32_t word_offset) {
+  MAVR_REQUIRE((word & 0xE000) == 0xC000, "not an RJMP/RCALL word");
+  const Op op = (word & 0x1000) ? Op::Rcall : Op::Rjmp;
+  return enc_rel_jump(op, word_offset);
+}
+
+}  // namespace mavr::toolchain

@@ -1,0 +1,72 @@
+// AVR machine-code encoders — the exact inverse of avr::decode().
+//
+// Used by the assembler to emit firmware and by the MAVR patcher to rewrite
+// CALL/JMP targets while streaming the randomized binary to the application
+// processor (paper §VI-B3).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "avr/instr.hpp"
+#include "support/error.hpp"
+
+namespace mavr::toolchain {
+
+using WordPair = std::pair<std::uint16_t, std::uint16_t>;
+
+// --- Two-register ALU (Rd, Rr in 0..31) -------------------------------------
+std::uint16_t enc_two_reg(avr::Op op, std::uint8_t rd, std::uint8_t rr);
+
+// --- Immediate ALU (Rd in 16..31, K in 0..255) -------------------------------
+std::uint16_t enc_imm(avr::Op op, std::uint8_t rd, std::uint8_t k);
+
+// --- One-register ALU --------------------------------------------------------
+std::uint16_t enc_one_reg(avr::Op op, std::uint8_t rd);
+
+/// MOVW (both register numbers must be even).
+std::uint16_t enc_movw(std::uint8_t rd, std::uint8_t rr);
+
+/// ADIW/SBIW (rd in {24,26,28,30}, k in 0..63).
+std::uint16_t enc_adiw(avr::Op op, std::uint8_t rd, std::uint8_t k);
+
+// --- I/O ----------------------------------------------------------------------
+std::uint16_t enc_in(std::uint8_t rd, std::uint8_t io_addr);
+std::uint16_t enc_out(std::uint8_t io_addr, std::uint8_t rr);
+std::uint16_t enc_sbi_cbi(avr::Op op, std::uint8_t io_addr, std::uint8_t bit);
+
+// --- Load/store ----------------------------------------------------------------
+std::uint16_t enc_push(std::uint8_t rr);
+std::uint16_t enc_pop(std::uint8_t rd);
+WordPair enc_lds(std::uint8_t rd, std::uint16_t addr);
+WordPair enc_sts(std::uint16_t addr, std::uint8_t rr);
+/// LDD/STD with displacement q in 0..63 via Y or Z.
+std::uint16_t enc_ldd(std::uint8_t rd, bool use_y, std::uint8_t q);
+std::uint16_t enc_std(bool use_y, std::uint8_t q, std::uint8_t rr);
+/// LD/ST through X/Y/Z with optional post-increment / pre-decrement.
+std::uint16_t enc_ld_st(avr::Op op, std::uint8_t reg);
+std::uint16_t enc_lpm(avr::Op op, std::uint8_t rd);
+
+// --- Control flow ----------------------------------------------------------------
+/// RJMP/RCALL with signed word offset in [-2048, 2047].
+std::uint16_t enc_rel_jump(avr::Op op, std::int32_t word_offset);
+/// JMP/CALL with absolute word address (22-bit).
+WordPair enc_abs_jump(avr::Op op, std::uint32_t word_addr);
+/// Conditional branch with signed word offset in [-64, 63].
+std::uint16_t enc_branch(avr::Op op, std::uint8_t sreg_bit,
+                         std::int32_t word_offset);
+std::uint16_t enc_skip_reg(avr::Op op, std::uint8_t reg, std::uint8_t bit);
+std::uint16_t enc_skip_io(avr::Op op, std::uint8_t io_addr, std::uint8_t bit);
+std::uint16_t enc_no_operand(avr::Op op);
+std::uint16_t enc_bset_bclr(avr::Op op, std::uint8_t bit);
+std::uint16_t enc_bst_bld(avr::Op op, std::uint8_t rd, std::uint8_t bit);
+
+/// Replaces the target of an existing 2-word JMP/CALL encoding — the core
+/// patcher operation (paper §VI-B3). `first` must already encode JMP or
+/// CALL; only the address bits change.
+WordPair retarget_abs_jump(std::uint16_t first, std::uint32_t word_addr);
+
+/// Replaces the offset of an existing RJMP/RCALL encoding.
+std::uint16_t retarget_rel_jump(std::uint16_t word, std::int32_t word_offset);
+
+}  // namespace mavr::toolchain

@@ -1,0 +1,144 @@
+#include "toolchain/intelhex.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace mavr::toolchain {
+
+namespace {
+
+void append_record(std::string& out, std::uint8_t type, std::uint16_t addr,
+                   std::span<const std::uint8_t> payload) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, ":%02X%04X%02X",
+                static_cast<unsigned>(payload.size()), addr, type);
+  out += buf;
+  std::uint8_t sum = static_cast<std::uint8_t>(payload.size()) +
+                     static_cast<std::uint8_t>(addr >> 8) +
+                     static_cast<std::uint8_t>(addr & 0xFF) + type;
+  for (std::uint8_t b : payload) {
+    std::snprintf(buf, sizeof buf, "%02X", b);
+    out += buf;
+    sum = static_cast<std::uint8_t>(sum + b);
+  }
+  std::snprintf(buf, sizeof buf, "%02X\n",
+                static_cast<std::uint8_t>(0x100 - sum) & 0xFF);
+  out += buf;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string intel_hex_encode(const support::Bytes& data, std::uint32_t base,
+                             std::size_t record_len) {
+  MAVR_REQUIRE(record_len >= 1 && record_len <= 255, "bad record length");
+  std::string out;
+  // Current extended linear address (bits 16..31); bank 0 needs no record.
+  std::uint32_t high = 0;
+  for (std::size_t pos = 0; pos < data.size();) {
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(pos);
+    if ((addr >> 16) != high) {
+      high = addr >> 16;
+      const std::uint8_t ext[2] = {static_cast<std::uint8_t>(high >> 8),
+                                   static_cast<std::uint8_t>(high & 0xFF)};
+      append_record(out, 0x04, 0, ext);
+    }
+    // Do not let a record cross a 64 KiB boundary.
+    std::size_t len = std::min(record_len, data.size() - pos);
+    const std::uint32_t room = 0x10000 - (addr & 0xFFFF);
+    len = std::min<std::size_t>(len, room);
+    append_record(out, 0x00, static_cast<std::uint16_t>(addr & 0xFFFF),
+                  std::span(data).subspan(pos, len));
+    pos += len;
+  }
+  append_record(out, 0x01, 0, {});
+  return out;
+}
+
+HexImage intel_hex_decode(const std::string& text) {
+  HexImage image;
+  bool base_set = false;
+  std::uint32_t high = 0;
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) {
+    if (pos + n > text.size()) throw support::DataError("HEX truncated");
+  };
+  const auto byte = [&]() -> std::uint8_t {
+    need(2);
+    const int hi = hex_digit(text[pos]);
+    const int lo = hex_digit(text[pos + 1]);
+    if (hi < 0 || lo < 0) throw support::DataError("HEX bad digit");
+    pos += 2;
+    return static_cast<std::uint8_t>((hi << 4) | lo);
+  };
+
+  while (pos < text.size()) {
+    if (text[pos] == '\n' || text[pos] == '\r' || text[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] != ':') throw support::DataError("HEX missing ':'");
+    ++pos;
+    const std::uint8_t len = byte();
+    const std::uint8_t addr_hi = byte();
+    const std::uint8_t addr_lo = byte();
+    const std::uint8_t type = byte();
+    std::uint8_t sum = static_cast<std::uint8_t>(len + addr_hi + addr_lo + type);
+    support::Bytes payload;
+    payload.reserve(len);
+    for (unsigned i = 0; i < len; ++i) {
+      const std::uint8_t b = byte();
+      payload.push_back(b);
+      sum = static_cast<std::uint8_t>(sum + b);
+    }
+    const std::uint8_t checksum = byte();
+    if (static_cast<std::uint8_t>(sum + checksum) != 0) {
+      throw support::DataError("HEX checksum mismatch");
+    }
+    switch (type) {
+      case 0x00: {
+        const std::uint32_t addr =
+            high + ((addr_hi << 8) | addr_lo);
+        if (!base_set) {
+          image.base = addr;
+          base_set = true;
+        }
+        if (addr < image.base) throw support::DataError("HEX going backwards");
+        const std::size_t offset = addr - image.base;
+        if (image.data.size() < offset + payload.size()) {
+          image.data.resize(offset + payload.size(), 0xFF);
+        }
+        std::copy(payload.begin(), payload.end(),
+                  image.data.begin() + static_cast<std::ptrdiff_t>(offset));
+        break;
+      }
+      case 0x01:
+        return image;
+      case 0x02:
+        if (payload.size() != 2) throw support::DataError("bad type-02 record");
+        high = (static_cast<std::uint32_t>(payload[0]) << 12) |
+               (static_cast<std::uint32_t>(payload[1]) << 4);
+        break;
+      case 0x04:
+        if (payload.size() != 2) throw support::DataError("bad type-04 record");
+        high = (static_cast<std::uint32_t>(payload[0]) << 24) |
+               (static_cast<std::uint32_t>(payload[1]) << 16);
+        break;
+      case 0x03:
+      case 0x05:
+        break;  // start-address records: ignored
+      default:
+        throw support::DataError("unknown HEX record type");
+    }
+  }
+  throw support::DataError("HEX missing EOF record");
+}
+
+}  // namespace mavr::toolchain

@@ -1,0 +1,31 @@
+// Intel HEX encoding/decoding.
+//
+// The flash utility uploads firmware as Intel HEX; MAVR's preprocessor
+// prepends the symbol blob to the HEX file before it is written to the
+// external flash chip (paper §VI-B2). 256 KiB images need extended linear
+// address (type 04) records; type 02 segment records are accepted on parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace mavr::toolchain {
+
+/// Encodes `data` (starting at address `base`) as Intel HEX text with
+/// `record_len`-byte data records.
+std::string intel_hex_encode(const support::Bytes& data, std::uint32_t base = 0,
+                             std::size_t record_len = 16);
+
+/// Decoded HEX contents: a flat byte image and its base address.
+struct HexImage {
+  support::Bytes data;
+  std::uint32_t base = 0;
+};
+
+/// Parses Intel HEX text. Gaps between records are filled with 0xFF.
+/// Throws support::DataError on malformed records or checksum mismatch.
+HexImage intel_hex_decode(const std::string& text);
+
+}  // namespace mavr::toolchain

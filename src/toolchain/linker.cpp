@@ -1,0 +1,528 @@
+#include "toolchain/linker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "avr/instr.hpp"
+#include "support/error.hpp"
+
+namespace mavr::toolchain {
+
+namespace {
+
+using avr::Op;
+using item::Item;
+
+/// Callee-saved registers in the canonical -mcall-prologues order.
+const std::vector<std::uint8_t>& canonical_saves() {
+  static const std::vector<std::uint8_t> regs = [] {
+    std::vector<std::uint8_t> r;
+    for (std::uint8_t i = 2; i <= 17; ++i) r.push_back(i);
+    r.push_back(28);
+    r.push_back(29);
+    return r;
+  }();
+  return regs;
+}
+
+struct LoweredFn {
+  std::string name;
+  std::vector<Item> items;
+  std::vector<std::uint8_t> call_short;  ///< parallel; 1 = relaxed short form
+  bool movable = true;
+  std::uint32_t word_addr = 0;
+  std::uint32_t word_size = 0;
+  std::unordered_map<int, std::uint32_t> label_offsets;
+  int synth_label = 1'000'000;  ///< label ids for linker-synthesized items
+};
+
+class Linker {
+ public:
+  explicit Linker(LinkInput input) : in_(std::move(input)) {}
+
+  Image run() {
+    synthesize();
+    lower_all();
+    assign_ram();
+    layout();
+    return emit();
+  }
+
+ private:
+  // --- Synthesis -----------------------------------------------------------
+  void synthesize() {
+    MAVR_REQUIRE(std::any_of(in_.functions.begin(), in_.functions.end(),
+                             [&](const AsmFunction& f) {
+                               return f.name == in_.entry;
+                             }),
+                 "entry symbol not defined: " + in_.entry);
+
+    // Interrupt vector table, pinned at flash address 0.
+    {
+      std::vector<std::string> handlers(kVectorSlots, "__bad_interrupt");
+      handlers[0] = "__init";  // reset vector
+      for (const auto& [slot, sym] : in_.vectors) {
+        MAVR_REQUIRE(slot >= 1 && slot < kVectorSlots,
+                     "vector slot out of range");
+        handlers[slot] = sym;
+      }
+      FunctionBuilder fb("__vectors");
+      for (const std::string& handler : handlers) fb.jmp_into(handler, 0);
+      AsmFunction f = fb.take();
+      f.movable = false;
+      synthesized_.push_back(std::move(f));
+    }
+
+    // Startup: SP, zero reg, .data copy, call main.
+    {
+      FunctionBuilder fb("__init");
+      fb.eor(1, 1);  // r1 is the ABI zero register
+      fb.ldi_late(28, LateImm::RamEndLo);
+      fb.out(avr::kIoSpl, 28);
+      fb.ldi_late(29, LateImm::RamEndHi);
+      fb.out(avr::kIoSph, 29);
+      // Z:RAMPZ <- flash byte address of .data initializers.
+      fb.ldi_late(30, LateImm::DataInitLo);
+      fb.ldi_late(31, LateImm::DataInitMid);
+      fb.ldi_late(24, LateImm::DataInitHi);
+      fb.out(avr::kIoRampz, 24);
+      // X <- RAM destination, r25:r24 <- byte count.
+      fb.ldi_late(26, LateImm::RamBaseLo);
+      fb.ldi_late(27, LateImm::RamBaseHi);
+      fb.ldi_late(24, LateImm::DataCountLo);
+      fb.ldi_late(25, LateImm::DataCountHi);
+      Label loop = fb.make_label();
+      Label done = fb.make_label();
+      fb.bind(loop);
+      fb.cp(24, 1);
+      fb.cpc(25, 1);
+      fb.breq(done);
+      fb.elpm_inc(0);
+      fb.st_x_inc(0);
+      fb.sbiw(24, 1);
+      fb.rjmp(loop);
+      fb.bind(done);
+      fb.call(in_.entry);
+      fb.break_();  // halts the simulated core if main ever returns
+      synthesized_.push_back(fb.take());
+    }
+
+    // Default interrupt handler: spin (a hung board, which the master's
+    // feed-line watchdog will catch).
+    {
+      FunctionBuilder fb("__bad_interrupt");
+      Label self = fb.make_label();
+      fb.bind(self);
+      fb.rjmp(self);
+      synthesized_.push_back(fb.take());
+    }
+
+    if (in_.options.call_prologues) {
+      // Shared register-save blob: push all callee-saved registers, carve
+      // the frame (size passed in X), resume at the EIND:Z continuation.
+      FunctionBuilder fb("__prologue_saves__");
+      for (std::uint8_t r : canonical_saves()) fb.push(r);
+      fb.in(28, avr::kIoSpl);
+      fb.in(29, avr::kIoSph);
+      fb.sub(28, 26);
+      fb.sbc(29, 27);
+      fb.in(0, avr::kIoSreg);
+      fb.out(avr::kIoSph, 29);
+      fb.out(avr::kIoSreg, 0);
+      fb.out(avr::kIoSpl, 28);
+      fb.raw(enc_no_operand(Op::Eijmp));
+      synthesized_.push_back(fb.take());
+
+      // Shared restore blob — the "very useful gadget" concentration the
+      // paper warns about (§VI-B1).
+      FunctionBuilder fe("__epilogue_restores__");
+      auto saves = canonical_saves();
+      for (auto it = saves.rbegin(); it != saves.rend(); ++it) fe.pop(*it);
+      fe.ret();
+      synthesized_.push_back(fe.take());
+    }
+
+    // Final layout order: vectors, user functions, then synthesized
+    // runtime support (so the runtime sits at the end like libgcc does).
+    ordered_.push_back(&synthesized_[0]);  // __vectors
+    for (AsmFunction& f : in_.functions) ordered_.push_back(&f);
+    for (std::size_t i = 1; i < synthesized_.size(); ++i) {
+      ordered_.push_back(&synthesized_[i]);
+    }
+  }
+
+  // --- Lowering -------------------------------------------------------------
+  void lower_all() {
+    fns_.reserve(ordered_.size());
+    for (AsmFunction* src : ordered_) {
+      LoweredFn fn;
+      fn.name = src->name;
+      fn.movable = src->movable;
+      for (Item& it : src->items) lower_item(fn, std::move(it));
+      fn.call_short.assign(fn.items.size(), 0);
+      MAVR_REQUIRE(!fn_index_.contains(fn.name),
+                   "duplicate function symbol: " + fn.name);
+      fn_index_.emplace(fn.name, fns_.size());
+      fns_.push_back(std::move(fn));
+    }
+  }
+
+  void lower_item(LoweredFn& fn, Item it) {
+    if (auto* p = std::get_if<item::Prologue>(&it)) {
+      lower_prologue(fn, *p);
+    } else if (auto* e = std::get_if<item::Epilogue>(&it)) {
+      lower_epilogue(fn, *e);
+    } else {
+      fn.items.push_back(std::move(it));
+    }
+  }
+
+  bool uses_blob(const item::Prologue& p) const {
+    return in_.options.call_prologues && p.frame_bytes > 0 &&
+           p.save_regs == canonical_saves();
+  }
+
+  void lower_prologue(LoweredFn& fn, const item::Prologue& p) {
+    if (p.frame_bytes > 0) {
+      MAVR_REQUIRE(std::count(p.save_regs.begin(), p.save_regs.end(), 28) &&
+                       std::count(p.save_regs.begin(), p.save_regs.end(), 29),
+                   "framed function must save r28/r29");
+    }
+    auto raw = [&](std::uint16_t w) { fn.items.push_back(item::Raw{w}); };
+    if (uses_blob(p)) {
+      // ldi X = frame size; EIND:Z = continuation; jmp into the blob.
+      raw(enc_imm(Op::Ldi, 26, static_cast<std::uint8_t>(p.frame_bytes)));
+      raw(enc_imm(Op::Ldi, 27,
+                  static_cast<std::uint8_t>(p.frame_bytes >> 8)));
+      const int cont = fn.synth_label++;
+      fn.items.push_back(item::LdiPm{30, cont, 0});
+      fn.items.push_back(item::LdiPm{31, cont, 1});
+      fn.items.push_back(item::LdiPm{24, cont, 2});
+      raw(enc_out(avr::kIoEind, 24));
+      fn.items.push_back(item::JmpInto{"__prologue_saves__", 0, false});
+      fn.items.push_back(item::Bind{cont});
+      return;
+    }
+    for (std::uint8_t r : p.save_regs) raw(enc_push(r));
+    if (p.frame_bytes > 0) {
+      raw(enc_in(28, avr::kIoSpl));
+      raw(enc_in(29, avr::kIoSph));
+      if (p.frame_bytes <= 63) {
+        raw(enc_adiw(Op::Sbiw, 28, static_cast<std::uint8_t>(p.frame_bytes)));
+      } else {
+        raw(enc_imm(Op::Subi, 28, static_cast<std::uint8_t>(p.frame_bytes)));
+        raw(enc_imm(Op::Sbci, 29,
+                    static_cast<std::uint8_t>(p.frame_bytes >> 8)));
+      }
+      raw(enc_in(0, avr::kIoSreg));
+      raw(enc_out(avr::kIoSph, 29));
+      raw(enc_out(avr::kIoSreg, 0));
+      raw(enc_out(avr::kIoSpl, 28));
+    }
+  }
+
+  void lower_epilogue(LoweredFn& fn, const item::Epilogue& e) {
+    auto raw = [&](std::uint16_t w) { fn.items.push_back(item::Raw{w}); };
+    if (e.frame_bytes > 0) {
+      // Frame teardown — this is the paper's stk_move gadget (Fig. 4):
+      // out SPH / out SREG / out SPL followed by pops and ret.
+      if (e.frame_bytes <= 63) {
+        raw(enc_adiw(Op::Adiw, 28, static_cast<std::uint8_t>(e.frame_bytes)));
+      } else {
+        const std::uint16_t neg = static_cast<std::uint16_t>(-e.frame_bytes);
+        raw(enc_imm(Op::Subi, 28, static_cast<std::uint8_t>(neg)));
+        raw(enc_imm(Op::Sbci, 29, static_cast<std::uint8_t>(neg >> 8)));
+      }
+      raw(enc_in(0, avr::kIoSreg));
+      raw(enc_out(avr::kIoSph, 29));
+      raw(enc_out(avr::kIoSreg, 0));
+      raw(enc_out(avr::kIoSpl, 28));
+    }
+    if (in_.options.call_prologues && e.frame_bytes > 0 &&
+        e.save_regs == canonical_saves()) {
+      fn.items.push_back(item::JmpInto{"__epilogue_restores__", 0, false});
+      return;  // the blob pops and rets
+    }
+    for (auto it = e.save_regs.rbegin(); it != e.save_regs.rend(); ++it) {
+      raw(enc_pop(*it));
+    }
+    raw(enc_no_operand(Op::Ret));
+  }
+
+  // --- RAM layout -------------------------------------------------------------
+  void assign_ram() {
+    std::uint32_t cursor = in_.mcu->sram_base;
+    for (const data::Entry& entry : in_.data) {
+      MAVR_REQUIRE(!ram_index_.contains(entry.name),
+                   "duplicate data symbol: " + entry.name);
+      ram_index_.emplace(entry.name, static_cast<std::uint16_t>(cursor));
+      cursor += static_cast<std::uint32_t>((entry.init.size() + 1) & ~1ull);
+    }
+    MAVR_REQUIRE(cursor + 1024 <= in_.mcu->ramend(),
+                 "data section leaves no room for the stack");
+  }
+
+  std::uint16_t ram_addr(const std::string& sym, std::uint16_t offset) const {
+    auto it = ram_index_.find(sym);
+    MAVR_REQUIRE(it != ram_index_.end(), "undefined data symbol: " + sym);
+    return static_cast<std::uint16_t>(it->second + offset);
+  }
+
+  // --- Code layout and relaxation ---------------------------------------------
+  static std::uint32_t item_words(const Item& it, bool call_is_short) {
+    struct Sizer {
+      bool short_call;
+      std::uint32_t operator()(const item::Raw&) const { return 1; }
+      std::uint32_t operator()(const item::CallSym&) const {
+        return short_call ? 1 : 2;
+      }
+      std::uint32_t operator()(const item::JmpInto&) const { return 2; }
+      std::uint32_t operator()(const item::LdsSts&) const { return 2; }
+      std::uint32_t operator()(const item::LdiData&) const { return 1; }
+      std::uint32_t operator()(const item::LdiPm&) const { return 1; }
+      std::uint32_t operator()(const item::LdiLate&) const { return 1; }
+      std::uint32_t operator()(const item::LocalBranch&) const { return 1; }
+      std::uint32_t operator()(const item::LocalRjmp&) const { return 1; }
+      std::uint32_t operator()(const item::Bind&) const { return 0; }
+      std::uint32_t operator()(const item::Prologue&) const {
+        throw support::InvariantError("prologue survived lowering");
+      }
+      std::uint32_t operator()(const item::Epilogue&) const {
+        throw support::InvariantError("epilogue survived lowering");
+      }
+    };
+    return std::visit(Sizer{call_is_short}, it);
+  }
+
+  const LoweredFn& fn_named(const std::string& name) const {
+    auto it = fn_index_.find(name);
+    MAVR_REQUIRE(it != fn_index_.end(), "undefined symbol: " + name);
+    return fns_[it->second];
+  }
+
+  void layout() {
+    for (int iteration = 0; iteration < 16; ++iteration) {
+      std::uint32_t cursor = 0;
+      for (LoweredFn& fn : fns_) {
+        if (in_.options.align_functions) cursor = (cursor + 1) & ~1u;
+        fn.word_addr = cursor;
+        std::uint32_t off = 0;
+        for (std::size_t i = 0; i < fn.items.size(); ++i) {
+          if (const auto* b = std::get_if<item::Bind>(&fn.items[i])) {
+            fn.label_offsets[b->label_id] = off;
+          } else {
+            off += item_words(fn.items[i], fn.call_short[i] != 0);
+          }
+        }
+        fn.word_size = off;
+        cursor += off;
+      }
+      text_words_ = cursor;
+
+      bool changed = false;
+      if (in_.options.relax) {
+        for (LoweredFn& fn : fns_) {
+          std::uint32_t off = 0;
+          for (std::size_t i = 0; i < fn.items.size(); ++i) {
+            if (const auto* c = std::get_if<item::CallSym>(&fn.items[i])) {
+              const std::uint32_t site = fn.word_addr + off;
+              const std::int64_t dist =
+                  static_cast<std::int64_t>(fn_named(c->sym).word_addr) -
+                  static_cast<std::int64_t>(site + 1);
+              const bool fits = dist >= -2048 && dist <= 2047;
+              if (fits != (fn.call_short[i] != 0)) {
+                fn.call_short[i] = fits ? 1 : 0;
+                changed = true;
+              }
+            }
+            if (!std::holds_alternative<item::Bind>(fn.items[i])) {
+              off += item_words(fn.items[i], fn.call_short[i] != 0);
+            }
+          }
+        }
+      }
+      if (!changed) return;
+    }
+    throw support::InvariantError("relaxation did not converge");
+  }
+
+  // --- Emission ----------------------------------------------------------------
+  std::uint8_t late_value(LateImm which) const {
+    const std::uint32_t init = text_words_ * 2 + in_.reserve_padding_bytes;
+    const std::uint32_t count = data_bytes_;
+    const std::uint32_t ram = in_.mcu->sram_base;
+    const std::uint32_t ramend = in_.mcu->ramend();
+    switch (which) {
+      case LateImm::DataInitLo: return static_cast<std::uint8_t>(init);
+      case LateImm::DataInitMid: return static_cast<std::uint8_t>(init >> 8);
+      case LateImm::DataInitHi: return static_cast<std::uint8_t>(init >> 16);
+      case LateImm::DataCountLo: return static_cast<std::uint8_t>(count);
+      case LateImm::DataCountHi: return static_cast<std::uint8_t>(count >> 8);
+      case LateImm::RamBaseLo: return static_cast<std::uint8_t>(ram);
+      case LateImm::RamBaseHi: return static_cast<std::uint8_t>(ram >> 8);
+      case LateImm::RamEndLo: return static_cast<std::uint8_t>(ramend);
+      case LateImm::RamEndHi: return static_cast<std::uint8_t>(ramend >> 8);
+    }
+    return 0;
+  }
+
+  Image emit() {
+    // Total .data size must be known before emitting __init's LDIs.
+    data_bytes_ = 0;
+    for (const data::Entry& e : in_.data) {
+      data_bytes_ += static_cast<std::uint32_t>((e.init.size() + 1) & ~1ull);
+    }
+
+    Image image;
+    image.options = in_.options;
+    std::vector<std::uint16_t> words(text_words_, 0xFFFF);
+
+    for (LoweredFn& fn : fns_) {
+      std::uint32_t off = fn.word_addr;
+      for (std::size_t i = 0; i < fn.items.size(); ++i) {
+        const Item& it = fn.items[i];
+        if (const auto* raw = std::get_if<item::Raw>(&it)) {
+          words[off++] = raw->w;
+        } else if (const auto* c = std::get_if<item::CallSym>(&it)) {
+          const std::uint32_t target = fn_named(c->sym).word_addr;
+          if (fn.call_short[i]) {
+            words[off] = enc_rel_jump(
+                c->is_call ? Op::Rcall : Op::Rjmp,
+                static_cast<std::int32_t>(target) -
+                    static_cast<std::int32_t>(off + 1));
+            off += 1;
+          } else {
+            auto [w1, w2] =
+                enc_abs_jump(c->is_call ? Op::Call : Op::Jmp, target);
+            words[off] = w1;
+            words[off + 1] = w2;
+            off += 2;
+          }
+        } else if (const auto* j = std::get_if<item::JmpInto>(&it)) {
+          MAVR_REQUIRE(j->byte_offset % 2 == 0, "odd jump offset");
+          const std::uint32_t target =
+              fn_named(j->sym).word_addr + j->byte_offset / 2;
+          auto [w1, w2] = enc_abs_jump(j->is_call ? Op::Call : Op::Jmp, target);
+          words[off] = w1;
+          words[off + 1] = w2;
+          off += 2;
+        } else if (const auto* ls = std::get_if<item::LdsSts>(&it)) {
+          const std::uint16_t addr = ram_addr(ls->sym, ls->offset);
+          auto [w1, w2] = ls->store ? enc_sts(addr, ls->reg)
+                                    : enc_lds(ls->reg, addr);
+          words[off] = w1;
+          words[off + 1] = w2;
+          off += 2;
+        } else if (const auto* ld = std::get_if<item::LdiData>(&it)) {
+          const std::uint16_t addr = ram_addr(ld->sym, ld->offset);
+          words[off++] = enc_imm(
+              Op::Ldi, ld->reg,
+              static_cast<std::uint8_t>(ld->high ? (addr >> 8) : addr));
+        } else if (const auto* lp = std::get_if<item::LdiPm>(&it)) {
+          auto lbl = fn.label_offsets.find(lp->label_id);
+          MAVR_REQUIRE(lbl != fn.label_offsets.end(), "unbound label");
+          const std::uint32_t value = fn.word_addr + lbl->second;
+          words[off] = enc_imm(
+              Op::Ldi, lp->reg,
+              static_cast<std::uint8_t>(value >> (8 * lp->part)));
+          image.ldi_code_pointers.push_back(off * 2);
+          off += 1;
+        } else if (const auto* ll = std::get_if<item::LdiLate>(&it)) {
+          words[off++] = enc_imm(Op::Ldi, ll->reg, late_value(ll->which));
+        } else if (const auto* br = std::get_if<item::LocalBranch>(&it)) {
+          auto lbl = fn.label_offsets.find(br->label_id);
+          MAVR_REQUIRE(lbl != fn.label_offsets.end(), "unbound label");
+          const std::int32_t delta =
+              static_cast<std::int32_t>(fn.word_addr + lbl->second) -
+              static_cast<std::int32_t>(off + 1);
+          words[off++] =
+              enc_branch(br->set ? Op::Brbs : Op::Brbc, br->bit, delta);
+        } else if (const auto* rj = std::get_if<item::LocalRjmp>(&it)) {
+          auto lbl = fn.label_offsets.find(rj->label_id);
+          MAVR_REQUIRE(lbl != fn.label_offsets.end(), "unbound label");
+          const std::int32_t delta =
+              static_cast<std::int32_t>(fn.word_addr + lbl->second) -
+              static_cast<std::int32_t>(off + 1);
+          words[off++] = enc_rel_jump(Op::Rjmp, delta);
+        } else if (std::holds_alternative<item::Bind>(it)) {
+          // no bytes
+        } else {
+          throw support::InvariantError("unlowered pseudo item at emit");
+        }
+      }
+      MAVR_CHECK(off == fn.word_addr + fn.word_size,
+                 "emitted size mismatch in " + fn.name);
+    }
+
+    // Flatten text to bytes.
+    MAVR_REQUIRE(in_.reserve_padding_bytes % 2 == 0,
+                 "padding reserve must be even");
+    image.bytes.reserve(words.size() * 2 + in_.reserve_padding_bytes +
+                        data_bytes_);
+    for (std::uint16_t w : words) {
+      image.bytes.push_back(static_cast<std::uint8_t>(w & 0xFF));
+      image.bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+    }
+    image.text_end = static_cast<std::uint32_t>(image.bytes.size());
+    // Reserved randomization-padding gap (erased-flash bytes).
+    image.bytes.insert(image.bytes.end(), in_.reserve_padding_bytes, 0xFF);
+    image.data_init_offset = static_cast<std::uint32_t>(image.bytes.size());
+    image.data_ram_base = in_.mcu->sram_base;
+    image.data_bytes = data_bytes_;
+
+    // Append .data initializers, resolving code pointers.
+    for (const data::Entry& entry : in_.data) {
+      const std::uint32_t base = static_cast<std::uint32_t>(image.bytes.size());
+      image.bytes.insert(image.bytes.end(), entry.init.begin(),
+                         entry.init.end());
+      if (entry.init.size() % 2 != 0) image.bytes.push_back(0);
+      for (const auto& [slot_off, ref] : entry.code_ptrs) {
+        const LoweredFn& target = fn_named(ref.sym);
+        MAVR_REQUIRE(ref.byte_offset % 2 == 0, "odd code pointer offset");
+        const std::uint32_t value = target.word_addr + ref.byte_offset / 2;
+        support::store_u16_le(image.bytes, base + slot_off,
+                              static_cast<std::uint16_t>(value & 0xFFFF));
+        image.bytes[base + slot_off + 2] =
+            static_cast<std::uint8_t>(value >> 16);
+        image.pointer_slots.push_back(
+            PointerSlot{.image_offset = base + slot_off, .width = 3});
+      }
+    }
+
+    MAVR_REQUIRE(image.bytes.size() <= in_.mcu->flash_bytes,
+                 "image exceeds flash size");
+
+    // Symbols (already ascending: layout order).
+    for (const LoweredFn& fn : fns_) {
+      Symbol s;
+      s.name = fn.name;
+      s.addr = fn.word_addr * 2;
+      s.size = fn.word_size * 2;
+      s.kind = (fn.name == "__vectors") ? Symbol::Kind::Object
+                                        : Symbol::Kind::Function;
+      s.movable = fn.movable;
+      image.symbols.push_back(std::move(s));
+    }
+    for (const data::Entry& entry : in_.data) {
+      image.data_symbols.push_back(
+          DataSymbol{entry.name, ram_addr(entry.name, 0),
+                     static_cast<std::uint16_t>(entry.init.size())});
+    }
+    return image;
+  }
+
+  LinkInput in_;
+  std::vector<AsmFunction> synthesized_;
+  std::vector<AsmFunction*> ordered_;
+  std::vector<LoweredFn> fns_;
+  std::unordered_map<std::string, std::size_t> fn_index_;
+  std::unordered_map<std::string, std::uint16_t> ram_index_;
+  std::uint32_t text_words_ = 0;
+  std::uint32_t data_bytes_ = 0;
+};
+
+}  // namespace
+
+Image link(LinkInput input) { return Linker(std::move(input)).run(); }
+
+}  // namespace mavr::toolchain

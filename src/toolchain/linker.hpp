@@ -1,0 +1,53 @@
+// The MAVR toolchain linker.
+//
+// Lays function blocks out in flash, resolves relocations, and implements
+// the two link-time behaviours the paper's §VI-B1 revolves around:
+//
+//  * **relaxation** (GNU ld default, `--no-relax` to disable): CALL/JMP are
+//    shrunk to RCALL/RJMP when the target is within ±2K words. MAVR
+//    requires relaxation *off* so every inter-function transfer is a
+//    patchable long-form absolute instruction;
+//  * **call-prologue consolidation** (`-mcall-prologues`): framed functions
+//    share one __prologue_saves__/__epilogue_restores__ blob, reached via
+//    LDI-encoded code pointers — which concentrates gadgets and defeats the
+//    patcher, so MAVR requires it *off* too.
+//
+// The linker also synthesizes the interrupt-vector table (pinned at address
+// 0, never randomized) and the __init startup code that sets SP, copies
+// .data from flash and calls main.
+#pragma once
+
+#include <vector>
+
+#include "avr/mcu.hpp"
+#include "toolchain/assembler.hpp"
+#include "toolchain/image.hpp"
+
+namespace mavr::toolchain {
+
+struct LinkInput {
+  std::vector<AsmFunction> functions;  ///< layout order = input order
+  std::vector<data::Entry> data;
+  /// Interrupt-vector assignments: slot index (1..kVectorSlots-1) →
+  /// handler symbol. Slot 0 is always the reset vector (__init);
+  /// unassigned slots jump to __bad_interrupt.
+  std::vector<std::pair<std::uint32_t, std::string>> vectors;
+  /// Erased-flash gap reserved between the code and the .data
+  /// initializers. Gives the MAVR randomizer room to insert random
+  /// padding between function blocks (the §VIII-B entropy extension)
+  /// without moving the data region that __init's immediates reference.
+  std::uint32_t reserve_padding_bytes = 0;
+  const avr::McuSpec* mcu = &avr::atmega2560();
+  ToolchainOptions options;
+  std::string entry = "main";  ///< must name one of `functions`
+};
+
+/// Links the input into a flat firmware image.
+/// Throws support::PreconditionError on undefined symbols, out-of-range
+/// branches, or an image that exceeds the part's flash.
+Image link(LinkInput input);
+
+/// Number of interrupt-vector slots emitted (ATmega2560 has 57).
+inline constexpr std::uint32_t kVectorSlots = 57;
+
+}  // namespace mavr::toolchain

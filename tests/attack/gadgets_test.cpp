@@ -1,0 +1,229 @@
+// Gadget-finder unit tests on hand-assembled code, plus ROP chain layout
+// verification at the byte level.
+#include <gtest/gtest.h>
+
+#include "attack/gadgets.hpp"
+#include "attack/rop.hpp"
+#include "avr/mcu.hpp"
+#include "toolchain/encode.hpp"
+
+namespace mavr {
+namespace {
+
+using namespace mavr::toolchain;
+using attack::GadgetFinder;
+using attack::RopChainBuilder;
+using attack::StkMoveGadget;
+using attack::VictimFrame;
+using attack::Write3;
+using attack::WriteMemGadget;
+using avr::Op;
+
+support::Bytes words_to_bytes(std::initializer_list<std::uint16_t> words) {
+  support::Bytes out;
+  for (std::uint16_t w : words) {
+    out.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+  return out;
+}
+
+TEST(GadgetFinder, RecognizesFig4StkMove) {
+  const support::Bytes code = words_to_bytes({
+      enc_adiw(Op::Adiw, 28, 8),      // teardown prefix (not part of gadget)
+      enc_in(0, avr::kIoSreg),
+      enc_out(avr::kIoSph, 29),       // <-- gadget entry
+      enc_out(avr::kIoSreg, 0),
+      enc_out(avr::kIoSpl, 28),
+      enc_pop(29),
+      enc_pop(28),
+      enc_pop(16),
+      enc_no_operand(Op::Ret),
+  });
+  GadgetFinder finder(code, static_cast<std::uint32_t>(code.size()));
+  ASSERT_EQ(finder.stk_moves().size(), 1u);
+  const StkMoveGadget& g = finder.stk_moves()[0];
+  EXPECT_EQ(g.entry_byte_addr, 4u);  // at the out SPH
+  EXPECT_EQ(g.pops, std::vector<std::uint8_t>({29, 28, 16}));
+  EXPECT_EQ(finder.census().ret_gadgets, 1u);
+}
+
+TEST(GadgetFinder, RecognizesFig5WriteMem) {
+  std::initializer_list<std::uint16_t> words = {
+      enc_std(true, 1, 5), enc_std(true, 2, 6), enc_std(true, 3, 7),
+      enc_pop(29), enc_pop(28), enc_pop(17), enc_pop(16), enc_pop(15),
+      enc_pop(14), enc_pop(13), enc_pop(12), enc_pop(11), enc_pop(10),
+      enc_pop(9),  enc_pop(8),  enc_pop(7),  enc_pop(6),  enc_pop(5),
+      enc_pop(4),  enc_no_operand(Op::Ret),
+  };
+  const support::Bytes code = words_to_bytes(words);
+  GadgetFinder finder(code, static_cast<std::uint32_t>(code.size()));
+  ASSERT_EQ(finder.write_mems().size(), 1u);
+  const WriteMemGadget& g = finder.write_mems()[0];
+  EXPECT_EQ(g.store_entry_byte_addr, 0u);
+  EXPECT_EQ(g.pop_entry_byte_addr, 6u);
+  EXPECT_EQ(g.pops.size(), 16u);
+  EXPECT_EQ(g.pops[0], 29);
+  EXPECT_EQ(g.pops.back(), 4);
+  EXPECT_EQ(finder.census().pop_chain_gadgets, 1u);
+}
+
+TEST(GadgetFinder, RejectsNearMisses) {
+  // Wrong store order (std Y+2 first) must not match write_mem.
+  const support::Bytes wrong_order = words_to_bytes({
+      enc_std(true, 2, 5), enc_std(true, 1, 6), enc_std(true, 3, 7),
+      enc_pop(29), enc_pop(28), enc_pop(7), enc_pop(6), enc_pop(5),
+      enc_no_operand(Op::Ret),
+  });
+  GadgetFinder f1(wrong_order, static_cast<std::uint32_t>(wrong_order.size()));
+  EXPECT_TRUE(f1.write_mems().empty());
+
+  // stk_move without the SPL write must not match.
+  const support::Bytes no_spl = words_to_bytes({
+      enc_out(avr::kIoSph, 29), enc_out(avr::kIoSreg, 0),
+      enc_out(0x20, 28), enc_pop(28), enc_no_operand(Op::Ret),
+  });
+  GadgetFinder f2(no_spl, static_cast<std::uint32_t>(no_spl.size()));
+  EXPECT_TRUE(f2.stk_moves().empty());
+
+  // A pop run that cannot reload Y is not a chainable write_mem.
+  const support::Bytes no_y = words_to_bytes({
+      enc_std(true, 1, 5), enc_std(true, 2, 6), enc_std(true, 3, 7),
+      enc_pop(7), enc_pop(6), enc_pop(5), enc_pop(4), enc_pop(3),
+      enc_no_operand(Op::Ret),
+  });
+  GadgetFinder f3(no_y, static_cast<std::uint32_t>(no_y.size()));
+  EXPECT_TRUE(f3.write_mems().empty());
+}
+
+TEST(GadgetFinder, ScanStopsAtTextEnd) {
+  support::Bytes code = words_to_bytes({enc_no_operand(Op::Ret)});
+  const support::Bytes data = words_to_bytes({enc_no_operand(Op::Ret)});
+  code.insert(code.end(), data.begin(), data.end());
+  GadgetFinder finder(code, 2);  // text ends before the second "ret"
+  EXPECT_EQ(finder.census().ret_gadgets, 1u);
+}
+
+// --- RopChainBuilder byte-level layout ---------------------------------------
+
+class RopLayoutTest : public ::testing::Test {
+ protected:
+  RopLayoutTest() {
+    stk_.entry_byte_addr = 0x5D64;
+    stk_.pops = {29, 28, 16};
+    wm_.store_entry_byte_addr = 0x1B284;
+    wm_.pop_entry_byte_addr = 0x1B28A;
+    wm_.pops = {29, 28, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4};
+    frame_.p = 0x21D0;
+    frame_.frame_bytes = 98;
+    frame_.buffer_addr = 0x216D;
+    frame_.ram_end = 0x21FF;
+    frame_.regs_at_entry[28] = 0xAA;
+    frame_.regs_at_entry[29] = 0x21;
+    frame_.regs_at_entry[16] = 0x07;
+    frame_.ret_bytes = {0x00, 0x01, 0x87};
+  }
+
+  StkMoveGadget stk_;
+  WriteMemGadget wm_;
+  VictimFrame frame_;
+};
+
+TEST_F(RopLayoutTest, V2PayloadStructure) {
+  RopChainBuilder builder(stk_, wm_, frame_);
+  const Write3 write{0x020E, {0x34, 0x12, 0x00}};
+  const support::Bytes payload = builder.v2_payload({write});
+
+  // Total: frame + saved Y (2) + return address (3).
+  ASSERT_EQ(payload.size(), 98u + 2 + 3);
+  // Saved-Y slots hold the pivot target buffer-1, high byte first
+  // (pop r29 from P-1 then pop r28 from P).
+  EXPECT_EQ(payload[98], (frame_.buffer_addr - 1) >> 8);
+  EXPECT_EQ(payload[99], (frame_.buffer_addr - 1) & 0xFF);
+  // Overwritten return address = stk_move entry as a 3-byte BE word addr.
+  const std::uint32_t word = 0x5D64 / 2;
+  EXPECT_EQ(payload[100], (word >> 16) & 0xFF);
+  EXPECT_EQ(payload[101], (word >> 8) & 0xFF);
+  EXPECT_EQ(payload[102], word & 0xFF);
+  // Chain: |stk.pops| junk then the wm pop-entry address.
+  const std::uint32_t wm_word = 0x1B28A / 2;
+  EXPECT_EQ(payload[3], (wm_word >> 16) & 0xFF);
+  EXPECT_EQ(payload[4], (wm_word >> 8) & 0xFF);
+  EXPECT_EQ(payload[5], wm_word & 0xFF);
+}
+
+TEST_F(RopLayoutTest, V2ChainEncodesWriteValues) {
+  RopChainBuilder builder(stk_, wm_, frame_);
+  const Write3 write{0x020E, {0x34, 0x12, 0x00}};
+  const support::Bytes payload = builder.v2_payload({write});
+  // First wm chunk starts after junk(3) + entry(3). Pops are
+  // [r29 r28 r17 ... r4]; r29/r28 take Y = addr-1; r7/r6/r5 take values.
+  const std::size_t chunk = 6;
+  EXPECT_EQ(payload[chunk + 0], (0x020E - 1) >> 8);    // r29
+  EXPECT_EQ(payload[chunk + 1], (0x020E - 1) & 0xFF);  // r28
+  // pops index: r7 at 12, r6 at 13, r5 at 14.
+  EXPECT_EQ(payload[chunk + 12], 0x00);  // r7 = byte2
+  EXPECT_EQ(payload[chunk + 13], 0x12);  // r6 = byte1
+  EXPECT_EQ(payload[chunk + 14], 0x34);  // r5 = byte0
+  // Next gadget: the store entry.
+  const std::uint32_t store_word = 0x1B284 / 2;
+  EXPECT_EQ(payload[chunk + 16], (store_word >> 16) & 0xFF);
+  EXPECT_EQ(payload[chunk + 17], (store_word >> 8) & 0xFF);
+  EXPECT_EQ(payload[chunk + 18], store_word & 0xFF);
+}
+
+TEST_F(RopLayoutTest, CapacityMatchesBufferArithmetic) {
+  RopChainBuilder builder(stk_, wm_, frame_);
+  // fixed = 3 junk + 3 entry + 19 pivot round = 25; repairs = 2 rounds.
+  // (98 - 25) / 19 = 3 rounds -> 1 attacker write.
+  EXPECT_EQ(builder.v2_write_capacity(), 1u);
+  // And v2 with more writes than capacity must refuse.
+  std::vector<Write3> too_many(4, Write3{0x0300, {1, 2, 3}});
+  EXPECT_THROW(builder.v2_payload(too_many), support::PreconditionError);
+}
+
+TEST_F(RopLayoutTest, V3PacketCountScalesWithChainSize) {
+  RopChainBuilder builder(stk_, wm_, frame_);
+  std::vector<Write3> writes;
+  for (int i = 0; i < 6; ++i) {
+    writes.push_back(Write3{static_cast<std::uint16_t>(0x0300 + 3 * i),
+                            {1, 2, 3}});
+  }
+  const support::Bytes chain = builder.staged_chain(0x1B00, writes);
+  const auto packets = builder.v3_payloads(0x1B00, writes);
+  // ceil(chain/3) staging packets (capacity 1 write each) + 1 trigger.
+  EXPECT_EQ(packets.size(), (chain.size() + 2) / 3 + 1);
+  // Trigger pivots straight to the staging area.
+  const support::Bytes& trigger = packets.back();
+  EXPECT_EQ(trigger[98], (0x1B00 - 1) >> 8);
+  EXPECT_EQ(trigger[99], (0x1B00 - 1) & 0xFF);
+}
+
+TEST_F(RopLayoutTest, RepairRestoresCapturedState) {
+  RopChainBuilder builder(stk_, wm_, frame_);
+  const support::Bytes chain =
+      builder.staged_chain(0x1B00, {Write3{0x0300, {9, 9, 9}}});
+  // The repair writes land in the chain as wm rounds; the final round
+  // loads Y_pivot = P - |stk.pops| and returns to the stk gadget.
+  const std::size_t last_round = chain.size() - 19;
+  const std::uint16_t y_pivot = frame_.p - 3;
+  EXPECT_EQ(chain[last_round + 0], y_pivot >> 8);
+  EXPECT_EQ(chain[last_round + 1], y_pivot & 0xFF);
+  const std::uint32_t stk_word = 0x5D64 / 2;
+  EXPECT_EQ(chain[last_round + 16], (stk_word >> 16) & 0xFF);
+  EXPECT_EQ(chain[last_round + 17], (stk_word >> 8) & 0xFF);
+  EXPECT_EQ(chain[last_round + 18], stk_word & 0xFF);
+}
+
+TEST(WritesFor, SplitsWithOverlappingTail) {
+  const auto writes = attack::writes_for(0x1000, {1, 2, 3, 4, 5});
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0].addr, 0x1000);
+  EXPECT_EQ(writes[0].bytes, (std::array<std::uint8_t, 3>{1, 2, 3}));
+  EXPECT_EQ(writes[1].addr, 0x1002);  // overlaps byte 2 consistently
+  EXPECT_EQ(writes[1].bytes, (std::array<std::uint8_t, 3>{3, 4, 5}));
+  EXPECT_THROW(attack::writes_for(0, {1, 2}), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mavr

@@ -1,0 +1,197 @@
+// Edge cases of the AVR core: decode fuzzing, skip interactions, extended
+// addressing (RAMPZ/EIND), SP wrap behaviour, and the SREG bit ops.
+#include <gtest/gtest.h>
+
+#include "avr/cpu.hpp"
+#include "avr/decode.hpp"
+#include "support/rng.hpp"
+#include "toolchain/encode.hpp"
+
+namespace mavr {
+namespace {
+
+using avr::Cpu;
+using avr::Op;
+using namespace mavr::toolchain;
+
+TEST(DecodeFuzz, NeverThrowsAndSizesAreSane) {
+  support::Rng rng(0xF022);
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint16_t w1 = static_cast<std::uint16_t>(rng.next());
+    const std::uint16_t w2 = static_cast<std::uint16_t>(rng.next());
+    const avr::Instr in = avr::decode(w1, w2);
+    ASSERT_TRUE(in.size_words == 1 || in.size_words == 2);
+    if (in.op != Op::Invalid) {
+      ASSERT_LT(in.rd, 32);
+      ASSERT_LT(in.rr, 32);
+      ASSERT_LT(in.bit, 8);
+    }
+  }
+}
+
+TEST(ExecFuzz, RandomProgramsNeverCrashTheHost) {
+  // Execute random flash contents: the core must either run, fault
+  // cleanly or stop — never corrupt the simulator itself.
+  support::Rng rng(0xEC5EC5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Cpu cpu(avr::atmega2560());
+    support::Bytes image(4096);
+    for (auto& b : image) b = static_cast<std::uint8_t>(rng.next());
+    cpu.flash().program(image);
+    cpu.reset();
+    cpu.run(50'000);
+    ASSERT_TRUE(cpu.state() == avr::CpuState::Running ||
+                cpu.state() == avr::CpuState::Faulted ||
+                cpu.state() == avr::CpuState::Stopped);
+  }
+}
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  EdgeTest() : cpu_(avr::atmega2560()) {}
+
+  void load(std::initializer_list<std::uint16_t> words) {
+    support::Bytes bytes;
+    for (std::uint16_t w : words) {
+      bytes.push_back(static_cast<std::uint8_t>(w & 0xFF));
+      bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+    }
+    cpu_.flash().erase();
+    cpu_.flash().program(bytes);
+    cpu_.reset();
+  }
+
+  void step(int n) {
+    for (int i = 0; i < n; ++i) cpu_.step();
+  }
+
+  Cpu cpu_;
+};
+
+TEST_F(EdgeTest, ElpmReadsAboveSixtyFourK) {
+  // Plant a marker byte above the 64 KiB boundary and fetch it via
+  // RAMPZ:Z (the path __init uses to copy .data on big images).
+  support::Bytes page(256, 0);
+  page[3] = 0xBE;
+  cpu_.flash().program_page(0x20000, page);
+  load({enc_imm(Op::Ldi, 24, 0x02), enc_out(avr::kIoRampz, 24),
+        enc_imm(Op::Ldi, 30, 0x03), enc_imm(Op::Ldi, 31, 0x00),
+        enc_lpm(Op::Elpm, 25)});
+  // program() erased… reload the marker page after load().
+  support::Bytes page2(256, 0);
+  page2[3] = 0xBE;
+  cpu_.flash().program_page(0x20000, page2);
+  step(5);
+  EXPECT_EQ(cpu_.reg(25), 0xBE);
+}
+
+TEST_F(EdgeTest, ElpmIncCarriesIntoRampz) {
+  load({enc_imm(Op::Ldi, 24, 0x00), enc_out(avr::kIoRampz, 24),
+        enc_imm(Op::Ldi, 30, 0xFF), enc_imm(Op::Ldi, 31, 0xFF),
+        enc_lpm(Op::ElpmInc, 25)});
+  step(5);
+  EXPECT_EQ(cpu_.reg_pair(30), 0x0000);
+  EXPECT_EQ(cpu_.data().raw(avr::kAddrRampz), 0x01);
+}
+
+TEST_F(EdgeTest, SbicSkipsOnIoBit) {
+  // I/O 0x15 (data 0x35) is plain RAM; clear => SBIC skips.
+  load({enc_sbi_cbi(Op::Cbi, 0x15, 3), enc_skip_io(Op::Sbic, 0x15, 3),
+        enc_no_operand(Op::Break), enc_no_operand(Op::Nop)});
+  step(3);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Running);  // break skipped
+  // And SBIS skips when set.
+  load({enc_sbi_cbi(Op::Sbi, 0x15, 3), enc_skip_io(Op::Sbis, 0x15, 3),
+        enc_no_operand(Op::Break), enc_no_operand(Op::Nop)});
+  step(3);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Running);
+}
+
+TEST_F(EdgeTest, SkipNotTakenExecutesNext) {
+  load({enc_imm(Op::Ldi, 24, 0x00), enc_skip_reg(Op::Sbrs, 24, 0),
+        enc_no_operand(Op::Break)});
+  step(3);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Stopped);  // bit clear: no skip
+}
+
+TEST_F(EdgeTest, EijmpCombinesEindAndZ) {
+  load({enc_imm(Op::Ldi, 24, 0x01), enc_out(avr::kIoEind, 24),
+        enc_imm(Op::Ldi, 30, 0x22), enc_imm(Op::Ldi, 31, 0x11),
+        enc_no_operand(Op::Eijmp)});
+  step(5);
+  EXPECT_EQ(cpu_.pc(), 0x11122u);
+}
+
+TEST_F(EdgeTest, BsetBclrDriveAllFlags) {
+  load({enc_bset_bclr(Op::Bset, avr::kC), enc_bset_bclr(Op::Bset, avr::kT),
+        enc_bset_bclr(Op::Bset, avr::kI), enc_bset_bclr(Op::Bclr, avr::kC)});
+  step(4);
+  EXPECT_FALSE(cpu_.flag(avr::kC));
+  EXPECT_TRUE(cpu_.flag(avr::kT));
+  EXPECT_TRUE(cpu_.flag(avr::kI));
+}
+
+TEST_F(EdgeTest, StackPointerWrapsHarmlessly) {
+  // Pushing with SP at 0 wraps into the top of the data space; the core
+  // keeps running (real hardware corrupts state the same way) — relevant
+  // because V1-style attacks run the stack off its end.
+  load({enc_push(0), enc_push(0), enc_push(0), enc_no_operand(Op::Break)});
+  cpu_.set_sp(0x0001);
+  step(4);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu_.sp(), 0xFFFE);  // wrapped 16-bit SP
+}
+
+TEST_F(EdgeTest, SwapHalvesAndAndiOri) {
+  load({enc_imm(Op::Ldi, 24, 0xA5), enc_one_reg(Op::Swap, 24),
+        enc_imm(Op::Andi, 24, 0xF0), enc_imm(Op::Ori, 24, 0x0C)});
+  step(4);
+  EXPECT_EQ(cpu_.reg(24), 0x5C);
+}
+
+TEST_F(EdgeTest, CpiBranchlessRangeCheckIdiom) {
+  // The firmware's clamp idiom: cpi; brcs (unsigned less-than).
+  load({enc_imm(Op::Ldi, 20, 97), enc_imm(Op::Cpi, 20, 97),
+        enc_branch(Op::Brbs, avr::kC, 1),  // brcs +1 (97 < 97 is false)
+        enc_no_operand(Op::Break), enc_no_operand(Op::Nop)});
+  step(4);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Stopped);  // not taken
+  load({enc_imm(Op::Ldi, 20, 50), enc_imm(Op::Cpi, 20, 97),
+        enc_branch(Op::Brbs, avr::kC, 1), enc_no_operand(Op::Break),
+        enc_no_operand(Op::Nop)});
+  step(4);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Running);  // taken, break skipped
+}
+
+TEST_F(EdgeTest, MulClearsCarryOnSmallProduct) {
+  load({enc_imm(Op::Ldi, 24, 2), enc_imm(Op::Ldi, 25, 3),
+        enc_two_reg(Op::Mul, 24, 25)});
+  step(3);
+  EXPECT_FALSE(cpu_.flag(avr::kC));
+  EXPECT_FALSE(cpu_.flag(avr::kZ));
+  load({enc_imm(Op::Ldi, 24, 0), enc_imm(Op::Ldi, 25, 99),
+        enc_two_reg(Op::Mul, 24, 25)});
+  step(3);
+  EXPECT_TRUE(cpu_.flag(avr::kZ));
+}
+
+TEST_F(EdgeTest, SpmAndWdrAreBenign) {
+  load({enc_no_operand(Op::Wdr), enc_no_operand(Op::Spm),
+        enc_no_operand(Op::Sleep), enc_no_operand(Op::Break)});
+  step(4);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Stopped);
+}
+
+TEST_F(EdgeTest, RetiSetsInterruptFlag) {
+  load({enc_no_operand(Op::Reti)});
+  cpu_.set_sp(0x21F0);
+  cpu_.data().set_raw(0x21F1, 0x00);
+  cpu_.data().set_raw(0x21F2, 0x00);
+  cpu_.data().set_raw(0x21F3, 0x10);
+  step(1);
+  EXPECT_TRUE(cpu_.flag(avr::kI));
+  EXPECT_EQ(cpu_.pc(), 0x10u);
+}
+
+}  // namespace
+}  // namespace mavr

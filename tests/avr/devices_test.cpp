@@ -1,0 +1,175 @@
+// Peripheral model tests: UART pacing/status, output-port tracing (feed
+// line + servos), input ports, the I/O bus and the memory models.
+#include <gtest/gtest.h>
+
+#include "avr/cpu.hpp"
+#include "avr/gpio.hpp"
+#include "avr/uart.hpp"
+#include "toolchain/encode.hpp"
+
+namespace mavr {
+namespace {
+
+using avr::Cpu;
+using avr::Op;
+using namespace mavr::toolchain;
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : cpu_(avr::atmega2560()),
+        uart_(cpu_.io(), avr::usart0_config(16'000'000, 115200)) {}
+
+  void load(std::initializer_list<std::uint16_t> words) {
+    support::Bytes bytes;
+    for (std::uint16_t w : words) {
+      bytes.push_back(static_cast<std::uint8_t>(w & 0xFF));
+      bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+    }
+    cpu_.flash().erase();
+    cpu_.flash().program(bytes);
+    cpu_.reset();
+  }
+
+  Cpu cpu_;
+  avr::Uart uart_;
+};
+
+TEST_F(DeviceTest, UartRxIsPacedAtBaudRate) {
+  // 115200 baud, 10 bits/byte at 16 MHz -> ~1388 cycles per byte.
+  const std::uint8_t msg[] = {0x42};
+  uart_.host_send(msg);
+  // Poll loop: lds status; sbrs bit7; rjmp back; lds data; break.
+  load({enc_lds(24, 0xC0).first, enc_lds(24, 0xC0).second,
+        enc_skip_reg(Op::Sbrs, 24, 7), enc_rel_jump(Op::Rjmp, -4),
+        enc_lds(25, 0xC6).first, enc_lds(25, 0xC6).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(10'000);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu_.reg(25), 0x42);
+  // The byte must not have been readable before one byte-time elapsed.
+  EXPECT_GT(cpu_.cycles(), uart_.cycles_for_bytes(1));
+}
+
+TEST_F(DeviceTest, UartTxCollects) {
+  load({enc_imm(Op::Ldi, 24, 0xAA), enc_sts(0xC6, 24).first,
+        enc_sts(0xC6, 24).second, enc_imm(Op::Ldi, 24, 0xBB),
+        enc_sts(0xC6, 24).first, enc_sts(0xC6, 24).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(100);
+  EXPECT_EQ(uart_.host_take_tx(), support::Bytes({0xAA, 0xBB}));
+  EXPECT_TRUE(uart_.host_take_tx().empty());  // drained
+}
+
+TEST_F(DeviceTest, UartBacklogAndTiming) {
+  support::Bytes burst(100, 0x55);
+  uart_.host_send(burst);
+  EXPECT_EQ(uart_.rx_backlog(), 100u);
+  // 100 bytes at 115200 baud = 100 * 1388 cycles.
+  EXPECT_NEAR(static_cast<double>(uart_.cycles_for_bytes(100)),
+              100.0 * 16e6 * 10 / 115200, 100.0);
+}
+
+TEST_F(DeviceTest, OutputPortRecordsHistory) {
+  avr::OutputPort port(cpu_.io(), 0x160, /*record_history=*/true);
+  load({enc_imm(Op::Ldi, 24, 1), enc_sts(0x160, 24).first,
+        enc_sts(0x160, 24).second, enc_imm(Op::Ldi, 24, 2),
+        enc_sts(0x160, 24).first, enc_sts(0x160, 24).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(100);
+  ASSERT_EQ(port.history().size(), 2u);
+  EXPECT_EQ(port.history()[0].value, 1);
+  EXPECT_EQ(port.history()[1].value, 2);
+  EXPECT_LT(port.history()[0].cycle, port.history()[1].cycle);
+  EXPECT_EQ(port.value(), 2);
+  EXPECT_EQ(port.write_count(), 2u);
+}
+
+TEST_F(DeviceTest, FeedLineTracksLastWrite) {
+  avr::OutputPort feed(cpu_.io(), 0x150, /*record_history=*/false);
+  EXPECT_EQ(feed.last_write_cycle(), 0u);
+  load({0x0000, 0x0000, enc_imm(Op::Ldi, 24, 1), enc_sts(0x150, 24).first,
+        enc_sts(0x150, 24).second, enc_no_operand(Op::Break)});
+  cpu_.run(100);
+  EXPECT_GT(feed.last_write_cycle(), 0u);
+  EXPECT_TRUE(feed.history().empty());  // history off
+}
+
+TEST_F(DeviceTest, InputPortReadableByFirmware) {
+  avr::InputPort sensor(cpu_.io(), 0x120);
+  sensor.set(0x7E);
+  load({enc_lds(24, 0x120).first, enc_lds(24, 0x120).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(100);
+  EXPECT_EQ(cpu_.reg(24), 0x7E);
+}
+
+TEST_F(DeviceTest, DuplicateHandlerRejected) {
+  avr::InputPort a(cpu_.io(), 0x170);
+  EXPECT_THROW(avr::InputPort(cpu_.io(), 0x170), support::PreconditionError);
+}
+
+TEST(ProgramMemory, EraseProgramGeneration) {
+  avr::ProgramMemory flash(avr::atmega2560());
+  EXPECT_EQ(flash.word(0), 0xFFFF);
+  const std::uint64_t g0 = flash.generation();
+  flash.program(support::Bytes({0x12, 0x34, 0x56, 0x78}));
+  EXPECT_EQ(flash.word(0), 0x3412);
+  EXPECT_EQ(flash.word(1), 0x7856);
+  EXPECT_GT(flash.generation(), g0);
+  flash.erase();
+  EXPECT_EQ(flash.word(0), 0xFFFF);
+}
+
+TEST(ProgramMemory, ByteViewIsLittleEndian) {
+  avr::ProgramMemory flash(avr::atmega2560());
+  flash.program(support::Bytes({0xAB, 0xCD}));
+  EXPECT_EQ(flash.byte(0), 0xAB);
+  EXPECT_EQ(flash.byte(1), 0xCD);
+}
+
+TEST(ProgramMemory, PcWrapsAtFlashEnd) {
+  avr::ProgramMemory flash(avr::atmega2560());
+  EXPECT_EQ(flash.word(flash.size_words()), flash.word(0));
+}
+
+TEST(ProgramMemory, OversizeImageRejected) {
+  avr::ProgramMemory flash(avr::atmega2560());
+  EXPECT_THROW(flash.program(support::Bytes(256 * 1024 + 1)),
+               support::PreconditionError);
+  EXPECT_THROW(flash.program_page(1, support::Bytes(4)),
+               support::PreconditionError);  // odd address
+}
+
+TEST(DataMemory, SnapshotWraps) {
+  avr::Cpu cpu(avr::atmega2560());
+  cpu.data().set_raw(0x21FF, 0xEE);
+  cpu.data().set_raw(0x0000, 0x11);
+  const support::Bytes snap = cpu.data().snapshot(0x21FF, 2);
+  EXPECT_EQ(snap[0], 0xEE);
+  EXPECT_EQ(snap[1], 0x11);  // wrapped to address 0
+}
+
+TEST(Eeprom, ReadWriteBounds) {
+  avr::Eeprom eeprom(avr::atmega2560());
+  EXPECT_EQ(eeprom.size(), 4096u);
+  EXPECT_EQ(eeprom.read(0), 0xFF);  // erased state
+  eeprom.write(123, 0x42);
+  EXPECT_EQ(eeprom.read(123), 0x42);
+  EXPECT_THROW(eeprom.read(4096), support::PreconditionError);
+  EXPECT_THROW(eeprom.write(4096, 0), support::PreconditionError);
+}
+
+TEST(Mcu, SpecConstants) {
+  const avr::McuSpec& mega = avr::atmega2560();
+  EXPECT_EQ(mega.flash_bytes, 256u * 1024);
+  EXPECT_EQ(mega.flash_words(), 128u * 1024);
+  EXPECT_EQ(mega.ramend(), 0x21FFu);
+  EXPECT_EQ(mega.pc_push_bytes, 3);
+  const avr::McuSpec& master = avr::atmega1284p();
+  EXPECT_EQ(master.flash_bytes, 128u * 1024);
+  EXPECT_EQ(master.pc_push_bytes, 2);
+}
+
+}  // namespace
+}  // namespace mavr

@@ -1,0 +1,185 @@
+// Interrupt delivery: AVR semantics at the core level, the firmware's
+// timer ISR, vector patching under randomization, and the property that
+// the stealthy ROP chain survives ISRs firing mid-chain (ISRs only write
+// below SP, which the chain has already consumed).
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+#include "avr/cpu.hpp"
+#include "avr/timer.hpp"
+#include "defense/patcher.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+#include "toolchain/encode.hpp"
+
+namespace mavr {
+namespace {
+
+using avr::Cpu;
+using avr::Op;
+using namespace mavr::toolchain;
+
+TEST(Interrupts, DeliveredOnlyWithIFlagSet) {
+  Cpu cpu(avr::atmega2560());
+  bool pending = true;
+  cpu.set_irq_line(4, [&] {
+    const bool was = pending;
+    pending = false;
+    return was;
+  });
+  support::Bytes image;
+  for (int i = 0; i < 64; ++i) {
+    image.push_back(0x00);
+    image.push_back(0x00);  // nops
+  }
+  cpu.flash().program(image);
+  cpu.reset();
+  // I clear: no delivery.
+  cpu.run(20);
+  EXPECT_EQ(cpu.interrupts_taken(), 0u);
+  EXPECT_TRUE(pending);
+  // Set I: next instruction boundary delivers to vector slot 4 (word 8).
+  cpu.set_sreg(static_cast<std::uint8_t>(1u << avr::kI));
+  const std::uint16_t sp0 = cpu.sp();
+  cpu.step();
+  EXPECT_EQ(cpu.interrupts_taken(), 1u);
+  EXPECT_EQ(cpu.pc(), 8u);
+  EXPECT_EQ(cpu.sp(), sp0 - 3);           // 3-byte return address pushed
+  EXPECT_FALSE(cpu.flag(avr::kI));        // I cleared on entry
+  EXPECT_FALSE(pending);                  // line acked
+}
+
+TEST(Interrupts, RetiResumesAndReenables) {
+  Cpu cpu(avr::atmega2560());
+  bool pending = true;
+  cpu.set_irq_line(4, [&] {
+    const bool was = pending;
+    pending = false;
+    return was;
+  });
+  // Word 0..7: nops; vector slot 4 at word 8: reti.
+  std::vector<std::uint16_t> words(16, 0x0000);
+  words[8] = enc_no_operand(Op::Reti);
+  support::Bytes image;
+  for (std::uint16_t w : words) {
+    image.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    image.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+  cpu.flash().program(image);
+  cpu.reset();
+  cpu.set_sreg(static_cast<std::uint8_t>(1u << avr::kI));
+  cpu.step();  // nop at 0, then IRQ -> pc 8
+  ASSERT_EQ(cpu.pc(), 8u);
+  cpu.step();  // reti
+  EXPECT_EQ(cpu.pc(), 1u);  // resumed after the interrupted nop
+  EXPECT_TRUE(cpu.flag(avr::kI));
+  EXPECT_EQ(cpu.sp(), avr::atmega2560().ramend());
+}
+
+TEST(Interrupts, TimerFiresPeriodically) {
+  Cpu cpu(avr::atmega2560());
+  avr::Timer timer(cpu.io(), 1000);
+  support::Bytes nops(8192, 0x00);
+  cpu.flash().program(nops);
+  cpu.reset();
+  cpu.run(5000);
+  EXPECT_GE(timer.fires(), 4u);
+  EXPECT_LE(timer.fires(), 6u);
+}
+
+TEST(Interrupts, FirmwareTickCounterAdvances) {
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(false), toolchain::ToolchainOptions::mavr());
+  sim::Board board;
+  board.flash_image(fw.image.bytes);
+  board.run_cycles(1'000'000);
+  ASSERT_EQ(board.cpu().state(), avr::CpuState::Running);
+  EXPECT_GT(board.cpu().interrupts_taken(), 50u);
+  const toolchain::DataSymbol* ticks = fw.image.find_data("g_ticks");
+  ASSERT_NE(ticks, nullptr);
+  const std::uint16_t count = static_cast<std::uint16_t>(
+      board.cpu().data().raw(ticks->ram_addr) |
+      (board.cpu().data().raw(ticks->ram_addr + 1) << 8));
+  // ~1M cycles / 10k per tick = ~100 ticks.
+  EXPECT_NEAR(count, 100, 15);
+}
+
+TEST(Interrupts, IsrVectorIsPatchedUnderRandomization) {
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(false), toolchain::ToolchainOptions::mavr());
+  const toolchain::SymbolBlob blob =
+      toolchain::SymbolBlob::from_image(fw.image);
+  support::Rng rng(0x157);
+  const defense::RandomizeResult result =
+      defense::randomize_image(fw.image.bytes, blob, rng);
+
+  auto ticks_after = [&](std::span<const std::uint8_t> image) {
+    sim::Board board;
+    board.flash_image(image);
+    board.run_cycles(1'500'000);
+    EXPECT_EQ(board.cpu().state(), avr::CpuState::Running);
+    const toolchain::DataSymbol* ticks = fw.image.find_data("g_ticks");
+    return static_cast<std::uint16_t>(
+        board.cpu().data().raw(ticks->ram_addr) |
+        (board.cpu().data().raw(ticks->ram_addr + 1) << 8));
+  };
+  // Identical interrupt cadence despite the ISR block having moved.
+  EXPECT_EQ(ticks_after(fw.image.bytes), ticks_after(result.image));
+  EXPECT_GT(ticks_after(result.image), 100u);
+}
+
+TEST(Interrupts, StealthyAttackSurvivesIsrMidChain) {
+  // The timer fires every 10k cycles; the V2 chain takes far longer than
+  // that to deliver and execute, so ISRs *will* interleave with it. The
+  // chain must still land its write and return cleanly — ISR pushes go
+  // below SP, into already-consumed chain bytes.
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(true), toolchain::ToolchainOptions::mavr());
+  const attack::AttackPlan plan = attack::analyze(fw.image);
+
+  sim::Board board;
+  board.flash_image(fw.image.bytes);
+  board.run_cycles(300'000);
+  sim::GroundStation gcs(board);
+
+  const std::uint64_t irqs_before = board.cpu().interrupts_taken();
+  const attack::Write3 write{plan.gyro_cal_addr, {0x55, 0xAA, 0x00}};
+  gcs.send_raw_param_set(plan.builder().v2_payload({write}));
+  board.run_cycles(4'000'000);
+
+  EXPECT_GT(board.cpu().interrupts_taken(), irqs_before + 100);
+  EXPECT_EQ(board.cpu().data().raw(plan.gyro_cal_addr), 0x55);
+  EXPECT_EQ(board.cpu().data().raw(plan.gyro_cal_addr + 1), 0xAA);
+  EXPECT_EQ(board.cpu().state(), avr::CpuState::Running);
+  const std::uint64_t feeds = board.feed_line().write_count();
+  board.run_cycles(500'000);
+  EXPECT_GT(board.feed_line().write_count(), feeds);
+}
+
+TEST(Interrupts, LowestVectorWinsWhenMultiplePending) {
+  Cpu cpu(avr::atmega2560());
+  bool hi_pending = true, lo_pending = true;
+  cpu.set_irq_line(9, [&] {
+    const bool was = hi_pending;
+    hi_pending = false;
+    return was;
+  });
+  cpu.set_irq_line(3, [&] {
+    const bool was = lo_pending;
+    lo_pending = false;
+    return was;
+  });
+  support::Bytes nops(64, 0x00);
+  cpu.flash().program(nops);
+  cpu.reset();
+  cpu.set_sreg(static_cast<std::uint8_t>(1u << avr::kI));
+  cpu.step();
+  EXPECT_EQ(cpu.pc(), 6u);  // slot 3 dispatched first
+  EXPECT_FALSE(lo_pending);
+  EXPECT_TRUE(hi_pending);  // still queued
+}
+
+}  // namespace
+}  // namespace mavr

@@ -1,0 +1,79 @@
+// Security-evaluation model (paper §V-D, §VII-A1, §VIII-B): analytic
+// expectations and Monte-Carlo validation for small, enumerable n.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "defense/bruteforce.hpp"
+
+namespace mavr {
+namespace {
+
+using defense::entropy_bits;
+using defense::expected_attempts_fixed;
+using defense::expected_attempts_rerandomized;
+using defense::permutation_count;
+using defense::simulate_fixed;
+using defense::simulate_rerandomized;
+
+TEST(BruteForce, EntropyMatchesPaperFigure) {
+  // §VIII-B: ArduRover's 800 symbols generate 6567 bits of entropy.
+  EXPECT_NEAR(entropy_bits(800), 6567.0, 1.0);
+}
+
+TEST(BruteForce, EntropyForAllEvaluatedApps) {
+  EXPECT_GT(entropy_bits(917), entropy_bits(800));   // ArduPlane
+  EXPECT_GT(entropy_bits(1030), entropy_bits(917));  // ArduCopter
+  // All far beyond any computational brute-force budget.
+  EXPECT_GT(entropy_bits(800), 4096.0);
+}
+
+TEST(BruteForce, SmallFactorialsExact) {
+  EXPECT_NEAR(permutation_count(3), 6.0, 1e-9);
+  EXPECT_NEAR(permutation_count(5), 120.0, 1e-6);
+  EXPECT_NEAR(entropy_bits(4), std::log2(24.0), 1e-9);
+}
+
+TEST(BruteForce, AnalyticExpectations) {
+  // Fixed permutation with elimination: E = (N+1)/2 (paper §V-D).
+  EXPECT_DOUBLE_EQ(expected_attempts_fixed(24.0), 12.5);
+  // MAVR re-randomizes after every failure: E = N.
+  EXPECT_DOUBLE_EQ(expected_attempts_rerandomized(24.0), 24.0);
+}
+
+class BruteForceMonteCarlo : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BruteForceMonteCarlo, FixedPermutationMatchesAnalytic) {
+  const std::uint32_t n = GetParam();
+  support::Rng rng(0xBF00 + n);
+  const auto stats = simulate_fixed(n, 4000, rng);
+  const double expected = expected_attempts_fixed(permutation_count(n));
+  EXPECT_NEAR(stats.mean_attempts, expected, expected * 0.10);
+  // With elimination the worst case is bounded by N.
+  EXPECT_LE(stats.max_attempts, permutation_count(n));
+}
+
+TEST_P(BruteForceMonteCarlo, ReRandomizedMatchesAnalytic) {
+  const std::uint32_t n = GetParam();
+  support::Rng rng(0xBF10 + n);
+  const auto stats = simulate_rerandomized(n, 4000, rng);
+  const double expected =
+      expected_attempts_rerandomized(permutation_count(n));
+  EXPECT_NEAR(stats.mean_attempts, expected, expected * 0.10);
+}
+
+TEST_P(BruteForceMonteCarlo, ReRandomizationCostsTheAttackerMore) {
+  const std::uint32_t n = GetParam();
+  support::Rng rng_a(0xBF20 + n), rng_b(0xBF30 + n);
+  const auto fixed = simulate_fixed(n, 3000, rng_a);
+  const auto moving = simulate_rerandomized(n, 3000, rng_b);
+  // The paper's headline: re-randomization roughly doubles the mean
+  // effort ((N+1)/2 → N) and removes the worst-case bound.
+  EXPECT_GT(moving.mean_attempts, fixed.mean_attempts * 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, BruteForceMonteCarlo,
+                         ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace mavr

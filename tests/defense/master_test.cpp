@@ -1,0 +1,200 @@
+// MasterProcessor unit behaviour: watchdog timing, boot scheduling, flash
+// endurance, bootloader interplay and error paths.
+#include <gtest/gtest.h>
+
+#include "defense/external_flash.hpp"
+#include "defense/master.hpp"
+#include "defense/preprocess.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "toolchain/assembler.hpp"
+#include "toolchain/linker.hpp"
+
+namespace mavr {
+namespace {
+
+using defense::ExternalFlash;
+using defense::MasterConfig;
+using defense::MasterProcessor;
+
+const std::string& good_hex() {
+  static const std::string hex = defense::preprocess_to_hex(
+      firmware::generate(firmware::testapp(false),
+                         toolchain::ToolchainOptions::mavr())
+          .image);
+  return hex;
+}
+
+/// A pathological application that boots but never feeds the watchdog.
+const std::string& silent_hex() {
+  static const std::string hex = [] {
+    toolchain::FunctionBuilder main_fn("main");
+    toolchain::Label spin = main_fn.make_label();
+    main_fn.bind(spin);
+    main_fn.rjmp(spin);
+    toolchain::LinkInput in;
+    in.functions.push_back(main_fn.take());
+    return defense::preprocess_to_hex(toolchain::link(std::move(in)));
+  }();
+  return hex;
+}
+
+TEST(Master, BootWithoutUploadRefused) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterProcessor master(flash, board, MasterConfig{});
+  EXPECT_THROW(master.boot(), support::PreconditionError);
+}
+
+TEST(Master, CorruptHexRefused) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterProcessor master(flash, board, MasterConfig{});
+  EXPECT_THROW(master.host_upload_hex("not hex at all"),
+               support::DataError);
+}
+
+TEST(Master, NoFalsePositiveOnHealthyBoard) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterConfig cfg;
+  cfg.watchdog_timeout_cycles = 200'000;
+  MasterProcessor master(flash, board, cfg);
+  master.host_upload_hex(good_hex());
+  master.boot();
+  for (int i = 0; i < 100; ++i) {
+    board.run_cycles(50'000);
+    EXPECT_FALSE(master.service());
+  }
+  EXPECT_EQ(master.attacks_detected(), 0u);
+  EXPECT_EQ(master.randomizations(), 1u);
+}
+
+TEST(Master, DetectsSilentApplicationWithinTimeout) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterConfig cfg;
+  cfg.watchdog_timeout_cycles = 100'000;
+  MasterProcessor master(flash, board, cfg);
+  master.host_upload_hex(silent_hex());
+  master.boot();
+
+  // Before the timeout elapses: no detection.
+  board.run_cycles(50'000);
+  EXPECT_FALSE(master.service());
+  // After: detection fires exactly once per quiet period (the reflash
+  // resets the clock).
+  board.run_cycles(200'000);
+  EXPECT_TRUE(master.service());
+  EXPECT_EQ(master.attacks_detected(), 1u);
+  EXPECT_EQ(master.randomizations(), 2u);
+  // Immediately after the reflash the grace period holds.
+  EXPECT_FALSE(master.service());
+}
+
+TEST(Master, DetectsFaultedCoreImmediately) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterConfig cfg;
+  cfg.watchdog_timeout_cycles = 10'000'000;  // timeout alone would not fire
+  MasterProcessor master(flash, board, cfg);
+  master.host_upload_hex(good_hex());
+  master.boot();
+  board.run_cycles(200'000);
+  // Plant a reserved opcode in a spare flash page and jump to it —
+  // the way garbage execution typically ends.
+  support::Bytes page(board.cpu().spec().flash_page_bytes, 0x00);
+  for (std::size_t i = 0; i < page.size(); i += 2) page[i] = 0x01;
+  board.cpu().flash().program_page(0x3F000, page);  // 0x0001: reserved
+  board.cpu().set_pc(0x3F000 / 2);
+  board.run_cycles(10'000);
+  ASSERT_TRUE(board.crashed());
+  EXPECT_TRUE(master.service());
+  EXPECT_GE(master.attacks_detected(), 1u);
+  EXPECT_EQ(board.cpu().state(), avr::CpuState::Running);  // recovered
+}
+
+TEST(Master, ServiceIsNoopInBootloader) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterProcessor master(flash, board, MasterConfig{});
+  master.host_upload_hex(good_hex());
+  master.boot();
+  board.bootloader_enter();
+  EXPECT_FALSE(master.service());
+  board.bootloader_run_application();
+}
+
+TEST(Master, BootScheduleHonored) {
+  for (std::uint32_t n : {1u, 2u, 7u}) {
+    ExternalFlash flash;
+    sim::Board board;
+    MasterConfig cfg;
+    cfg.randomize_every_n_boots = n;
+    MasterProcessor master(flash, board, cfg);
+    master.host_upload_hex(good_hex());
+    for (int b = 0; b < 14; ++b) master.boot();
+    EXPECT_EQ(master.randomizations(), (14 + n - 1) / n) << "n=" << n;
+  }
+}
+
+TEST(Master, EnduranceBudgetDecreases) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterProcessor master(flash, board, MasterConfig{});
+  master.host_upload_hex(good_hex());
+  const std::int64_t fresh = master.endurance_remaining();
+  EXPECT_EQ(fresh, 10'000);
+  master.boot();
+  master.boot();
+  master.boot();
+  EXPECT_EQ(master.endurance_remaining(), fresh - 3);
+}
+
+TEST(Master, PermutationDiffersAcrossSeeds) {
+  auto run = [](std::uint64_t seed) {
+    ExternalFlash flash;
+    sim::Board board;
+    MasterConfig cfg;
+    cfg.seed = seed;
+    MasterProcessor master(flash, board, cfg);
+    master.host_upload_hex(good_hex());
+    master.boot();
+    return master.current_permutation();
+  };
+  EXPECT_NE(run(1), run(2));
+  EXPECT_EQ(run(3), run(3));  // deterministic per seed
+}
+
+TEST(Master, RandomizedBoardsBehaveIdenticallyAcrossSeeds) {
+  // Stronger than layout inequality: any two permutations must produce
+  // the same observable flight behaviour.
+  auto trace = [](std::uint64_t seed) {
+    ExternalFlash flash;
+    sim::Board board;
+    MasterConfig cfg;
+    cfg.seed = seed;
+    MasterProcessor master(flash, board, cfg);
+    master.host_upload_hex(good_hex());
+    master.boot();
+    board.set_gyro(0, 321);
+    board.run_cycles(2'000'000);
+    return std::make_tuple(board.servo(0).history(),
+                           board.feed_line().write_count(),
+                           board.telemetry().host_take_tx());
+  };
+  EXPECT_EQ(trace(11), trace(222));
+}
+
+TEST(Master, SymbolCountRequiresUpload) {
+  ExternalFlash flash;
+  sim::Board board;
+  MasterProcessor master(flash, board, MasterConfig{});
+  EXPECT_EQ(master.symbol_count(), 0u);
+  master.host_upload_hex(good_hex());
+  EXPECT_GT(master.symbol_count(), 50u);
+}
+
+}  // namespace
+}  // namespace mavr

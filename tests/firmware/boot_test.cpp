@@ -1,0 +1,116 @@
+// End-to-end smoke tests: generated firmware must boot on the simulated
+// board, run its flight loop, feed the watchdog line, answer MAVLink and
+// stream parseable telemetry.
+#include <gtest/gtest.h>
+
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+
+namespace mavr {
+namespace {
+
+using firmware::Globals;
+
+class BootTest : public ::testing::Test {
+ protected:
+  firmware::Firmware fw_ = firmware::generate(
+      firmware::testapp(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+  sim::Board board_;
+
+  void flash_and_boot() {
+    board_.flash_image(fw_.image.bytes);
+    board_.run_cycles(200'000);  // boot + a few loop iterations
+  }
+
+  std::uint16_t ram_addr(const char* name) {
+    const toolchain::DataSymbol* sym = fw_.image.find_data(name);
+    EXPECT_NE(sym, nullptr) << name;
+    return sym->ram_addr;
+  }
+
+  std::uint8_t ram(const char* name, std::uint16_t off = 0) {
+    return board_.cpu().data().raw(ram_addr(name) + off);
+  }
+};
+
+TEST_F(BootTest, BootsAndKeepsRunning) {
+  flash_and_boot();
+  EXPECT_EQ(board_.cpu().state(), avr::CpuState::Running)
+      << "fault: " << board_.cpu().fault().reason << " at pc 0x" << std::hex
+      << board_.cpu().fault().pc_words * 2;
+  EXPECT_GT(board_.cpu().instructions_retired(), 1000u);
+}
+
+TEST_F(BootTest, FeedsTheWatchdogLine) {
+  flash_and_boot();
+  const std::uint64_t feeds_before = board_.feed_line().write_count();
+  board_.run_cycles(200'000);
+  EXPECT_GT(board_.feed_line().write_count(), feeds_before + 5);
+}
+
+TEST_F(BootTest, ControlLoopTracksGyro) {
+  flash_and_boot();
+  board_.set_gyro(0, 0);
+  board_.run_cycles(100'000);
+  const std::uint8_t neutral = board_.servo(0).value();
+  EXPECT_EQ(neutral, 128);  // zero error → neutral command
+
+  board_.set_gyro(0, 400);  // rolling right → servo must counteract
+  board_.run_cycles(100'000);
+  const std::uint8_t correcting = board_.servo(0).value();
+  EXPECT_LT(correcting, 128);
+}
+
+TEST_F(BootTest, SendsParseableTelemetry) {
+  flash_and_boot();
+  sim::GroundStation gcs(board_);
+  board_.set_gyro(0, 123);
+  board_.run_cycles(3'000'000);
+  gcs.poll();
+  ASSERT_TRUE(gcs.last_imu().has_value());
+  EXPECT_EQ(gcs.last_imu()->xgyro, 123);
+  EXPECT_EQ(gcs.garbage_bytes(), 0u);
+}
+
+TEST_F(BootTest, HandlesHeartbeat) {
+  flash_and_boot();
+  sim::GroundStation gcs(board_);
+  EXPECT_EQ(ram(Globals::kHbCount), 0);
+  gcs.send_heartbeat();
+  board_.run_cycles(1'000'000);
+  EXPECT_EQ(ram(Globals::kHbCount), 1);
+  gcs.send_heartbeat();
+  board_.run_cycles(1'000'000);
+  EXPECT_EQ(ram(Globals::kHbCount), 2);
+}
+
+TEST_F(BootTest, ParamSetWithinBoundsIsApplied) {
+  flash_and_boot();
+  sim::GroundStation gcs(board_);
+  mavlink::ParamSet set;
+  set.param_value = 1.0f;  // 0x3F800000
+  gcs.send_param_set(set);
+  board_.run_cycles(1'500'000);
+  EXPECT_EQ(board_.cpu().state(), avr::CpuState::Running);
+  // Little-endian float bits land in g_params[0..3].
+  EXPECT_EQ(ram(Globals::kParams, 0), 0x00);
+  EXPECT_EQ(ram(Globals::kParams, 3), 0x3F);
+}
+
+TEST_F(BootTest, FunctionCountMatchesProfile) {
+  EXPECT_EQ(fw_.image.function_count(), fw_.profile.function_count);
+}
+
+TEST_F(BootTest, ImageHasSymbolsAndPointerSlots) {
+  EXPECT_FALSE(fw_.image.pointer_slots.empty());
+  EXPECT_TRUE(fw_.image.ldi_code_pointers.empty());  // MAVR flags
+  const toolchain::Symbol* main_sym = fw_.image.find("main");
+  ASSERT_NE(main_sym, nullptr);
+  EXPECT_GT(main_sym->size, 0u);
+}
+
+}  // namespace
+}  // namespace mavr

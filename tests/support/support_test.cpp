@@ -1,0 +1,182 @@
+// Unit tests for the support layer: byte codecs, CRC, RNG, hexdump, errors.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bytes.hpp"
+#include "support/crc.hpp"
+#include "support/error.hpp"
+#include "support/hexdump.hpp"
+#include "support/rng.hpp"
+
+namespace mavr::support {
+namespace {
+
+TEST(Bytes, WriterRoundTripsThroughReader) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16_le(0x1234);
+  w.u16_be(0x5678);
+  w.u32_le(0xDEADBEEF);
+  w.u24_be(0x01CAFE);
+  w.fill(0x11, 3);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16_le(), 0x1234);
+  EXPECT_EQ(r.u16_be(), 0x5678);
+  EXPECT_EQ(r.u32_le(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u24_be(), 0x01CAFEu);
+  EXPECT_EQ(r.bytes(3), Bytes({0x11, 0x11, 0x11}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, U24BigEndianLayoutMatchesAvrStack) {
+  // The layout CALL leaves on the stack: MSB at the lowest address.
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u24_be(0x015D64 / 2);
+  EXPECT_EQ(buf, Bytes({0x00, 0xAE, 0xB2}));
+}
+
+TEST(Bytes, ReaderUnderflowThrows) {
+  Bytes buf = {1, 2};
+  ByteReader r(buf);
+  r.u8();
+  EXPECT_THROW(r.u16_le(), PreconditionError);
+}
+
+TEST(Bytes, U24RangeChecked) {
+  Bytes buf;
+  ByteWriter w(buf);
+  EXPECT_THROW(w.u24_be(0x1000000), PreconditionError);
+}
+
+TEST(Bytes, RandomAccessLoadStore) {
+  Bytes buf(8, 0);
+  store_u16_le(buf, 2, 0xBEEF);
+  EXPECT_EQ(buf[2], 0xEF);
+  EXPECT_EQ(buf[3], 0xBE);
+  EXPECT_EQ(load_u16_le(buf, 2), 0xBEEF);
+  EXPECT_THROW(load_u16_le(buf, 7), PreconditionError);
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/MCRF4XX of "123456789" is 0x6F91 (the X.25 accumulate without
+  // the final inversion -- the form MAVLink uses).
+  const char* s = "123456789";
+  const std::uint16_t crc = crc16_x25(
+      std::span(reinterpret_cast<const std::uint8_t*>(s), 9));
+  EXPECT_EQ(crc, 0x6F91);
+}
+
+TEST(Crc16, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  Crc16 inc;
+  for (std::uint8_t b : data) inc.update(b);
+  EXPECT_EQ(inc.value(), crc16_x25(data));
+}
+
+TEST(Crc16, DetectsSingleBitFlips) {
+  Bytes data = {0xFE, 0x09, 0x01, 0x00, 0x01, 0x00};
+  const std::uint16_t good = crc16_x25(data);
+  for (std::size_t i = 0; i < data.size() * 8; ++i) {
+    Bytes bad = data;
+    bad[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    EXPECT_NE(crc16_x25(bad), good) << "bit " << i;
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8, kDraws = 80'000;
+  int histogram[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(kBuckets)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(5);
+  const auto perm = rng.permutation(257);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, ShuffleCoversAllOrders) {
+  // Every ordering of 3 items should appear over many shuffles.
+  Rng rng(11);
+  std::set<std::string> orders;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<char> v = {'a', 'b', 'c'};
+    rng.shuffle(v);
+    orders.insert(std::string(v.begin(), v.end()));
+  }
+  EXPECT_EQ(orders.size(), 6u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Hexdump, MatchesFig6Format) {
+  const Bytes data = {0xD1, 0x21, 0x00, 0x4E, 0x12, 0xA5, 0x00, 0x1A, 0x00};
+  const std::string dump = hexdump(data, 0x8021B9);
+  EXPECT_NE(dump.find("0x8021B9: 0xD1 0x21 0x00 0x4E 0x12 0xA5 0x00 0x1A"),
+            std::string::npos);
+  EXPECT_NE(dump.find("0x8021C1: 0x00"), std::string::npos);
+}
+
+TEST(Hexdump, ByteAndValueFormatting) {
+  EXPECT_EQ(hex_byte(0x0F), "0x0F");
+  EXPECT_EQ(hex_value(0x5D64), "0x5D64");
+}
+
+TEST(Error, CheckMacrosThrowTypedExceptions) {
+  EXPECT_THROW(MAVR_REQUIRE(false, "nope"), PreconditionError);
+  EXPECT_THROW(MAVR_CHECK(false, "bug"), InvariantError);
+  EXPECT_NO_THROW(MAVR_REQUIRE(true, ""));
+  try {
+    MAVR_REQUIRE(1 == 2, "context message");
+    FAIL();
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mavr::support

@@ -1,0 +1,201 @@
+// Text assembler: parse → link → execute, disassembler round trips, and
+// error reporting with line numbers.
+#include <gtest/gtest.h>
+
+#include "avr/cpu.hpp"
+#include "toolchain/asm_text.hpp"
+#include "toolchain/disasm.hpp"
+#include "toolchain/linker.hpp"
+
+namespace mavr::toolchain {
+namespace {
+
+avr::Cpu run(const Image& image, std::uint64_t cycles = 100'000) {
+  avr::Cpu cpu(avr::atmega2560());
+  cpu.flash().program(image.bytes);
+  cpu.reset();
+  cpu.run(cycles);
+  return cpu;
+}
+
+TEST(AsmText, ParsesAndExecutesAProgram) {
+  const char* src = R"(
+    ; compute 6 * 7 and store it
+      ldi  r24, 6
+      ldi  r25, 7
+      mul  r24, r25
+      sts  @g_answer, r0
+      call helper
+      ret
+  )";
+  const char* helper_src = R"(
+      lds  r20, @g_answer
+      inc  r20
+      sts  @g_answer+1, r20
+      ret
+  )";
+  LinkInput in;
+  in.functions.push_back(parse_asm_function("main", src));
+  in.functions.push_back(parse_asm_function("helper", helper_src));
+  DataBuilder data;
+  data.reserve("g_answer", 2);
+  in.data = data.take();
+  const Image image = link(std::move(in));
+
+  const avr::Cpu cpu = run(image);
+  ASSERT_EQ(cpu.state(), avr::CpuState::Stopped);
+  const std::uint16_t addr = image.find_data("g_answer")->ram_addr;
+  EXPECT_EQ(cpu.data().raw(addr), 42);
+  EXPECT_EQ(cpu.data().raw(addr + 1), 43);
+}
+
+TEST(AsmText, LabelsAndBranches) {
+  const char* src = R"(
+      ldi  r24, 0      ; accumulator
+      ldi  r20, 5      ; counter
+    loop:
+      add  r24, r20
+      dec  r20
+      brne loop
+      sts  @g_sum, r24 ; 5+4+3+2+1 = 15
+      ret
+  )";
+  LinkInput in;
+  in.functions.push_back(parse_asm_function("main", src));
+  DataBuilder data;
+  data.reserve("g_sum", 2);
+  in.data = data.take();
+  const Image image = link(std::move(in));
+  const avr::Cpu cpu = run(image);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_sum")->ram_addr), 15);
+}
+
+TEST(AsmText, TheFig4GadgetAssembles) {
+  // The paper's stk_move gadget, straight from Fig. 4.
+  const char* src = R"(
+      out 0x3e, r29
+      out 0x3f, r0
+      out 0x3d, r28
+      pop r28
+      pop r29
+      pop r16
+      ret
+  )";
+  const AsmFunction fn = parse_asm_function("gadget", src);
+  LinkInput in;
+  FunctionBuilder main_fn("main");
+  main_fn.ret();
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(fn);
+  const Image image = link(std::move(in));
+  const Symbol* g = image.find("gadget");
+  ASSERT_NE(g, nullptr);
+  const auto lines = disassemble(
+      std::span(image.bytes).subspan(g->addr, g->size), g->addr);
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_EQ(lines[0].text, "out 0x3e, r29");
+  EXPECT_EQ(lines[3].text, "pop r28");
+  EXPECT_EQ(lines[6].text, "ret");
+}
+
+TEST(AsmText, AddressingForms) {
+  const char* src = R"(
+      ldi r26, 0x00
+      ldi r27, 0x03    ; X = 0x0300
+      ldi r24, 0x11
+      st  X+, r24
+      ldi r24, 0x22
+      st  X, r24
+      lds r25, 0x0300
+      sts 0x0302, r25
+      ret
+  )";
+  LinkInput in;
+  in.functions.push_back(parse_asm_function("main", src));
+  const Image image = link(std::move(in));
+  const avr::Cpu cpu = run(image);
+  ASSERT_EQ(cpu.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu.data().raw(0x0300), 0x11);
+  EXPECT_EQ(cpu.data().raw(0x0301), 0x22);
+  EXPECT_EQ(cpu.data().raw(0x0302), 0x11);
+}
+
+TEST(AsmText, DisplacedAddressing) {
+  const char* src = R"(
+      ldi r28, 0x10
+      ldi r29, 0x03    ; Y = 0x0310
+      ldi r24, 0x5A
+      std Y+3, r24
+      ldd r25, Y+3
+      sts @g_copy, r25
+      ret
+  )";
+  LinkInput in;
+  in.functions.push_back(parse_asm_function("main", src));
+  DataBuilder data;
+  data.reserve("g_copy", 2);
+  in.data = data.take();
+  const Image image = link(std::move(in));
+  const avr::Cpu cpu = run(image);
+  EXPECT_EQ(cpu.data().raw(0x0313), 0x5A);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_copy")->ram_addr), 0x5A);
+}
+
+TEST(AsmText, ErrorsCarryLineNumbers) {
+  const auto message_of = [](const char* src) {
+    try {
+      parse_asm_function("f", src);
+      return std::string("no error");
+    } catch (const support::DataError& e) {
+      return std::string(e.what());
+    }
+  };
+  EXPECT_NE(message_of("  nop\n  frobnicate r1\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(message_of("  ldi r99, 4\n").find("line 1"),
+            std::string::npos);
+  EXPECT_NE(message_of("  breq nowhere\n").find("undefined label"),
+            std::string::npos);
+  EXPECT_NE(message_of("x:\nx:\n  ret\n").find("duplicate label"),
+            std::string::npos);
+  EXPECT_NE(message_of("  std Y+99, r4\n").find("displacement"),
+            std::string::npos);
+}
+
+TEST(AsmText, RoundTripThroughDisassembler) {
+  // Assemble, disassemble, re-assemble: the second image's function body
+  // must match the first byte for byte (for text with no symbolic refs).
+  const char* src = R"(
+      ldi r24, 0xAB
+      com r24
+      swap r24
+      push r24
+      pop r25
+      adiw r28, 12
+      in r20, 0x3d
+      out 0x3d, r20
+      nop
+      ret
+  )";
+  LinkInput in1;
+  in1.functions.push_back(parse_asm_function("main", src));
+  const Image first = link(std::move(in1));
+  const Symbol* f1 = first.find("main");
+
+  std::string rendered;
+  for (const DisasmLine& line : disassemble(
+           std::span(first.bytes).subspan(f1->addr, f1->size), f1->addr)) {
+    rendered += line.text + "\n";
+  }
+  LinkInput in2;
+  in2.functions.push_back(parse_asm_function("main", rendered));
+  const Image second = link(std::move(in2));
+  const Symbol* f2 = second.find("main");
+  ASSERT_EQ(f1->size, f2->size);
+  EXPECT_TRUE(std::equal(first.bytes.begin() + f1->addr,
+                         first.bytes.begin() + f1->addr + f1->size,
+                         second.bytes.begin() + f2->addr));
+}
+
+}  // namespace
+}  // namespace mavr::toolchain

@@ -1,0 +1,134 @@
+// Image metadata and the preprocessed symbol blob (the information the
+// paper's preprocessing stage prepends to the HEX file, §VI-B2).
+#include <gtest/gtest.h>
+
+#include "avr/decode.hpp"
+#include "toolchain/assembler.hpp"
+#include "toolchain/disasm.hpp"
+#include "toolchain/image.hpp"
+#include "toolchain/linker.hpp"
+
+namespace mavr::toolchain {
+namespace {
+
+Image sample_image() {
+  FunctionBuilder a("alpha");
+  a.nop();
+  a.ret();
+  FunctionBuilder b("beta");
+  b.ret();
+  FunctionBuilder main_fn("main");
+  main_fn.call("alpha");
+  main_fn.call("beta");
+  main_fn.ret();
+  DataBuilder data;
+  data.code_ptr_table("g_tbl", {CodeRef{"alpha", 0}, CodeRef{"beta", 0}});
+  LinkInput in;
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(a.take());
+  in.functions.push_back(b.take());
+  in.data = data.take();
+  return link(std::move(in));
+}
+
+TEST(Image, FunctionContainingBinarySearch) {
+  const Image image = sample_image();
+  const Symbol* alpha = image.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(image.function_containing(alpha->addr), alpha);
+  EXPECT_EQ(image.function_containing(alpha->addr + 2)->name, "alpha");
+  EXPECT_EQ(image.function_containing(alpha->addr + alpha->size)->name,
+            "beta");
+  // Address 0 is inside the vector table (an Object, not a function).
+  EXPECT_EQ(image.function_containing(0), nullptr);
+  EXPECT_EQ(image.function_containing(image.text_end + 1), nullptr);
+}
+
+TEST(Image, WordAccessors) {
+  Image image = sample_image();
+  const std::uint16_t before = image.word_at(0);
+  image.set_word_at(0, 0x1234);
+  EXPECT_EQ(image.word_at(0), 0x1234);
+  image.set_word_at(0, before);
+  EXPECT_EQ(image.word_at(0), before);
+}
+
+TEST(SymbolBlob, SerializeDeserializeRoundTrip) {
+  const Image image = sample_image();
+  const SymbolBlob blob = SymbolBlob::from_image(image);
+  const SymbolBlob back = SymbolBlob::deserialize(blob.serialize());
+  EXPECT_EQ(back.function_addrs, blob.function_addrs);
+  EXPECT_EQ(back.function_sizes, blob.function_sizes);
+  EXPECT_EQ(back.text_end, blob.text_end);
+  EXPECT_EQ(back.first_movable, blob.first_movable);
+  EXPECT_EQ(back.has_ldi_code_pointers, blob.has_ldi_code_pointers);
+  ASSERT_EQ(back.pointer_slots.size(), blob.pointer_slots.size());
+  for (std::size_t i = 0; i < blob.pointer_slots.size(); ++i) {
+    EXPECT_EQ(back.pointer_slots[i].image_offset,
+              blob.pointer_slots[i].image_offset);
+    EXPECT_EQ(back.pointer_slots[i].width, blob.pointer_slots[i].width);
+  }
+}
+
+TEST(SymbolBlob, AddressesAscendAndTile) {
+  const Image image = sample_image();
+  const SymbolBlob blob = SymbolBlob::from_image(image);
+  for (std::size_t i = 1; i < blob.function_addrs.size(); ++i) {
+    EXPECT_GT(blob.function_addrs[i], blob.function_addrs[i - 1]);
+  }
+  EXPECT_GT(blob.first_movable, 0u);  // vectors pinned below
+}
+
+TEST(SymbolBlob, CorruptionDetected) {
+  const Image image = sample_image();
+  support::Bytes wire = SymbolBlob::from_image(image).serialize();
+  wire[6] ^= 0x01;
+  EXPECT_THROW(SymbolBlob::deserialize(wire), support::DataError);
+  support::Bytes truncated(wire.begin(), wire.begin() + 10);
+  EXPECT_THROW(SymbolBlob::deserialize(truncated), support::DataError);
+}
+
+TEST(Disasm, ListingFormat) {
+  const Image image = sample_image();
+  const Symbol* main_sym = image.find("main");
+  const auto lines = disassemble(
+      std::span(image.bytes).subspan(main_sym->addr, main_sym->size),
+      main_sym->addr);
+  ASSERT_GE(lines.size(), 3u);  // call, call, ret
+  EXPECT_EQ(lines[0].instr.op, avr::Op::Call);
+  EXPECT_NE(lines[0].text.find("call"), std::string::npos);
+  EXPECT_EQ(lines.back().instr.op, avr::Op::Ret);
+  const std::string listing = format_listing(lines);
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+}
+
+TEST(Disasm, PaperStyleOperands) {
+  using namespace mavr::toolchain;
+  EXPECT_EQ(format_instr(avr::decode(enc_out(0x3e, 29), 0), 0),
+            "out 0x3e, r29");
+  EXPECT_EQ(format_instr(avr::decode(enc_std(true, 1, 5), 0), 0),
+            "std Y+1, r5");
+  EXPECT_EQ(format_instr(avr::decode(enc_pop(29), 0), 0), "pop r29");
+}
+
+TEST(Assembler, FixedOffsetOfRequiresFixedPrefix) {
+  FunctionBuilder fn("f");
+  fn.nop();
+  Label l1 = fn.make_label();
+  fn.bind(l1);
+  fn.ret();
+  EXPECT_EQ(fn.fixed_offset_of(l1), 1u);
+
+  FunctionBuilder g("g");
+  g.call("anything");  // relaxable -> offset not fixed
+  Label l2 = g.make_label();
+  g.bind(l2);
+  EXPECT_THROW(g.fixed_offset_of(l2), support::PreconditionError);
+
+  FunctionBuilder h("h");
+  Label unbound = h.make_label();
+  EXPECT_THROW(h.fixed_offset_of(unbound), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mavr::toolchain

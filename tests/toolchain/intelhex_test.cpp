@@ -1,0 +1,84 @@
+// Intel HEX codec: round trips, 64 KiB boundary handling (256 KiB images
+// need extended-linear records), gap filling and malformed-input paths.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "toolchain/intelhex.hpp"
+
+namespace mavr::toolchain {
+namespace {
+
+TEST(IntelHex, SmallRoundTrip) {
+  const support::Bytes data = {0x01, 0x02, 0x03, 0xFF, 0x00, 0xAB};
+  const HexImage decoded = intel_hex_decode(intel_hex_encode(data));
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_EQ(decoded.base, 0u);
+}
+
+TEST(IntelHex, LargeImageCrossing64kBoundaries) {
+  support::Rng rng(42);
+  support::Bytes data(200'000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::string hex = intel_hex_encode(data);
+  // Needs type-04 records for banks 1 and 2.
+  EXPECT_NE(hex.find(":02000004000"), std::string::npos);
+  const HexImage decoded = intel_hex_decode(hex);
+  EXPECT_EQ(decoded.data, data);
+}
+
+TEST(IntelHex, NonZeroBase) {
+  const support::Bytes data = {0xDE, 0xAD};
+  const HexImage decoded =
+      intel_hex_decode(intel_hex_encode(data, 0x10000));
+  EXPECT_EQ(decoded.base, 0x10000u);
+  EXPECT_EQ(decoded.data, data);
+}
+
+TEST(IntelHex, RecordLengthRespected) {
+  const support::Bytes data(64, 0x55);
+  const std::string hex = intel_hex_encode(data, 0, 8);
+  // 8 data records of 8 bytes + EOF.
+  std::size_t records = 0;
+  for (char c : hex) {
+    if (c == ':') ++records;
+  }
+  EXPECT_EQ(records, 9u);
+  EXPECT_EQ(intel_hex_decode(hex).data, data);
+}
+
+TEST(IntelHex, ChecksumVerified) {
+  std::string hex = intel_hex_encode({0x11, 0x22});
+  // Corrupt one data digit (not the colon, length or EOF line).
+  const std::size_t pos = hex.find("1122");
+  ASSERT_NE(pos, std::string::npos);
+  hex[pos] = '3';
+  EXPECT_THROW(intel_hex_decode(hex), support::DataError);
+}
+
+TEST(IntelHex, MalformedInputs) {
+  EXPECT_THROW(intel_hex_decode("garbage"), support::DataError);
+  EXPECT_THROW(intel_hex_decode(":zz"), support::DataError);
+  EXPECT_THROW(intel_hex_decode(":0100000001"), support::DataError);
+  // Missing EOF record.
+  EXPECT_THROW(intel_hex_decode(":0100000055AA\n"), support::DataError);
+}
+
+TEST(IntelHex, ToleratesWhitespaceAndCrLf) {
+  std::string hex = intel_hex_encode({0xAA, 0xBB});
+  std::string crlf;
+  for (char c : hex) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  EXPECT_EQ(intel_hex_decode(crlf).data, support::Bytes({0xAA, 0xBB}));
+}
+
+TEST(IntelHex, StartAddressRecordsIgnored) {
+  // Type 05 (start linear address) is informational.
+  const std::string hex =
+      ":0400000512345678E3\n:02000000AABB99\n:00000001FF\n";
+  EXPECT_EQ(intel_hex_decode(hex).data, support::Bytes({0xAA, 0xBB}));
+}
+
+}  // namespace
+}  // namespace mavr::toolchain

@@ -1,0 +1,414 @@
+// Linker behaviour: layout, startup synthesis, relocation resolution,
+// relaxation, call-prologue consolidation, alignment and error paths.
+// Linked programs are validated by *executing* them on the simulator.
+#include <gtest/gtest.h>
+
+#include "avr/cpu.hpp"
+#include "toolchain/assembler.hpp"
+#include "toolchain/linker.hpp"
+
+namespace mavr {
+namespace {
+
+using namespace mavr::toolchain;
+using avr::Op;
+
+/// Runs an image on a fresh core until BREAK/fault or the cycle budget.
+avr::Cpu run_image(const Image& image, std::uint64_t cycles = 200'000) {
+  avr::Cpu cpu(avr::atmega2560());
+  cpu.flash().program(image.bytes);
+  cpu.reset();
+  cpu.run(cycles);
+  return cpu;
+}
+
+LinkInput minimal_input(std::vector<AsmFunction> fns,
+                        ToolchainOptions options = {}) {
+  LinkInput in;
+  in.functions = std::move(fns);
+  in.options = options;
+  return in;
+}
+
+TEST(Linker, MinimalProgramRunsToBreak) {
+  FunctionBuilder main_fn("main");
+  main_fn.ldi(24, 0x5A);
+  main_fn.sts_sym("g_out", 24);
+  main_fn.ret();
+  DataBuilder data;
+  data.reserve("g_out", 2);
+
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.data = data.take();
+  const Image image = link(std::move(in));
+
+  const avr::Cpu cpu = run_image(image);
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);  // __init's final break
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_out")->ram_addr), 0x5A);
+}
+
+TEST(Linker, VectorTableIsPinnedAtZero) {
+  FunctionBuilder main_fn("main");
+  main_fn.ret();
+  const Image image = link(minimal_input([&] {
+    std::vector<AsmFunction> v;
+    v.push_back(main_fn.take());
+    return v;
+  }()));
+  const Symbol* vectors = image.find("__vectors");
+  ASSERT_NE(vectors, nullptr);
+  EXPECT_EQ(vectors->addr, 0u);
+  EXPECT_EQ(vectors->size, kVectorSlots * 4);
+  EXPECT_FALSE(vectors->movable);
+  EXPECT_EQ(vectors->kind, Symbol::Kind::Object);
+  // Reset vector: a JMP whose target is __init.
+  const avr::Instr reset = avr::decode(image.word_at(0), image.word_at(2));
+  EXPECT_EQ(reset.op, Op::Jmp);
+  EXPECT_EQ(static_cast<std::uint32_t>(reset.target) * 2,
+            image.find("__init")->addr);
+}
+
+TEST(Linker, DataInitializersCopiedToRam) {
+  FunctionBuilder main_fn("main");
+  main_fn.lds_sym(24, "g_config", 2);
+  main_fn.sts_sym("g_result", 24);
+  main_fn.ret();
+  DataBuilder data;
+  data.global("g_config", {0x11, 0x22, 0x33, 0x44});
+  data.reserve("g_result", 2);
+
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.data = data.take();
+  const Image image = link(std::move(in));
+
+  const avr::Cpu cpu = run_image(image);
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);
+  // Startup copied .data, then main read g_config[2].
+  const DataSymbol* cfg = image.find_data("g_config");
+  EXPECT_EQ(cpu.data().raw(cfg->ram_addr + 0), 0x11);
+  EXPECT_EQ(cpu.data().raw(cfg->ram_addr + 3), 0x44);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_result")->ram_addr), 0x33);
+}
+
+TEST(Linker, CodePointerTableResolvesAndRuns) {
+  FunctionBuilder handler("handler");
+  handler.ldi(24, 0x99);
+  handler.sts_sym("g_flag", 24);
+  handler.ret();
+  FunctionBuilder main_fn("main");
+  // EICALL through the table.
+  main_fn.lds_sym(30, "g_table", 0);
+  main_fn.lds_sym(31, "g_table", 1);
+  main_fn.lds_sym(24, "g_table", 2);
+  main_fn.out(avr::kIoEind, 24);
+  main_fn.eicall();
+  main_fn.ret();
+  DataBuilder data;
+  data.code_ptr_table("g_table", {CodeRef{"handler", 0}});
+  data.reserve("g_flag", 2);
+
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(handler.take());
+  in.data = data.take();
+  const Image image = link(std::move(in));
+  ASSERT_EQ(image.pointer_slots.size(), 1u);
+  EXPECT_EQ(image.pointer_slots[0].width, 3);
+
+  const avr::Cpu cpu = run_image(image);
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_flag")->ram_addr), 0x99);
+}
+
+TEST(Linker, PrologueEpilogueFrameDiscipline) {
+  FunctionBuilder fn("framed");
+  fn.prologue({16, 28, 29}, 10);
+  fn.ldi(24, 0x42);
+  fn.std_y(1, 24);
+  fn.ldd_y(25, 1);
+  fn.sts_sym("g_out", 25);
+  fn.epilogue({16, 28, 29}, 10);
+  FunctionBuilder main_fn("main");
+  main_fn.ldi(16, 0x77);  // callee must preserve this
+  main_fn.call("framed");
+  main_fn.sts_sym("g_r16", 16);
+  main_fn.ret();
+  DataBuilder data;
+  data.reserve("g_out", 2);
+  data.reserve("g_r16", 2);
+
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(fn.take());
+  in.data = data.take();
+  const Image image = link(std::move(in));
+  const avr::Cpu cpu = run_image(image);
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_out")->ram_addr), 0x42);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_r16")->ram_addr), 0x77);
+  EXPECT_EQ(cpu.sp(), 0x21FF);  // stack fully unwound back in __init
+}
+
+TEST(Linker, LargeFrameUsesSubiSbci) {
+  FunctionBuilder fn("bigframe");
+  fn.prologue({28, 29}, 200);
+  fn.ldi(24, 0x01);
+  fn.std_y(63, 24);
+  fn.epilogue({28, 29}, 200);
+  FunctionBuilder main_fn("main");
+  main_fn.call("bigframe");
+  main_fn.ret();
+
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(fn.take());
+  const Image image = link(std::move(in));
+  const avr::Cpu cpu = run_image(image);
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);
+}
+
+TEST(Linker, RelaxationShrinksNearCalls) {
+  auto build = [](bool relax) {
+    FunctionBuilder callee("callee");
+    callee.ret();
+    FunctionBuilder main_fn("main");
+    for (int i = 0; i < 10; ++i) main_fn.call("callee");
+    main_fn.ret();
+    LinkInput in;
+    in.options.relax = relax;
+    in.functions.push_back(main_fn.take());
+    in.functions.push_back(callee.take());
+    return link(std::move(in));
+  };
+  const Image relaxed = build(true);
+  const Image fixed = build(false);
+  // 10 near calls in main plus __init's `call main` shrink by 2 bytes each.
+  EXPECT_EQ(fixed.size_bytes(), relaxed.size_bytes() + 22);
+  // Both must still run correctly.
+  EXPECT_EQ(run_image(relaxed).state(), avr::CpuState::Stopped);
+  EXPECT_EQ(run_image(fixed).state(), avr::CpuState::Stopped);
+}
+
+TEST(Linker, NoRelaxKeepsAllCallsLong) {
+  FunctionBuilder callee("callee");
+  callee.ret();
+  FunctionBuilder main_fn("main");
+  main_fn.call("callee");
+  main_fn.ret();
+  LinkInput in;
+  in.options.relax = false;
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(callee.take());
+  const Image image = link(std::move(in));
+  // Scan main's body: the call must be the 2-word CALL form.
+  const Symbol* main_sym = image.find("main");
+  const avr::Instr first = avr::decode(image.word_at(main_sym->addr),
+                                       image.word_at(main_sym->addr + 2));
+  EXPECT_EQ(first.op, Op::Call);
+}
+
+TEST(Linker, AlignmentPadsFunctionStarts) {
+  auto build = [](bool align) {
+    FunctionBuilder a("a");
+    a.nop();
+    a.ret();  // 2 words -> next start would be misaligned at 4-byte grain
+    FunctionBuilder b("b");
+    b.ret();
+    FunctionBuilder main_fn("main");
+    main_fn.call("a");
+    main_fn.call("b");
+    main_fn.ret();
+    LinkInput in;
+    in.options.align_functions = align;
+    in.functions.push_back(main_fn.take());
+    in.functions.push_back(a.take());
+    in.functions.push_back(b.take());
+    return link(std::move(in));
+  };
+  const Image aligned = build(true);
+  const Image packed = build(false);
+  for (const Symbol& s : aligned.symbols) {
+    if (s.kind == Symbol::Kind::Function) {
+      EXPECT_EQ(s.addr % 4, 0u) << s.name;
+    }
+  }
+  EXPECT_GE(aligned.size_bytes(), packed.size_bytes());
+  EXPECT_EQ(run_image(aligned).state(), avr::CpuState::Stopped);
+}
+
+TEST(Linker, CallPrologueConsolidation) {
+  auto build = [](bool prologues) {
+    std::vector<std::uint8_t> saves;
+    for (std::uint8_t r = 2; r <= 17; ++r) saves.push_back(r);
+    saves.push_back(28);
+    saves.push_back(29);
+    LinkInput in;
+    in.options.call_prologues = prologues;
+
+    // Several register-heavy functions: the shared blob amortizes.
+    for (int i = 0; i < 3; ++i) {
+      FunctionBuilder heavy("heavy" + std::to_string(i));
+      heavy.prologue(saves, 12);
+      heavy.ldi(24, static_cast<std::uint8_t>(0xA0 + i));
+      heavy.std_y(2, 24);
+      heavy.ldd_y(25, 2);
+      if (i == 0) heavy.sts_sym("g_out", 25);
+      heavy.epilogue(saves, 12);
+      in.functions.push_back(heavy.take());
+    }
+    FunctionBuilder main_fn("main");
+    main_fn.ldi(24, 0x11);  // r2 is callee-saved and must survive the calls
+    main_fn.mov(2, 24);
+    main_fn.call("heavy0");
+    main_fn.call("heavy1");
+    main_fn.call("heavy2");
+    main_fn.sts_sym("g_r2", 2);
+    main_fn.ret();
+    DataBuilder data;
+    data.reserve("g_out", 2);
+    data.reserve("g_r2", 2);
+    in.functions.insert(in.functions.begin(), main_fn.take());
+    in.data = data.take();
+    return link(std::move(in));
+  };
+  const Image with = build(true);
+  const Image without = build(false);
+  EXPECT_LT(with.size_bytes(), without.size_bytes());
+  EXPECT_NE(with.find("__prologue_saves__"), nullptr);
+  EXPECT_EQ(without.find("__prologue_saves__"), nullptr);
+  EXPECT_FALSE(with.ldi_code_pointers.empty());
+  EXPECT_TRUE(without.ldi_code_pointers.empty());
+  // Both behave identically.
+  for (const Image* image : {&with, &without}) {
+    const avr::Cpu cpu = run_image(*image);
+    ASSERT_EQ(cpu.state(), avr::CpuState::Stopped);
+    EXPECT_EQ(cpu.data().raw(image->find_data("g_out")->ram_addr), 0xA0);
+    EXPECT_EQ(cpu.data().raw(image->find_data("g_r2")->ram_addr), 0x11);
+  }
+}
+
+TEST(Linker, CrossJumpIntoSiblingTail) {
+  // Reproduce the generator's cross-jump idiom at linker level.
+  FunctionBuilder canon("canon");
+  canon.push(28);
+  canon.push(29);
+  canon.in(28, avr::kIoSpl);
+  canon.in(29, avr::kIoSph);
+  canon.sbiw(28, 4);
+  canon.in(0, avr::kIoSreg);
+  canon.out(avr::kIoSph, 29);
+  canon.out(avr::kIoSreg, 0);
+  canon.out(avr::kIoSpl, 28);
+  canon.ldi(24, 1);
+  Label tail = canon.make_label();
+  canon.bind(tail);
+  canon.adiw(28, 4);
+  canon.in(0, avr::kIoSreg);
+  canon.out(avr::kIoSph, 29);
+  canon.out(avr::kIoSreg, 0);
+  canon.out(avr::kIoSpl, 28);
+  canon.pop(29);
+  canon.pop(28);
+  canon.ret();
+  const std::uint32_t tail_off = canon.fixed_offset_of(tail) * 2;
+
+  FunctionBuilder twin("twin");
+  twin.push(28);
+  twin.push(29);
+  twin.in(28, avr::kIoSpl);
+  twin.in(29, avr::kIoSph);
+  twin.sbiw(28, 4);
+  twin.in(0, avr::kIoSreg);
+  twin.out(avr::kIoSph, 29);
+  twin.out(avr::kIoSreg, 0);
+  twin.out(avr::kIoSpl, 28);
+  twin.ldi(24, 2);
+  twin.sts_sym("g_out", 24);
+  twin.jmp_into("canon", tail_off);
+
+  FunctionBuilder main_fn("main");
+  main_fn.call("twin");
+  main_fn.ret();
+  DataBuilder data;
+  data.reserve("g_out", 2);
+
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(canon.take());
+  in.functions.push_back(twin.take());
+  in.data = data.take();
+  const Image image = link(std::move(in));
+  const avr::Cpu cpu = run_image(image);
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu.data().raw(image.find_data("g_out")->ram_addr), 2);
+}
+
+TEST(Linker, ErrorPaths) {
+  {  // missing entry symbol
+    FunctionBuilder fn("not_main");
+    fn.ret();
+    LinkInput in = minimal_input({});
+    in.functions.push_back(fn.take());
+    EXPECT_THROW(link(std::move(in)), support::PreconditionError);
+  }
+  {  // undefined call target
+    FunctionBuilder main_fn("main");
+    main_fn.call("missing");
+    main_fn.ret();
+    LinkInput in = minimal_input({});
+    in.functions.push_back(main_fn.take());
+    EXPECT_THROW(link(std::move(in)), support::PreconditionError);
+  }
+  {  // duplicate symbol
+    FunctionBuilder a("main");
+    a.ret();
+    FunctionBuilder b("main");
+    b.ret();
+    LinkInput in = minimal_input({});
+    in.functions.push_back(a.take());
+    in.functions.push_back(b.take());
+    EXPECT_THROW(link(std::move(in)), support::PreconditionError);
+  }
+  {  // undefined data symbol
+    FunctionBuilder main_fn("main");
+    main_fn.lds_sym(24, "g_missing");
+    main_fn.ret();
+    LinkInput in = minimal_input({});
+    in.functions.push_back(main_fn.take());
+    EXPECT_THROW(link(std::move(in)), support::PreconditionError);
+  }
+  {  // branch out of range
+    FunctionBuilder main_fn("main");
+    Label far = main_fn.make_label();
+    main_fn.breq(far);
+    for (int i = 0; i < 80; ++i) main_fn.nop();
+    main_fn.bind(far);
+    main_fn.ret();
+    LinkInput in = minimal_input({});
+    in.functions.push_back(main_fn.take());
+    EXPECT_THROW(link(std::move(in)), support::PreconditionError);
+  }
+}
+
+TEST(Linker, SymbolSizesTileTheTextSection) {
+  FunctionBuilder a("a");
+  a.ret();
+  FunctionBuilder main_fn("main");
+  main_fn.call("a");
+  main_fn.ret();
+  LinkInput in = minimal_input({});
+  in.functions.push_back(main_fn.take());
+  in.functions.push_back(a.take());
+  const Image image = link(std::move(in));
+  std::uint32_t cursor = 0;
+  for (const Symbol& s : image.symbols) {
+    EXPECT_EQ(s.addr, cursor) << s.name;
+    cursor += s.size;
+  }
+  EXPECT_EQ(cursor, image.text_end);
+}
+
+}  // namespace
+}  // namespace mavr

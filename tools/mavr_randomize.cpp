@@ -1,0 +1,69 @@
+// mavr-randomize — run the master processor's randomize+patch pass offline
+// on a container HEX, the way the MAVR hardware does it at boot.
+//
+//   mavr-randomize <container.hex> <out.hex> [--seed N] [--stats]
+//
+// The output is a plain firmware HEX (what gets programmed into the
+// application processor); it contains no symbol information.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "defense/patcher.hpp"
+#include "defense/preprocess.hpp"
+#include "toolchain/intelhex.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mavr;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: mavr-randomize <container.hex> <out.hex> "
+                 "[--seed N] [--stats]\n");
+    return 2;
+  }
+  std::uint64_t seed = 1;
+  bool stats = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    }
+  }
+
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  const toolchain::HexImage hex = toolchain::intel_hex_decode(ss.str());
+  const defense::Container container = defense::parse_container(hex.data);
+
+  support::Rng rng(seed);
+  const defense::RandomizeResult result =
+      defense::randomize_image(container.image, container.blob, rng);
+
+  std::ofstream out(argv[2], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  out << toolchain::intel_hex_encode(result.image);
+
+  std::printf("randomized %zu-byte image with seed %llu -> %s\n",
+              result.image.size(),
+              static_cast<unsigned long long>(seed), argv[2]);
+  if (stats) {
+    std::printf("  moved functions:       %u\n", result.moved_functions);
+    std::printf("  patched CALL/JMP:      %u\n", result.patched_abs_jumps);
+    std::printf("  mid-function targets:  %u (binary-search cases)\n",
+                result.mid_function_targets);
+    std::printf("  patched pointer slots: %u\n", result.patched_pointers);
+  }
+  return 0;
+}
