@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prologues"
+  "../bench/ablation_prologues.pdb"
+  "CMakeFiles/ablation_prologues.dir/ablation_prologues.cpp.o"
+  "CMakeFiles/ablation_prologues.dir/ablation_prologues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prologues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bruteforce"
+  "../bench/bruteforce.pdb"
+  "CMakeFiles/bruteforce.dir/bruteforce.cpp.o"
+  "CMakeFiles/bruteforce.dir/bruteforce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

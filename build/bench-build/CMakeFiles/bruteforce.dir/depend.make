@@ -1,0 +1,2 @@
+# Empty dependencies file for bruteforce.
+# This may be replaced when dependencies are built.

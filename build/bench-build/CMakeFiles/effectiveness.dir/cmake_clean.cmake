@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/effectiveness"
+  "../bench/effectiveness.pdb"
+  "CMakeFiles/effectiveness.dir/effectiveness.cpp.o"
+  "CMakeFiles/effectiveness.dir/effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

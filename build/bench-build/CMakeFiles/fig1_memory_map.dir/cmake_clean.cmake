@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_memory_map"
+  "../bench/fig1_memory_map.pdb"
+  "CMakeFiles/fig1_memory_map.dir/fig1_memory_map.cpp.o"
+  "CMakeFiles/fig1_memory_map.dir/fig1_memory_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_memory_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

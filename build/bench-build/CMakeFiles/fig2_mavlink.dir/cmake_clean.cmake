@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_mavlink"
+  "../bench/fig2_mavlink.pdb"
+  "CMakeFiles/fig2_mavlink.dir/fig2_mavlink.cpp.o"
+  "CMakeFiles/fig2_mavlink.dir/fig2_mavlink.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mavlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig45_gadgets"
+  "../bench/fig45_gadgets.pdb"
+  "CMakeFiles/fig45_gadgets.dir/fig45_gadgets.cpp.o"
+  "CMakeFiles/fig45_gadgets.dir/fig45_gadgets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig45_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_stack_progression"
+  "../bench/fig6_stack_progression.pdb"
+  "CMakeFiles/fig6_stack_progression.dir/fig6_stack_progression.cpp.o"
+  "CMakeFiles/fig6_stack_progression.dir/fig6_stack_progression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stack_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig78_platform"
+  "../bench/fig78_platform.pdb"
+  "CMakeFiles/fig78_platform.dir/fig78_platform.cpp.o"
+  "CMakeFiles/fig78_platform.dir/fig78_platform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig78_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

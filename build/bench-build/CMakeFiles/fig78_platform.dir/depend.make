@@ -1,0 +1,2 @@
+# Empty dependencies file for fig78_platform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_startup"
+  "../bench/table2_startup.pdb"
+  "CMakeFiles/table2_startup.dir/table2_startup.cpp.o"
+  "CMakeFiles/table2_startup.dir/table2_startup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

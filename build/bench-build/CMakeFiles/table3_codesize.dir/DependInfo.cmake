@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_codesize.cpp" "bench-build/CMakeFiles/table3_codesize.dir/table3_codesize.cpp.o" "gcc" "bench-build/CMakeFiles/table3_codesize.dir/table3_codesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/mavr_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/mavr_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mavr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/mavr_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/mavr_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/mavlink/CMakeFiles/mavr_mavlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/mavr_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_codesize"
+  "../bench/table3_codesize.pdb"
+  "CMakeFiles/table3_codesize.dir/table3_codesize.cpp.o"
+  "CMakeFiles/table3_codesize.dir/table3_codesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

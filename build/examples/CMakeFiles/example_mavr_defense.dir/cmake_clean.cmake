@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mavr_defense.dir/mavr_defense.cpp.o"
+  "CMakeFiles/example_mavr_defense.dir/mavr_defense.cpp.o.d"
+  "mavr_defense"
+  "mavr_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mavr_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mission_hijack.dir/mission_hijack.cpp.o"
+  "CMakeFiles/example_mission_hijack.dir/mission_hijack.cpp.o.d"
+  "mission_hijack"
+  "mission_hijack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mission_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stealthy_attack.dir/stealthy_attack.cpp.o"
+  "CMakeFiles/example_stealthy_attack.dir/stealthy_attack.cpp.o.d"
+  "stealthy_attack"
+  "stealthy_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stealthy_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_attack.dir/attacks.cpp.o"
+  "CMakeFiles/mavr_attack.dir/attacks.cpp.o.d"
+  "CMakeFiles/mavr_attack.dir/gadgets.cpp.o"
+  "CMakeFiles/mavr_attack.dir/gadgets.cpp.o.d"
+  "CMakeFiles/mavr_attack.dir/rop.cpp.o"
+  "CMakeFiles/mavr_attack.dir/rop.cpp.o.d"
+  "libmavr_attack.a"
+  "libmavr_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

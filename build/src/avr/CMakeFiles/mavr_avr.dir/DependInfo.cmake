@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avr/cpu.cpp" "src/avr/CMakeFiles/mavr_avr.dir/cpu.cpp.o" "gcc" "src/avr/CMakeFiles/mavr_avr.dir/cpu.cpp.o.d"
+  "/root/repo/src/avr/decode.cpp" "src/avr/CMakeFiles/mavr_avr.dir/decode.cpp.o" "gcc" "src/avr/CMakeFiles/mavr_avr.dir/decode.cpp.o.d"
+  "/root/repo/src/avr/gpio.cpp" "src/avr/CMakeFiles/mavr_avr.dir/gpio.cpp.o" "gcc" "src/avr/CMakeFiles/mavr_avr.dir/gpio.cpp.o.d"
+  "/root/repo/src/avr/instr.cpp" "src/avr/CMakeFiles/mavr_avr.dir/instr.cpp.o" "gcc" "src/avr/CMakeFiles/mavr_avr.dir/instr.cpp.o.d"
+  "/root/repo/src/avr/memory.cpp" "src/avr/CMakeFiles/mavr_avr.dir/memory.cpp.o" "gcc" "src/avr/CMakeFiles/mavr_avr.dir/memory.cpp.o.d"
+  "/root/repo/src/avr/uart.cpp" "src/avr/CMakeFiles/mavr_avr.dir/uart.cpp.o" "gcc" "src/avr/CMakeFiles/mavr_avr.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_avr.dir/cpu.cpp.o"
+  "CMakeFiles/mavr_avr.dir/cpu.cpp.o.d"
+  "CMakeFiles/mavr_avr.dir/decode.cpp.o"
+  "CMakeFiles/mavr_avr.dir/decode.cpp.o.d"
+  "CMakeFiles/mavr_avr.dir/gpio.cpp.o"
+  "CMakeFiles/mavr_avr.dir/gpio.cpp.o.d"
+  "CMakeFiles/mavr_avr.dir/instr.cpp.o"
+  "CMakeFiles/mavr_avr.dir/instr.cpp.o.d"
+  "CMakeFiles/mavr_avr.dir/memory.cpp.o"
+  "CMakeFiles/mavr_avr.dir/memory.cpp.o.d"
+  "CMakeFiles/mavr_avr.dir/uart.cpp.o"
+  "CMakeFiles/mavr_avr.dir/uart.cpp.o.d"
+  "libmavr_avr.a"
+  "libmavr_avr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_avr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

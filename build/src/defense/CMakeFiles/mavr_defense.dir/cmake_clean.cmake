@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_defense.dir/bruteforce.cpp.o"
+  "CMakeFiles/mavr_defense.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/mavr_defense.dir/master.cpp.o"
+  "CMakeFiles/mavr_defense.dir/master.cpp.o.d"
+  "CMakeFiles/mavr_defense.dir/patcher.cpp.o"
+  "CMakeFiles/mavr_defense.dir/patcher.cpp.o.d"
+  "CMakeFiles/mavr_defense.dir/preprocess.cpp.o"
+  "CMakeFiles/mavr_defense.dir/preprocess.cpp.o.d"
+  "libmavr_defense.a"
+  "libmavr_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmavr_defense.a"
+)

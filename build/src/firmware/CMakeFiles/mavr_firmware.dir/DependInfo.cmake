@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/generator.cpp" "src/firmware/CMakeFiles/mavr_firmware.dir/generator.cpp.o" "gcc" "src/firmware/CMakeFiles/mavr_firmware.dir/generator.cpp.o.d"
+  "/root/repo/src/firmware/profile.cpp" "src/firmware/CMakeFiles/mavr_firmware.dir/profile.cpp.o" "gcc" "src/firmware/CMakeFiles/mavr_firmware.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toolchain/CMakeFiles/mavr_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/mavr_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_firmware.dir/generator.cpp.o"
+  "CMakeFiles/mavr_firmware.dir/generator.cpp.o.d"
+  "CMakeFiles/mavr_firmware.dir/profile.cpp.o"
+  "CMakeFiles/mavr_firmware.dir/profile.cpp.o.d"
+  "libmavr_firmware.a"
+  "libmavr_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_mavlink.dir/mavlink.cpp.o"
+  "CMakeFiles/mavr_mavlink.dir/mavlink.cpp.o.d"
+  "libmavr_mavlink.a"
+  "libmavr_mavlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_mavlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

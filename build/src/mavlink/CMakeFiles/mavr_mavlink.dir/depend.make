@@ -1,0 +1,2 @@
+# Empty dependencies file for mavr_mavlink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_sim.dir/board.cpp.o"
+  "CMakeFiles/mavr_sim.dir/board.cpp.o.d"
+  "CMakeFiles/mavr_sim.dir/flight.cpp.o"
+  "CMakeFiles/mavr_sim.dir/flight.cpp.o.d"
+  "CMakeFiles/mavr_sim.dir/ground.cpp.o"
+  "CMakeFiles/mavr_sim.dir/ground.cpp.o.d"
+  "libmavr_sim.a"
+  "libmavr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_support.dir/crc.cpp.o"
+  "CMakeFiles/mavr_support.dir/crc.cpp.o.d"
+  "CMakeFiles/mavr_support.dir/hexdump.cpp.o"
+  "CMakeFiles/mavr_support.dir/hexdump.cpp.o.d"
+  "CMakeFiles/mavr_support.dir/log.cpp.o"
+  "CMakeFiles/mavr_support.dir/log.cpp.o.d"
+  "CMakeFiles/mavr_support.dir/rng.cpp.o"
+  "CMakeFiles/mavr_support.dir/rng.cpp.o.d"
+  "libmavr_support.a"
+  "libmavr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/asm_text.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/asm_text.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/asm_text.cpp.o.d"
+  "/root/repo/src/toolchain/assembler.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/assembler.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/assembler.cpp.o.d"
+  "/root/repo/src/toolchain/disasm.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/disasm.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/disasm.cpp.o.d"
+  "/root/repo/src/toolchain/encode.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/encode.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/encode.cpp.o.d"
+  "/root/repo/src/toolchain/image.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/image.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/image.cpp.o.d"
+  "/root/repo/src/toolchain/intelhex.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/intelhex.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/intelhex.cpp.o.d"
+  "/root/repo/src/toolchain/linker.cpp" "src/toolchain/CMakeFiles/mavr_toolchain.dir/linker.cpp.o" "gcc" "src/toolchain/CMakeFiles/mavr_toolchain.dir/linker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/avr/CMakeFiles/mavr_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

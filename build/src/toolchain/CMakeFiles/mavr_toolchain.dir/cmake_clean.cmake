@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavr_toolchain.dir/asm_text.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/asm_text.cpp.o.d"
+  "CMakeFiles/mavr_toolchain.dir/assembler.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/assembler.cpp.o.d"
+  "CMakeFiles/mavr_toolchain.dir/disasm.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/disasm.cpp.o.d"
+  "CMakeFiles/mavr_toolchain.dir/encode.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/encode.cpp.o.d"
+  "CMakeFiles/mavr_toolchain.dir/image.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/image.cpp.o.d"
+  "CMakeFiles/mavr_toolchain.dir/intelhex.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/intelhex.cpp.o.d"
+  "CMakeFiles/mavr_toolchain.dir/linker.cpp.o"
+  "CMakeFiles/mavr_toolchain.dir/linker.cpp.o.d"
+  "libmavr_toolchain.a"
+  "libmavr_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavr_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

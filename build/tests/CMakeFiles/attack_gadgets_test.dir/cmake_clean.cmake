@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_gadgets_test.dir/attack/gadgets_test.cpp.o"
+  "CMakeFiles/attack_gadgets_test.dir/attack/gadgets_test.cpp.o.d"
+  "attack_gadgets_test"
+  "attack_gadgets_test.pdb"
+  "attack_gadgets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_gadgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

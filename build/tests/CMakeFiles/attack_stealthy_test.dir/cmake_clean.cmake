@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_stealthy_test.dir/attack/stealthy_test.cpp.o"
+  "CMakeFiles/attack_stealthy_test.dir/attack/stealthy_test.cpp.o.d"
+  "attack_stealthy_test"
+  "attack_stealthy_test.pdb"
+  "attack_stealthy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_stealthy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_decode_test.dir/avr/decode_test.cpp.o"
+  "CMakeFiles/avr_decode_test.dir/avr/decode_test.cpp.o.d"
+  "avr_decode_test"
+  "avr_decode_test.pdb"
+  "avr_decode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_decode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

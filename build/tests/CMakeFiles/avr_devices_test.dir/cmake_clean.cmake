@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_devices_test.dir/avr/devices_test.cpp.o"
+  "CMakeFiles/avr_devices_test.dir/avr/devices_test.cpp.o.d"
+  "avr_devices_test"
+  "avr_devices_test.pdb"
+  "avr_devices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_interrupt_test.dir/avr/interrupt_test.cpp.o"
+  "CMakeFiles/avr_interrupt_test.dir/avr/interrupt_test.cpp.o.d"
+  "avr_interrupt_test"
+  "avr_interrupt_test.pdb"
+  "avr_interrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

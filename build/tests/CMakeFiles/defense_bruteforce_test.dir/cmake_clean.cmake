@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_bruteforce_test.dir/defense/bruteforce_test.cpp.o"
+  "CMakeFiles/defense_bruteforce_test.dir/defense/bruteforce_test.cpp.o.d"
+  "defense_bruteforce_test"
+  "defense_bruteforce_test.pdb"
+  "defense_bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_master_test.dir/defense/master_test.cpp.o"
+  "CMakeFiles/defense_master_test.dir/defense/master_test.cpp.o.d"
+  "defense_master_test"
+  "defense_master_test.pdb"
+  "defense_master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

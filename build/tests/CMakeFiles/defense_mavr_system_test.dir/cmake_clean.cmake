@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_mavr_system_test.dir/defense/mavr_system_test.cpp.o"
+  "CMakeFiles/defense_mavr_system_test.dir/defense/mavr_system_test.cpp.o.d"
+  "defense_mavr_system_test"
+  "defense_mavr_system_test.pdb"
+  "defense_mavr_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_mavr_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_padding_test.dir/defense/padding_test.cpp.o"
+  "CMakeFiles/defense_padding_test.dir/defense/padding_test.cpp.o.d"
+  "defense_padding_test"
+  "defense_padding_test.pdb"
+  "defense_padding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_padding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_randomize_test.dir/defense/randomize_test.cpp.o"
+  "CMakeFiles/defense_randomize_test.dir/defense/randomize_test.cpp.o.d"
+  "defense_randomize_test"
+  "defense_randomize_test.pdb"
+  "defense_randomize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_randomize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_boot_test.dir/firmware/boot_test.cpp.o"
+  "CMakeFiles/firmware_boot_test.dir/firmware/boot_test.cpp.o.d"
+  "firmware_boot_test"
+  "firmware_boot_test.pdb"
+  "firmware_boot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_boot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_generator_test.dir/firmware/generator_test.cpp.o"
+  "CMakeFiles/firmware_generator_test.dir/firmware/generator_test.cpp.o.d"
+  "firmware_generator_test"
+  "firmware_generator_test.pdb"
+  "firmware_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_board_test.dir/sim/board_test.cpp.o"
+  "CMakeFiles/sim_board_test.dir/sim/board_test.cpp.o.d"
+  "sim_board_test"
+  "sim_board_test.pdb"
+  "sim_board_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_board_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ground_test.dir/sim/ground_test.cpp.o"
+  "CMakeFiles/sim_ground_test.dir/sim/ground_test.cpp.o.d"
+  "sim_ground_test"
+  "sim_ground_test.pdb"
+  "sim_ground_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ground_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

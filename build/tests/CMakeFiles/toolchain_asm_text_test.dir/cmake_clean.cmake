@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_asm_text_test.dir/toolchain/asm_text_test.cpp.o"
+  "CMakeFiles/toolchain_asm_text_test.dir/toolchain/asm_text_test.cpp.o.d"
+  "toolchain_asm_text_test"
+  "toolchain_asm_text_test.pdb"
+  "toolchain_asm_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_asm_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

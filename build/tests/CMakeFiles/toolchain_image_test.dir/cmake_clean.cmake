@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_image_test.dir/toolchain/image_test.cpp.o"
+  "CMakeFiles/toolchain_image_test.dir/toolchain/image_test.cpp.o.d"
+  "toolchain_image_test"
+  "toolchain_image_test.pdb"
+  "toolchain_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_intelhex_test.dir/toolchain/intelhex_test.cpp.o"
+  "CMakeFiles/toolchain_intelhex_test.dir/toolchain/intelhex_test.cpp.o.d"
+  "toolchain_intelhex_test"
+  "toolchain_intelhex_test.pdb"
+  "toolchain_intelhex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_intelhex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

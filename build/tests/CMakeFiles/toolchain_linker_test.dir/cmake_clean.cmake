@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_linker_test.dir/toolchain/linker_test.cpp.o"
+  "CMakeFiles/toolchain_linker_test.dir/toolchain/linker_test.cpp.o.d"
+  "toolchain_linker_test"
+  "toolchain_linker_test.pdb"
+  "toolchain_linker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_linker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

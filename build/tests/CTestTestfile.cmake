@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_devices_test[1]_include.cmake")
+include("/root/repo/build/tests/toolchain_linker_test[1]_include.cmake")
+include("/root/repo/build/tests/toolchain_intelhex_test[1]_include.cmake")
+include("/root/repo/build/tests/toolchain_image_test[1]_include.cmake")
+include("/root/repo/build/tests/mavlink_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_board_test[1]_include.cmake")
+include("/root/repo/build/tests/firmware_boot_test[1]_include.cmake")
+include("/root/repo/build/tests/firmware_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_gadgets_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_stealthy_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_randomize_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_mavr_system_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_bruteforce_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_master_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_cpu_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_ground_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_interrupt_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_padding_test[1]_include.cmake")
+include("/root/repo/build/tests/toolchain_asm_text_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_mavr-build.dir/mavr_build.cpp.o"
+  "CMakeFiles/tool_mavr-build.dir/mavr_build.cpp.o.d"
+  "mavr-build"
+  "mavr-build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_mavr-build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_mavr-objdump.dir/mavr_objdump.cpp.o"
+  "CMakeFiles/tool_mavr-objdump.dir/mavr_objdump.cpp.o.d"
+  "mavr-objdump"
+  "mavr-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_mavr-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_mavr-randomize.dir/mavr_randomize.cpp.o"
+  "CMakeFiles/tool_mavr-randomize.dir/mavr_randomize.cpp.o.d"
+  "mavr-randomize"
+  "mavr-randomize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_mavr-randomize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

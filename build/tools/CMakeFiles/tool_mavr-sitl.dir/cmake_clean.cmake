@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_mavr-sitl.dir/mavr_sitl.cpp.o"
+  "CMakeFiles/tool_mavr-sitl.dir/mavr_sitl.cpp.o.d"
+  "mavr-sitl"
+  "mavr-sitl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_mavr-sitl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
