@@ -31,6 +31,8 @@ void Cpu::reset() {
   set_sp(static_cast<std::uint16_t>(spec_.ramend()));
   state_ = CpuState::Running;
   fault_ = FaultInfo{};
+  last_ret_raw_words_ = 0;
+  last_ret_wrapped_ = false;
 }
 
 const Instr& Cpu::decoded(std::uint32_t word_addr) {
@@ -93,6 +95,9 @@ void Cpu::flags_logic(std::uint8_t res) {
 }
 
 void Cpu::push_byte(std::uint8_t value) {
+  // Stack traffic is deliberately not routed through load_mem/store_mem:
+  // tracers observe it via on_sp_change / on_call / on_ret instead, keeping
+  // on_load/on_store scoped to the program's explicit data accesses.
   const std::uint16_t sp_now = sp();
   data_.store(sp_now, value);
   set_sp(static_cast<std::uint16_t>(sp_now - 1));
@@ -115,11 +120,14 @@ void Cpu::push_pc(std::uint32_t ret_words) {
 }
 
 std::uint32_t Cpu::pop_pc() {
+  // Returns the raw popped value; callers apply pc_mask_. Preserving the
+  // unmasked bytes lets a wild return from a smashed stack be diagnosed
+  // instead of silently wrapping into valid flash.
   std::uint32_t value = 0;
   if (spec_.pc_push_bytes == 3) value = pop_byte();
   value = (value << 8) | pop_byte();
   value = (value << 8) | pop_byte();
-  return value & pc_mask_;
+  return value;
 }
 
 std::uint32_t Cpu::skip_target(std::uint32_t next_pc) const {
@@ -134,12 +142,35 @@ void Cpu::fault_now(std::uint32_t pc_words, std::uint16_t opcode,
   fault_.pc_words = pc_words;
   fault_.opcode = opcode;
   fault_.reason = std::move(reason);
+  fault_.cycle = cycles_;
+  fault_.last_ret_raw_words = last_ret_raw_words_;
+  fault_.last_ret_wrapped = last_ret_wrapped_;
 }
 
-void Cpu::step() {
+template <bool kTraced>
+std::uint8_t Cpu::load_mem(std::uint32_t addr) {
+  const std::uint8_t value = data_.load(addr);
+  if constexpr (kTraced) tracer_->on_load(*this, addr, value);
+  return value;
+}
+
+template <bool kTraced>
+void Cpu::store_mem(std::uint32_t addr, std::uint8_t value) {
+  data_.store(addr, value);
+  if constexpr (kTraced) tracer_->on_store(*this, addr, value);
+}
+
+// The interpreter body is instantiated twice: the kTraced=false build is
+// byte-for-byte the old hook-free loop, the kTraced=true build weaves the
+// Tracer callbacks in. step()/run() pick an instantiation with a single
+// null-pointer branch, so disabling tracing costs nothing in the hot path.
+template <bool kTraced>
+void Cpu::step_impl() {
   if (state_ != CpuState::Running) return;
 
   const std::uint32_t pc0 = pc_;
+  [[maybe_unused]] std::uint16_t sp0 = 0;
+  if constexpr (kTraced) sp0 = sp();
   const Instr& in = decoded(pc0);
   std::uint32_t next = (pc0 + in.size_words) & pc_mask_;
   std::uint32_t cyc = 1;
@@ -148,6 +179,7 @@ void Cpu::step() {
     case Op::Invalid:
       fault_now(pc0, flash_.word(pc0),
                 "invalid opcode " + support::hex_value(flash_.word(pc0)));
+      if constexpr (kTraced) tracer_->on_fault(*this, fault_);
       return;
 
     case Op::Nop:
@@ -392,48 +424,67 @@ void Cpu::step() {
       next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
       cyc = 2;
       break;
-    case Op::Rcall:
-      push_pc(next);
+    case Op::Rcall: {
+      const std::uint32_t ret = next;
+      push_pc(ret);
       next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
       cyc = spec_.pc_push_bytes == 3 ? 4 : 3;
+      if constexpr (kTraced) tracer_->on_call(*this, pc0, next, ret);
       break;
+    }
     case Op::Jmp:
       next = static_cast<std::uint32_t>(in.target) & pc_mask_;
       cyc = 3;
       break;
-    case Op::Call:
-      push_pc(next);
+    case Op::Call: {
+      const std::uint32_t ret = next;
+      push_pc(ret);
       next = static_cast<std::uint32_t>(in.target) & pc_mask_;
       cyc = spec_.pc_push_bytes == 3 ? 5 : 4;
+      if constexpr (kTraced) tracer_->on_call(*this, pc0, next, ret);
       break;
+    }
     case Op::Ijmp:
       next = reg_pair(30) & pc_mask_;
       cyc = 2;
       break;
-    case Op::Icall:
-      push_pc(next);
+    case Op::Icall: {
+      const std::uint32_t ret = next;
+      push_pc(ret);
       next = reg_pair(30) & pc_mask_;
       cyc = spec_.pc_push_bytes == 3 ? 4 : 3;
+      if constexpr (kTraced) tracer_->on_call(*this, pc0, next, ret);
       break;
+    }
     case Op::Eijmp:
       next = ((static_cast<std::uint32_t>(data_.raw(kAddrEind)) << 16) |
               reg_pair(30)) &
              pc_mask_;
       cyc = 2;
       break;
-    case Op::Eicall:
-      push_pc(next);
+    case Op::Eicall: {
+      const std::uint32_t ret = next;
+      push_pc(ret);
       next = ((static_cast<std::uint32_t>(data_.raw(kAddrEind)) << 16) |
               reg_pair(30)) &
              pc_mask_;
       cyc = 4;
+      if constexpr (kTraced) tracer_->on_call(*this, pc0, next, ret);
       break;
+    }
     case Op::Ret:
-    case Op::Reti:
-      next = pop_pc();
+    case Op::Reti: {
+      const std::uint32_t raw = pop_pc();
+      next = raw & pc_mask_;
+      last_ret_raw_words_ = raw;
+      last_ret_wrapped_ = (raw & ~pc_mask_) != 0;
       if (in.op == Op::Reti) set_flag(kI, true);
       cyc = spec_.pc_push_bytes == 3 ? 5 : 4;
+      if constexpr (kTraced) {
+        tracer_->on_ret(*this, pc0, next, raw, in.op == Op::Reti);
+      }
       break;
+    }
     case Op::Brbs:
       if (flag(static_cast<SregBit>(in.bit))) {
         next = (pc0 + 1 + static_cast<std::uint32_t>(in.target)) & pc_mask_;
@@ -459,13 +510,13 @@ void Cpu::step() {
       }
       break;
     case Op::Sbic:
-      if (!((data_.load(kIoBase + in.k) >> in.bit) & 1)) {
+      if (!((load_mem<kTraced>(kIoBase + in.k) >> in.bit) & 1)) {
         next = skip_target(next);
         cyc = 2;
       }
       break;
     case Op::Sbis:
-      if ((data_.load(kIoBase + in.k) >> in.bit) & 1) {
+      if ((load_mem<kTraced>(kIoBase + in.k) >> in.bit) & 1) {
         next = skip_target(next);
         cyc = 2;
       }
@@ -473,20 +524,20 @@ void Cpu::step() {
 
     // --- Data transfer ---------------------------------------------------
     case Op::Lds:
-      set_reg(in.rd, data_.load(in.k));
+      set_reg(in.rd, load_mem<kTraced>(in.k));
       cyc = 2;
       break;
     case Op::Sts:
-      data_.store(in.k, reg(in.rd));
+      store_mem<kTraced>(in.k, reg(in.rd));
       cyc = 2;
       break;
     case Op::LdX:
-      set_reg(in.rd, data_.load(reg_pair(26)));
+      set_reg(in.rd, load_mem<kTraced>(reg_pair(26)));
       cyc = 2;
       break;
     case Op::LdXInc: {
       const std::uint16_t x = reg_pair(26);
-      set_reg(in.rd, data_.load(x));
+      set_reg(in.rd, load_mem<kTraced>(x));
       set_reg_pair(26, static_cast<std::uint16_t>(x + 1));
       cyc = 2;
       break;
@@ -494,13 +545,13 @@ void Cpu::step() {
     case Op::LdXDec: {
       const std::uint16_t x = static_cast<std::uint16_t>(reg_pair(26) - 1);
       set_reg_pair(26, x);
-      set_reg(in.rd, data_.load(x));
+      set_reg(in.rd, load_mem<kTraced>(x));
       cyc = 2;
       break;
     }
     case Op::LdYInc: {
       const std::uint16_t y = reg_pair(28);
-      set_reg(in.rd, data_.load(y));
+      set_reg(in.rd, load_mem<kTraced>(y));
       set_reg_pair(28, static_cast<std::uint16_t>(y + 1));
       cyc = 2;
       break;
@@ -508,17 +559,17 @@ void Cpu::step() {
     case Op::LdYDec: {
       const std::uint16_t y = static_cast<std::uint16_t>(reg_pair(28) - 1);
       set_reg_pair(28, y);
-      set_reg(in.rd, data_.load(y));
+      set_reg(in.rd, load_mem<kTraced>(y));
       cyc = 2;
       break;
     }
     case Op::LddY:
-      set_reg(in.rd, data_.load(static_cast<std::uint16_t>(reg_pair(28) + in.k)));
+      set_reg(in.rd, load_mem<kTraced>(static_cast<std::uint16_t>(reg_pair(28) + in.k)));
       cyc = 2;
       break;
     case Op::LdZInc: {
       const std::uint16_t z = reg_pair(30);
-      set_reg(in.rd, data_.load(z));
+      set_reg(in.rd, load_mem<kTraced>(z));
       set_reg_pair(30, static_cast<std::uint16_t>(z + 1));
       cyc = 2;
       break;
@@ -526,21 +577,21 @@ void Cpu::step() {
     case Op::LdZDec: {
       const std::uint16_t z = static_cast<std::uint16_t>(reg_pair(30) - 1);
       set_reg_pair(30, z);
-      set_reg(in.rd, data_.load(z));
+      set_reg(in.rd, load_mem<kTraced>(z));
       cyc = 2;
       break;
     }
     case Op::LddZ:
-      set_reg(in.rd, data_.load(static_cast<std::uint16_t>(reg_pair(30) + in.k)));
+      set_reg(in.rd, load_mem<kTraced>(static_cast<std::uint16_t>(reg_pair(30) + in.k)));
       cyc = 2;
       break;
     case Op::StX:
-      data_.store(reg_pair(26), reg(in.rd));
+      store_mem<kTraced>(reg_pair(26), reg(in.rd));
       cyc = 2;
       break;
     case Op::StXInc: {
       const std::uint16_t x = reg_pair(26);
-      data_.store(x, reg(in.rd));
+      store_mem<kTraced>(x, reg(in.rd));
       set_reg_pair(26, static_cast<std::uint16_t>(x + 1));
       cyc = 2;
       break;
@@ -548,13 +599,13 @@ void Cpu::step() {
     case Op::StXDec: {
       const std::uint16_t x = static_cast<std::uint16_t>(reg_pair(26) - 1);
       set_reg_pair(26, x);
-      data_.store(x, reg(in.rd));
+      store_mem<kTraced>(x, reg(in.rd));
       cyc = 2;
       break;
     }
     case Op::StYInc: {
       const std::uint16_t y = reg_pair(28);
-      data_.store(y, reg(in.rd));
+      store_mem<kTraced>(y, reg(in.rd));
       set_reg_pair(28, static_cast<std::uint16_t>(y + 1));
       cyc = 2;
       break;
@@ -562,17 +613,17 @@ void Cpu::step() {
     case Op::StYDec: {
       const std::uint16_t y = static_cast<std::uint16_t>(reg_pair(28) - 1);
       set_reg_pair(28, y);
-      data_.store(y, reg(in.rd));
+      store_mem<kTraced>(y, reg(in.rd));
       cyc = 2;
       break;
     }
     case Op::StdY:
-      data_.store(static_cast<std::uint16_t>(reg_pair(28) + in.k), reg(in.rd));
+      store_mem<kTraced>(static_cast<std::uint16_t>(reg_pair(28) + in.k), reg(in.rd));
       cyc = 2;
       break;
     case Op::StZInc: {
       const std::uint16_t z = reg_pair(30);
-      data_.store(z, reg(in.rd));
+      store_mem<kTraced>(z, reg(in.rd));
       set_reg_pair(30, static_cast<std::uint16_t>(z + 1));
       cyc = 2;
       break;
@@ -580,12 +631,12 @@ void Cpu::step() {
     case Op::StZDec: {
       const std::uint16_t z = static_cast<std::uint16_t>(reg_pair(30) - 1);
       set_reg_pair(30, z);
-      data_.store(z, reg(in.rd));
+      store_mem<kTraced>(z, reg(in.rd));
       cyc = 2;
       break;
     }
     case Op::StdZ:
-      data_.store(static_cast<std::uint16_t>(reg_pair(30) + in.k), reg(in.rd));
+      store_mem<kTraced>(static_cast<std::uint16_t>(reg_pair(30) + in.k), reg(in.rd));
       cyc = 2;
       break;
     case Op::LpmR0:
@@ -620,10 +671,10 @@ void Cpu::step() {
       break;
     }
     case Op::In:
-      set_reg(in.rd, data_.load(kIoBase + in.k));
+      set_reg(in.rd, load_mem<kTraced>(kIoBase + in.k));
       break;
     case Op::Out:
-      data_.store(kIoBase + in.k, reg(in.rd));
+      store_mem<kTraced>(kIoBase + in.k, reg(in.rd));
       break;
     case Op::Push:
       push_byte(reg(in.rd));
@@ -637,14 +688,14 @@ void Cpu::step() {
     // --- Bit operations ---------------------------------------------------
     case Op::Sbi: {
       const std::uint32_t addr = kIoBase + in.k;
-      data_.store(addr, static_cast<std::uint8_t>(data_.load(addr) |
+      store_mem<kTraced>(addr, static_cast<std::uint8_t>(load_mem<kTraced>(addr) |
                                                   (1u << in.bit)));
       cyc = 2;
       break;
     }
     case Op::Cbi: {
       const std::uint32_t addr = kIoBase + in.k;
-      data_.store(addr, static_cast<std::uint8_t>(data_.load(addr) &
+      store_mem<kTraced>(addr, static_cast<std::uint8_t>(load_mem<kTraced>(addr) &
                                                   ~(1u << in.bit)));
       cyc = 2;
       break;
@@ -670,22 +721,46 @@ void Cpu::step() {
     }
   }
 
+  if constexpr (kTraced) {
+    // Fires before the PC advances so watchpoint hits report the pc of the
+    // instruction that moved SP (the stk_move pivot's OUT, a push, ...).
+    const std::uint16_t sp1 = sp();
+    if (sp1 != sp0) tracer_->on_sp_change(*this, sp0, sp1);
+  }
+
   pc_ = next & pc_mask_;
   cycles_ += cyc;
   ++retired_;
   io_.tick(cycles_);
 
+  if constexpr (kTraced) tracer_->on_retire(*this, pc0, in, cyc);
+
   // Interrupt delivery between instructions (lowest vector slot wins).
   if (flag(kI) && !irq_lines_.empty()) {
     for (auto& [slot, take] : irq_lines_) {
       if (!take()) continue;
-      push_pc(pc_);
+      const std::uint32_t from = pc_;
+      [[maybe_unused]] std::uint16_t sp_before = 0;
+      if constexpr (kTraced) sp_before = sp();
+      push_pc(from);
       set_flag(kI, false);
       pc_ = (static_cast<std::uint32_t>(slot) * 2) & pc_mask_;
       cycles_ += 5;
       ++interrupts_taken_;
+      if constexpr (kTraced) {
+        tracer_->on_sp_change(*this, sp_before, sp());
+        tracer_->on_irq(*this, slot, from);
+      }
       break;
     }
+  }
+}
+
+void Cpu::step() {
+  if (tracer_ == nullptr) [[likely]] {
+    step_impl<false>();
+  } else {
+    step_impl<true>();
   }
 }
 
@@ -698,7 +773,17 @@ void Cpu::set_irq_line(std::uint8_t vector_slot, std::function<bool()> take) {
 std::uint64_t Cpu::run(std::uint64_t cycle_budget) {
   const std::uint64_t start = cycles_;
   const std::uint64_t deadline = start + cycle_budget;
-  while (state_ == CpuState::Running && cycles_ < deadline) step();
+  // Hoist the tracer dispatch out of the loop: the untraced instantiation
+  // is the pre-observability interpreter, branch-free on the hot path.
+  if (tracer_ == nullptr) [[likely]] {
+    while (state_ == CpuState::Running && cycles_ < deadline) {
+      step_impl<false>();
+    }
+  } else {
+    while (state_ == CpuState::Running && cycles_ < deadline) {
+      step_impl<true>();
+    }
+  }
   return cycles_ - start;
 }
 

@@ -35,6 +35,78 @@ struct FaultInfo {
   std::uint32_t pc_words = 0;   ///< word address of the faulting fetch
   std::uint16_t opcode = 0;     ///< first opcode word
   std::string reason;
+  std::uint64_t cycle = 0;      ///< cycle count when the fault hit
+  /// Forensics for smashed-stack diagnosis: the *raw* (unmasked) target of
+  /// the most recent RET/RETI before the fault. The architectural PC always
+  /// wraps through pc_mask_, so without this a wild return from a corrupted
+  /// stack is indistinguishable from a legitimate in-range return.
+  std::uint32_t last_ret_raw_words = 0;
+  bool last_ret_wrapped = false;  ///< raw target had bits above pc_mask_
+};
+
+class Cpu;
+
+/// Observation hooks invoked from Cpu::step() while a tracer is installed.
+///
+/// The disabled path costs exactly one branch on a null pointer per step;
+/// when enabled, step() switches to an instrumented instantiation of the
+/// interpreter loop, so the hooks below fire with zero cost added to the
+/// untraced build.
+///
+/// Hook timing: on_load/on_store/on_call/on_ret fire *during* the
+/// instruction (the Cpu still shows the pre-advance PC); on_sp_change fires
+/// after the executing instruction's data effects but before the PC
+/// advances; on_retire fires after the instruction fully completes;
+/// on_irq fires after the vector dispatch pushed the return address.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  /// One instruction retired. `pc_words` addresses the retired instruction;
+  /// the Cpu reflects post-execution state.
+  virtual void on_retire(const Cpu& cpu, std::uint32_t pc_words,
+                         const Instr& instr, std::uint32_t cycles) {
+    (void)cpu, (void)pc_words, (void)instr, (void)cycles;
+  }
+  /// CALL/RCALL/ICALL/EICALL edge (after the return address was pushed).
+  virtual void on_call(const Cpu& cpu, std::uint32_t from_words,
+                       std::uint32_t to_words, std::uint32_t ret_words) {
+    (void)cpu, (void)from_words, (void)to_words, (void)ret_words;
+  }
+  /// RET/RETI edge. `raw_words` is the popped target before PC masking —
+  /// on a smashed stack it can exceed the flash (to_words is the wrapped
+  /// address actually executed).
+  virtual void on_ret(const Cpu& cpu, std::uint32_t from_words,
+                      std::uint32_t to_words, std::uint32_t raw_words,
+                      bool reti) {
+    (void)cpu, (void)from_words, (void)to_words, (void)raw_words, (void)reti;
+  }
+  /// Interrupt accepted: vector `slot` dispatched, return address pushed.
+  virtual void on_irq(const Cpu& cpu, std::uint8_t slot,
+                      std::uint32_t from_words) {
+    (void)cpu, (void)slot, (void)from_words;
+  }
+  /// SP changed during the last instruction (push/pop/call/ret or a direct
+  /// store to SPL/SPH — the paper's stk_move pivot shows up here).
+  virtual void on_sp_change(const Cpu& cpu, std::uint16_t old_sp,
+                            std::uint16_t new_sp) {
+    (void)cpu, (void)old_sp, (void)new_sp;
+  }
+  /// Data-space load performed by the program (LD/LDS/LDD/IN/SBIC/SBIS).
+  virtual void on_load(const Cpu& cpu, std::uint32_t addr,
+                       std::uint8_t value) {
+    (void)cpu, (void)addr, (void)value;
+  }
+  /// Data-space store performed by the program (ST/STS/STD/OUT/SBI/CBI).
+  virtual void on_store(const Cpu& cpu, std::uint32_t addr,
+                        std::uint8_t value) {
+    (void)cpu, (void)addr, (void)value;
+  }
+  /// The core faulted (invalid opcode). `info` includes the raw target of
+  /// the most recent return for smashed-stack forensics.
+  virtual void on_fault(const Cpu& cpu, const FaultInfo& info) {
+    (void)cpu, (void)info;
+  }
 };
 
 /// One simulated AVR core with its Harvard memories and I/O bus.
@@ -110,7 +182,25 @@ class Cpu {
   /// Interrupts delivered since power-on.
   std::uint64_t interrupts_taken() const { return interrupts_taken_; }
 
+  /// Installs (or clears, with nullptr) the observation hooks. The Cpu does
+  /// not own the tracer; it must outlive the attachment. With no tracer the
+  /// interpreter runs a hook-free instantiation — the only residual cost is
+  /// one null check per run()/step() entry.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  /// Raw (unmasked) target of the most recent RET/RETI, for smashed-stack
+  /// forensics; see FaultInfo::last_ret_raw_words.
+  std::uint32_t last_ret_raw_words() const { return last_ret_raw_words_; }
+  bool last_ret_wrapped() const { return last_ret_wrapped_; }
+
  private:
+  template <bool kTraced>
+  void step_impl();
+  template <bool kTraced>
+  std::uint8_t load_mem(std::uint32_t addr);
+  template <bool kTraced>
+  void store_mem(std::uint32_t addr, std::uint8_t value);
   const Instr& decoded(std::uint32_t word_addr);
   void set_flag(SregBit bit, bool value);
   void flags_add(std::uint8_t d, std::uint8_t r, std::uint8_t carry_in,
@@ -139,6 +229,9 @@ class Cpu {
   std::uint64_t interrupts_taken_ = 0;
   CpuState state_ = CpuState::Running;
   FaultInfo fault_;
+  Tracer* tracer_ = nullptr;
+  std::uint32_t last_ret_raw_words_ = 0;
+  bool last_ret_wrapped_ = false;
   std::vector<std::pair<std::uint8_t, std::function<bool()>>> irq_lines_;
 
   // Decode cache, invalidated whenever the flash generation changes.

@@ -1,5 +1,7 @@
 #include "avr/uart.hpp"
 
+#include "support/error.hpp"
+
 namespace mavr::avr {
 
 UartConfig usart0_config(std::uint32_t clock_hz, std::uint32_t baud) {
@@ -10,12 +12,19 @@ UartConfig usart0_config(std::uint32_t clock_hz, std::uint32_t baud) {
                     .baud = baud};
 }
 
-Uart::Uart(IoBus& bus, const UartConfig& config)
-    : cycles_per_byte_(static_cast<std::uint64_t>(config.clock_hz) * 10 /
-                       config.baud) {
+Uart::Uart(IoBus& bus, const UartConfig& config) {
+  MAVR_REQUIRE(config.baud != 0, "uart baud rate must be non-zero");
+  MAVR_REQUIRE(config.clock_hz != 0, "uart clock must be non-zero");
+  cycles_per_byte_ =
+      static_cast<std::uint64_t>(config.clock_hz) * 10 / config.baud;
+  MAVR_REQUIRE(cycles_per_byte_ != 0,
+               "uart baud rate exceeds what the clock can pace");
   bus.on_read(config.status_addr, [this] { return read_status(); });
   bus.on_read(config.data_addr, [this] { return read_data(); });
-  bus.on_write(config.data_addr, [this](std::uint8_t b) { tx_.push_back(b); });
+  bus.on_write(config.data_addr, [this](std::uint8_t b) {
+    tx_.push_back(b);
+    if (tap_ != nullptr) tap_->on_tx(now_, b);
+  });
   bus.add_tickable(this);
 }
 
@@ -40,9 +49,17 @@ std::uint8_t Uart::read_status() const {
 }
 
 std::uint8_t Uart::read_data() {
-  if (rx_.empty() || rx_.front().ready_at > now_) return 0;
+  if (rx_.empty() || rx_.front().ready_at > now_) {
+    // Underrun: the real part's receive buffer just holds the last byte and
+    // an idle line rests at mark, so report 0xFF — never a synthetic 0x00
+    // that downstream parsers could mistake for payload.
+    ++rx_underruns_;
+    if (tap_ != nullptr) tap_->on_rx_underrun(now_);
+    return kUartIdleLine;
+  }
   const std::uint8_t byte = rx_.front().byte;
   rx_.pop_front();
+  if (tap_ != nullptr) tap_->on_rx(now_, byte);
   return byte;
 }
 

@@ -31,8 +31,33 @@ UartConfig usart0_config(std::uint32_t clock_hz, std::uint32_t baud);
 inline constexpr std::uint8_t kUartRxComplete = 0x80;  // RXCn
 inline constexpr std::uint8_t kUartTxReady = 0x20;     // UDREn
 
+/// Value UDRn reads as when the firmware reads with nothing received: an
+/// idle 8N1 line rests at mark (all ones), so the data register shows 0xFF
+/// rather than a fabricated 0x00 that could masquerade as real payload.
+inline constexpr std::uint8_t kUartIdleLine = 0xFF;
+
+/// Observation hooks for line activity, cycle-stamped with the simulated
+/// clock. Lets a tracer place host-visible MAVLink bytes on the same
+/// timeline as the instruction stream (see trace::Session).
+class UartTap {
+ public:
+  virtual ~UartTap() = default;
+  /// Firmware wrote a byte to UDRn (transmit toward the host).
+  virtual void on_tx(std::uint64_t cycle, std::uint8_t byte) {
+    (void)cycle, (void)byte;
+  }
+  /// Firmware consumed a received byte from UDRn.
+  virtual void on_rx(std::uint64_t cycle, std::uint8_t byte) {
+    (void)cycle, (void)byte;
+  }
+  /// Firmware read UDRn with no byte ready (saw kUartIdleLine).
+  virtual void on_rx_underrun(std::uint64_t cycle) { (void)cycle; }
+};
+
 class Uart : public Tickable {
  public:
+  /// Throws support::PreconditionError when the config is unusable
+  /// (zero baud or clock would make the pacing divide by zero).
   Uart(IoBus& bus, const UartConfig& config);
 
   // --- Host (simulation harness) side --------------------------------------
@@ -45,6 +70,15 @@ class Uart : public Tickable {
 
   /// Bytes queued but not yet consumed by the firmware.
   std::size_t rx_backlog() const { return rx_.size(); }
+
+  /// Data-register reads that found no byte ready (firmware raced the line
+  /// or polled without checking RXCn). Exported by the trace layer.
+  std::uint64_t rx_underruns() const { return rx_underruns_; }
+
+  /// Installs (or clears, with nullptr) the line-activity observer. Not
+  /// owned; must outlive the attachment.
+  void set_tap(UartTap* tap) { tap_ = tap; }
+  UartTap* tap() const { return tap_; }
 
   /// Simulated cycles needed to transfer `count` bytes at the line rate.
   std::uint64_t cycles_for_bytes(std::uint64_t count) const {
@@ -65,8 +99,10 @@ class Uart : public Tickable {
   std::uint64_t cycles_per_byte_;
   std::uint64_t now_ = 0;
   std::uint64_t rx_cursor_ = 0;  ///< pacing cursor for arriving bytes
+  std::uint64_t rx_underruns_ = 0;
   std::deque<Pending> rx_;
   support::Bytes tx_;
+  UartTap* tap_ = nullptr;
 };
 
 }  // namespace mavr::avr

@@ -36,15 +36,17 @@ float get_float(support::ByteReader& r) {
 }  // namespace
 
 std::uint16_t packet_crc(const Packet& packet) {
-  return crc_over(static_cast<std::uint8_t>(packet.payload.size() & 0xFF),
-                  packet);
+  MAVR_REQUIRE(packet.payload.size() <= kMaxPayload,
+               "mavlink payload exceeds the 255-byte length field");
+  return crc_over(static_cast<std::uint8_t>(packet.payload.size()), packet);
 }
 
 support::Bytes encode(const Packet& packet) {
+  MAVR_REQUIRE(packet.payload.size() <= kMaxPayload,
+               "mavlink payload exceeds the 255-byte length field");
   support::Bytes out;
   support::ByteWriter w(out);
-  const std::uint8_t len =
-      static_cast<std::uint8_t>(packet.payload.size() & 0xFF);
+  const std::uint8_t len = static_cast<std::uint8_t>(packet.payload.size());
   w.u8(kMagic);
   w.u8(len);
   w.u8(packet.sysid);

@@ -56,13 +56,17 @@ struct Packet {
   MsgId id() const { return static_cast<MsgId>(msgid); }
 };
 
-/// Serializes a packet. Payloads longer than 255 bytes are *permitted* and
-/// encoded with a wrapped length byte — this is deliberately the attacker's
-/// oversized-packet capability from §IV-B (the paper removed the length
-/// check; a conforming implementation would reject these).
+/// Serializes a packet. Payloads up to kMaxPayload (255) bytes are
+/// permitted — the attacker's oversized-packet capability from §IV-B is a
+/// payload longer than the *handler's buffer* (tens of bytes), which the
+/// wire format carries fine. Beyond 255 the one-byte length field cannot
+/// represent the payload at all; encoding used to silently truncate the
+/// length byte while still writing every payload byte, producing an
+/// undecodable stream. Now throws support::PreconditionError instead.
 support::Bytes encode(const Packet& packet);
 
-/// Computes the checksum the same way encode() does.
+/// Computes the checksum the same way encode() does. Same kMaxPayload
+/// precondition as encode().
 std::uint16_t packet_crc(const Packet& packet);
 
 /// Streaming parser: feed bytes, poll packets. Malformed input (bad magic,

@@ -78,15 +78,21 @@ void Board::reset() { cpu_.reset(); }
 
 void Board::run_cycles(std::uint64_t cycles) {
   if (in_bootloader_) return;  // core held in the bootloader stub
-  if (!trace_hook_) {
-    cpu_.run(cycles);
+  cpu_.run(cycles);
+}
+
+void Board::set_trace_hook(std::function<void(const avr::Cpu&)> hook) {
+  if (hook) {
+    hook_tracer_ = std::make_unique<HookTracer>(std::move(hook));
+    cpu_.set_tracer(hook_tracer_.get());
     return;
   }
-  const std::uint64_t deadline = cpu_.cycles() + cycles;
-  while (cpu_.state() == avr::CpuState::Running && cpu_.cycles() < deadline) {
-    trace_hook_(cpu_);
-    cpu_.step();
+  // Only release the tracer slot if it is still ours — a trace::Session
+  // attached after us keeps its hooks.
+  if (hook_tracer_ && cpu_.tracer() == hook_tracer_.get()) {
+    cpu_.set_tracer(nullptr);
   }
+  hook_tracer_.reset();
 }
 
 }  // namespace mavr::sim

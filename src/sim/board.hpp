@@ -82,7 +82,6 @@ class Board {
   void reset();
 
   /// Runs the application for `cycles` CPU cycles (no-op in bootloader).
-  /// When a trace hook is installed it is invoked before every instruction.
   void run_cycles(std::uint64_t cycles);
 
   /// True when the core faulted (invalid opcode — "executing garbage").
@@ -91,10 +90,12 @@ class Board {
   }
 
   /// Per-instruction observation hook (used by the attacker's replica run
-  /// to locate the vulnerable frame). Pass nullptr to remove.
-  void set_trace_hook(std::function<void(const avr::Cpu&)> hook) {
-    trace_hook_ = std::move(hook);
-  }
+  /// to locate the vulnerable frame). Pass nullptr to remove. Implemented
+  /// as an avr::Tracer retire hook, so it observes the Cpu with pc() at the
+  /// next instruction to execute — the same point the old pre-step loop
+  /// exposed. Installing a hook claims the Cpu's tracer slot; for composite
+  /// sinks attach a trace::Session to cpu() directly instead.
+  void set_trace_hook(std::function<void(const avr::Cpu&)> hook);
 
   // --- Peripherals ----------------------------------------------------------------
   avr::Cpu& cpu() { return cpu_; }
@@ -109,6 +110,20 @@ class Board {
   avr::Timer& tick_timer() { return *timer_; }
 
  private:
+  /// Adapts the legacy std::function hook onto the Tracer interface.
+  class HookTracer : public avr::Tracer {
+   public:
+    explicit HookTracer(std::function<void(const avr::Cpu&)> hook)
+        : hook_(std::move(hook)) {}
+    void on_retire(const avr::Cpu& cpu, std::uint32_t, const avr::Instr&,
+                   std::uint32_t) override {
+      hook_(cpu);
+    }
+
+   private:
+    std::function<void(const avr::Cpu&)> hook_;
+  };
+
   avr::Cpu cpu_;
   std::unique_ptr<avr::Uart> uart_;
   std::unique_ptr<Sensor16> gyro_[3];
@@ -117,7 +132,7 @@ class Board {
   std::unique_ptr<avr::OutputPort> feed_;
   std::unique_ptr<avr::OutputPort> led_;
   std::unique_ptr<avr::Timer> timer_;
-  std::function<void(const avr::Cpu&)> trace_hook_;
+  std::unique_ptr<HookTracer> hook_tracer_;
   bool readout_protected_ = false;
   bool in_bootloader_ = false;
   bool erased_this_session_ = false;

@@ -1,0 +1,202 @@
+#include "trace/events.hpp"
+
+#include <sstream>
+
+#include "avr/instr.hpp"
+#include "support/error.hpp"
+
+namespace mavr::trace {
+
+namespace {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Retire: return "retire";
+    case EventKind::Call: return "call";
+    case EventKind::Ret: return "ret";
+    case EventKind::Irq: return "irq";
+    case EventKind::SpChange: return "sp";
+    case EventKind::Load: return "load";
+    case EventKind::Store: return "store";
+    case EventKind::Fault: return "fault";
+    case EventKind::UartTx: return "uart_tx";
+    case EventKind::UartRx: return "uart_rx";
+    case EventKind::UartUnderrun: return "uart_underrun";
+    case EventKind::WatchHit: return "watch_hit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExecutionTrace::ExecutionTrace(std::size_t capacity, std::uint32_t mask)
+    : mask_(mask) {
+  MAVR_REQUIRE(capacity > 0, "trace ring capacity must be non-zero");
+  buffer_.resize(capacity);
+}
+
+void ExecutionTrace::record(const Event& event) {
+  if ((mask_ & mask_of(event.kind)) == 0) return;
+  ++total_;
+  if (count_ < buffer_.size()) {
+    buffer_[(head_ + count_) % buffer_.size()] = event;
+    ++count_;
+  } else {
+    buffer_[head_] = event;
+    head_ = (head_ + 1) % buffer_.size();
+  }
+}
+
+const Event& ExecutionTrace::at(std::size_t index) const {
+  MAVR_REQUIRE(index < count_, "trace event index out of range");
+  return buffer_[(head_ + index) % buffer_.size()];
+}
+
+void ExecutionTrace::clear() {
+  head_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
+std::string ExecutionTrace::jsonl() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Event& e = at(i);
+    os << "{\"cycle\":" << e.cycle << ",\"kind\":\"" << kind_name(e.kind)
+       << "\",\"pc\":" << e.pc_words;
+    switch (e.kind) {
+      case EventKind::Retire:
+        os << ",\"op\":\"" << avr::op_name(static_cast<avr::Op>(e.op))
+           << "\",\"cycles\":" << e.a;
+        break;
+      case EventKind::Call:
+        os << ",\"to\":" << e.a << ",\"ret\":" << e.b;
+        break;
+      case EventKind::Ret:
+        os << ",\"to\":" << e.a << ",\"raw\":" << e.b
+           << ",\"wrapped\":" << (e.a != e.b ? "true" : "false");
+        break;
+      case EventKind::Irq:
+        os << ",\"slot\":" << e.a << ",\"from\":" << e.b;
+        break;
+      case EventKind::SpChange:
+        os << ",\"sp_from\":" << e.a << ",\"sp_to\":" << e.b;
+        break;
+      case EventKind::Load:
+      case EventKind::Store:
+        os << ",\"addr\":" << e.a << ",\"value\":" << e.b;
+        break;
+      case EventKind::Fault:
+        os << ",\"opcode\":" << e.a << ",\"last_ret_raw\":" << e.b;
+        break;
+      case EventKind::UartTx:
+      case EventKind::UartRx:
+        os << ",\"byte\":" << e.a;
+        break;
+      case EventKind::UartUnderrun:
+        break;
+      case EventKind::WatchHit:
+        os << ",\"watch\":" << e.a << ",\"value\":" << e.b;
+        break;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string ExecutionTrace::csv() const {
+  std::ostringstream os;
+  os << "kind,cycle,pc_words,op,a,b\n";
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Event& e = at(i);
+    os << kind_name(e.kind) << ',' << e.cycle << ',' << e.pc_words << ',';
+    if (e.kind == EventKind::Retire) {
+      os << avr::op_name(static_cast<avr::Op>(e.op));
+    }
+    os << ',' << e.a << ',' << e.b << '\n';
+  }
+  return os.str();
+}
+
+void ExecutionTrace::on_retire(const avr::Cpu& cpu, std::uint32_t pc_words,
+                               const avr::Instr& instr, std::uint32_t cycles) {
+  record(Event{.kind = EventKind::Retire,
+               .op = static_cast<std::uint8_t>(instr.op),
+               .cycle = cpu.cycles(),
+               .pc_words = pc_words,
+               .a = cycles,
+               .b = 0});
+}
+
+void ExecutionTrace::on_call(const avr::Cpu& cpu, std::uint32_t from_words,
+                             std::uint32_t to_words, std::uint32_t ret_words) {
+  record(Event{.kind = EventKind::Call,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = from_words,
+               .a = to_words,
+               .b = ret_words});
+}
+
+void ExecutionTrace::on_ret(const avr::Cpu& cpu, std::uint32_t from_words,
+                            std::uint32_t to_words, std::uint32_t raw_words,
+                            bool /*reti*/) {
+  record(Event{.kind = EventKind::Ret,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = from_words,
+               .a = to_words,
+               .b = raw_words});
+}
+
+void ExecutionTrace::on_irq(const avr::Cpu& cpu, std::uint8_t slot,
+                            std::uint32_t from_words) {
+  record(Event{.kind = EventKind::Irq,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = cpu.pc(),
+               .a = slot,
+               .b = from_words});
+}
+
+void ExecutionTrace::on_sp_change(const avr::Cpu& cpu, std::uint16_t old_sp,
+                                  std::uint16_t new_sp) {
+  record(Event{.kind = EventKind::SpChange,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = cpu.pc(),
+               .a = old_sp,
+               .b = new_sp});
+}
+
+void ExecutionTrace::on_load(const avr::Cpu& cpu, std::uint32_t addr,
+                             std::uint8_t value) {
+  record(Event{.kind = EventKind::Load,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = cpu.pc(),
+               .a = addr,
+               .b = value});
+}
+
+void ExecutionTrace::on_store(const avr::Cpu& cpu, std::uint32_t addr,
+                              std::uint8_t value) {
+  record(Event{.kind = EventKind::Store,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = cpu.pc(),
+               .a = addr,
+               .b = value});
+}
+
+void ExecutionTrace::on_fault(const avr::Cpu& cpu,
+                              const avr::FaultInfo& info) {
+  record(Event{.kind = EventKind::Fault,
+               .op = 0,
+               .cycle = cpu.cycles(),
+               .pc_words = info.pc_words,
+               .a = info.opcode,
+               .b = info.last_ret_raw_words});
+}
+
+}  // namespace mavr::trace

@@ -1,0 +1,66 @@
+// Fan-out Tracer: forwards every hook to an ordered list of children, so a
+// ring-buffer trace, a profiler and watchpoints can all observe one run
+// through the Cpu's single tracer slot.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "avr/cpu.hpp"
+
+namespace mavr::trace {
+
+class MultiTracer : public avr::Tracer {
+ public:
+  /// Children are not owned and are invoked in registration order.
+  void add(avr::Tracer* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+  void remove(avr::Tracer* child) {
+    children_.erase(std::remove(children_.begin(), children_.end(), child),
+                    children_.end());
+  }
+  std::size_t size() const { return children_.size(); }
+
+  void on_retire(const avr::Cpu& cpu, std::uint32_t pc_words,
+                 const avr::Instr& instr, std::uint32_t cycles) override {
+    for (avr::Tracer* t : children_) t->on_retire(cpu, pc_words, instr, cycles);
+  }
+  void on_call(const avr::Cpu& cpu, std::uint32_t from_words,
+               std::uint32_t to_words, std::uint32_t ret_words) override {
+    for (avr::Tracer* t : children_) {
+      t->on_call(cpu, from_words, to_words, ret_words);
+    }
+  }
+  void on_ret(const avr::Cpu& cpu, std::uint32_t from_words,
+              std::uint32_t to_words, std::uint32_t raw_words,
+              bool reti) override {
+    for (avr::Tracer* t : children_) {
+      t->on_ret(cpu, from_words, to_words, raw_words, reti);
+    }
+  }
+  void on_irq(const avr::Cpu& cpu, std::uint8_t slot,
+              std::uint32_t from_words) override {
+    for (avr::Tracer* t : children_) t->on_irq(cpu, slot, from_words);
+  }
+  void on_sp_change(const avr::Cpu& cpu, std::uint16_t old_sp,
+                    std::uint16_t new_sp) override {
+    for (avr::Tracer* t : children_) t->on_sp_change(cpu, old_sp, new_sp);
+  }
+  void on_load(const avr::Cpu& cpu, std::uint32_t addr,
+               std::uint8_t value) override {
+    for (avr::Tracer* t : children_) t->on_load(cpu, addr, value);
+  }
+  void on_store(const avr::Cpu& cpu, std::uint32_t addr,
+                std::uint8_t value) override {
+    for (avr::Tracer* t : children_) t->on_store(cpu, addr, value);
+  }
+  void on_fault(const avr::Cpu& cpu, const avr::FaultInfo& info) override {
+    for (avr::Tracer* t : children_) t->on_fault(cpu, info);
+  }
+
+ private:
+  std::vector<avr::Tracer*> children_;
+};
+
+}  // namespace mavr::trace

@@ -1,0 +1,108 @@
+#include "trace/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace mavr::trace {
+
+Profiler::Profiler(const toolchain::Image& image) {
+  for (const toolchain::Symbol& fn : image.functions()) {
+    if (fn.size == 0) continue;
+    ranges_.push_back(Range{.begin = fn.addr, .end = fn.addr + fn.size});
+    stats_.push_back(FunctionStats{
+        .name = fn.name, .byte_addr = fn.addr, .size = fn.size});
+  }
+  // Image::functions() returns ascending addresses; keep the invariant
+  // explicit for the binary search below.
+  MAVR_CHECK(std::is_sorted(ranges_.begin(), ranges_.end(),
+                            [](const Range& a, const Range& b) {
+                              return a.begin < b.begin;
+                            }),
+             "function symbols not sorted by address");
+}
+
+int Profiler::index_of(std::uint32_t byte_addr) const {
+  if (last_index_ >= 0) {
+    const Range& r = ranges_[static_cast<std::size_t>(last_index_)];
+    if (byte_addr >= r.begin && byte_addr < r.end) return last_index_;
+  }
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), byte_addr,
+      [](std::uint32_t addr, const Range& r) { return addr < r.begin; });
+  if (it == ranges_.begin()) return -1;
+  --it;
+  if (byte_addr >= it->end) return -1;
+  last_index_ = static_cast<int>(it - ranges_.begin());
+  return last_index_;
+}
+
+void Profiler::on_retire(const avr::Cpu& /*cpu*/, std::uint32_t pc_words,
+                         const avr::Instr& /*instr*/, std::uint32_t cycles) {
+  total_cycles_ += cycles;
+  const int idx = index_of(pc_words * 2);
+  if (idx < 0) {
+    unattributed_cycles_ += cycles;
+    return;
+  }
+  FunctionStats& s = stats_[static_cast<std::size_t>(idx)];
+  s.cycles += cycles;
+  ++s.instructions;
+}
+
+void Profiler::on_call(const avr::Cpu& /*cpu*/, std::uint32_t /*from_words*/,
+                       std::uint32_t to_words, std::uint32_t /*ret_words*/) {
+  const int idx = index_of(to_words * 2);
+  if (idx >= 0) ++stats_[static_cast<std::size_t>(idx)].calls;
+}
+
+std::vector<Profiler::FunctionStats> Profiler::by_cycles() const {
+  std::vector<FunctionStats> out;
+  for (const FunctionStats& s : stats_) {
+    if (s.instructions > 0 || s.calls > 0) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FunctionStats& a, const FunctionStats& b) {
+              if (a.cycles != b.cycles) return a.cycles > b.cycles;
+              return a.byte_addr < b.byte_addr;
+            });
+  return out;
+}
+
+const Profiler::FunctionStats* Profiler::lookup(std::string_view name) const {
+  for (const FunctionStats& s : stats_) {
+    if (s.name == name) return (s.instructions || s.calls) ? &s : nullptr;
+  }
+  return nullptr;
+}
+
+std::string Profiler::report(std::size_t top_n) const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-28s %10s %12s %12s %7s\n", "function",
+                "calls", "cycles", "instrs", "cyc%");
+  os << line;
+  const double total =
+      total_cycles_ > 0 ? static_cast<double>(total_cycles_) : 1.0;
+  std::size_t shown = 0;
+  for (const FunctionStats& s : by_cycles()) {
+    if (shown++ == top_n) break;
+    std::snprintf(line, sizeof line, "%-28s %10llu %12llu %12llu %6.2f%%\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.calls),
+                  static_cast<unsigned long long>(s.cycles),
+                  static_cast<unsigned long long>(s.instructions),
+                  100.0 * static_cast<double>(s.cycles) / total);
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "%-28s %10s %12llu %12s %6.2f%%\n",
+                "(outside known functions)", "",
+                static_cast<unsigned long long>(unattributed_cycles_), "",
+                100.0 * static_cast<double>(unattributed_cycles_) / total);
+  os << line;
+  return os.str();
+}
+
+}  // namespace mavr::trace

@@ -1,0 +1,78 @@
+#include "trace/session.hpp"
+
+namespace mavr::trace {
+
+Session::Session() : Session(Options{}) {}
+
+Session::Session(const Options& options)
+    : trace_(options.trace_capacity, options.trace_mask) {
+  mux_.add(&trace_);
+  mux_.add(&watchpoints_);
+  watchpoints_.set_sink(&trace_);
+}
+
+Session::Session(const toolchain::Image& image)
+    : Session(image, Options{}) {}
+
+Session::Session(const toolchain::Image& image, const Options& options)
+    : Session(options) {
+  profiler_.emplace(image);
+  mux_.add(&*profiler_);
+}
+
+Session::~Session() { detach(); }
+
+void Session::attach(avr::Cpu& cpu, avr::Uart* uart) {
+  detach();
+  cpu_ = &cpu;
+  cpu_->set_tracer(&mux_);
+  if (uart != nullptr) {
+    uart_ = uart;
+    uart_->set_tap(this);
+  }
+}
+
+void Session::detach() {
+  if (cpu_ != nullptr && cpu_->tracer() == &mux_) cpu_->set_tracer(nullptr);
+  cpu_ = nullptr;
+  if (uart_ != nullptr && uart_->tap() == this) uart_->set_tap(nullptr);
+  uart_ = nullptr;
+}
+
+void Session::on_tx(std::uint64_t cycle, std::uint8_t byte) {
+  trace_.record(Event{.kind = EventKind::UartTx,
+                      .op = 0,
+                      .cycle = cycle,
+                      .pc_words = 0,
+                      .a = byte,
+                      .b = 0});
+  if (auto packet = tx_parser_.push(byte)) {
+    packets_.push_back(PacketRecord{
+        .cycle = cycle, .to_host = true, .packet = std::move(*packet)});
+  }
+}
+
+void Session::on_rx(std::uint64_t cycle, std::uint8_t byte) {
+  trace_.record(Event{.kind = EventKind::UartRx,
+                      .op = 0,
+                      .cycle = cycle,
+                      .pc_words = 0,
+                      .a = byte,
+                      .b = 0});
+  if (auto packet = rx_parser_.push(byte)) {
+    packets_.push_back(PacketRecord{
+        .cycle = cycle, .to_host = false, .packet = std::move(*packet)});
+  }
+}
+
+void Session::on_rx_underrun(std::uint64_t cycle) {
+  ++uart_underruns_;
+  trace_.record(Event{.kind = EventKind::UartUnderrun,
+                      .op = 0,
+                      .cycle = cycle,
+                      .pc_words = 0,
+                      .a = 0,
+                      .b = 0});
+}
+
+}  // namespace mavr::trace

@@ -1,0 +1,92 @@
+// One-stop observability session: bundles the ring-buffer trace, the
+// per-function profiler and the watchpoint engine behind the Cpu's single
+// tracer slot, and (optionally) taps a Uart so host-visible MAVLink
+// packets land on the same cycle timeline as the instruction stream.
+//
+//   trace::Session session(firmware.image);
+//   session.watchpoints().watch_sp(lo, hi, trace::SpWatchMode::Inside);
+//   session.attach(board.cpu(), &board.telemetry());
+//   board.run_cycles(...);
+//   std::string jsonl = session.trace().jsonl();
+//   std::string prof  = session.profiler()->report();
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "avr/cpu.hpp"
+#include "avr/uart.hpp"
+#include "mavlink/mavlink.hpp"
+#include "toolchain/image.hpp"
+#include "trace/events.hpp"
+#include "trace/multi.hpp"
+#include "trace/profiler.hpp"
+#include "trace/watchpoints.hpp"
+
+namespace mavr::trace {
+
+class Session : public avr::UartTap {
+ public:
+  struct Options {
+    std::size_t trace_capacity = std::size_t{1} << 16;
+    std::uint32_t trace_mask = kDefaultMask;
+  };
+
+  /// Session without a symbol table: trace + watchpoints, no profiler.
+  Session();
+  explicit Session(const Options& options);
+  /// Session with per-function profiling keyed off `image`'s symbols.
+  explicit Session(const toolchain::Image& image);
+  Session(const toolchain::Image& image, const Options& options);
+  ~Session() override;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Claims `cpu`'s tracer slot (and `uart`'s tap, when given). Detaches
+  /// automatically on destruction.
+  void attach(avr::Cpu& cpu, avr::Uart* uart = nullptr);
+  void detach();
+  bool attached() const { return cpu_ != nullptr; }
+
+  ExecutionTrace& trace() { return trace_; }
+  const ExecutionTrace& trace() const { return trace_; }
+  Watchpoints& watchpoints() { return watchpoints_; }
+  const Watchpoints& watchpoints() const { return watchpoints_; }
+  /// nullptr when constructed without an image.
+  Profiler* profiler() { return profiler_ ? &*profiler_ : nullptr; }
+  const Profiler* profiler() const { return profiler_ ? &*profiler_ : nullptr; }
+
+  /// One MAVLink packet reassembled from tapped UART bytes. `cycle` is the
+  /// simulated time the final CRC byte crossed the line.
+  struct PacketRecord {
+    std::uint64_t cycle = 0;
+    bool to_host = false;  ///< true: firmware→GCS (TX), false: GCS→firmware
+    mavlink::Packet packet;
+  };
+  const std::vector<PacketRecord>& packets() const { return packets_; }
+
+  /// Data-register reads that found no byte ready, as seen by the tap.
+  std::uint64_t uart_underruns() const { return uart_underruns_; }
+
+  // --- UartTap hooks ---------------------------------------------------------
+  void on_tx(std::uint64_t cycle, std::uint8_t byte) override;
+  void on_rx(std::uint64_t cycle, std::uint8_t byte) override;
+  void on_rx_underrun(std::uint64_t cycle) override;
+
+ private:
+  MultiTracer mux_;
+  ExecutionTrace trace_;
+  Watchpoints watchpoints_;
+  std::optional<Profiler> profiler_;
+  mavlink::Parser tx_parser_;
+  mavlink::Parser rx_parser_;
+  std::vector<PacketRecord> packets_;
+  std::uint64_t uart_underruns_ = 0;
+  avr::Cpu* cpu_ = nullptr;
+  avr::Uart* uart_ = nullptr;
+};
+
+}  // namespace mavr::trace

@@ -228,6 +228,40 @@ TEST_F(CpuTest, RetPopsThreeBytes) {
   EXPECT_EQ(cpu_.sp(), 0x21F3);
 }
 
+TEST_F(CpuTest, RetKeepsRawReturnAddressForForensics) {
+  // Regression: pop_pc masked the popped value before anyone saw it, so a
+  // smashed frame whose third byte pointed past the end of flash was
+  // indistinguishable from a legitimate return after wrapping. The
+  // architectural PC must still wrap, but the raw bytes are now preserved
+  // for the tracer and carried into any subsequent fault record.
+  load({enc_no_operand(Op::Ret),  // 0: returns "to" 0x20001 -> wraps to 1
+        0x0001});                 // 1: reserved encoding, faults
+  cpu_.set_sp(0x21F0);
+  cpu_.data().set_raw(0x21F1, 0x02);  // bits 16..23: above the 128K-word mask
+  cpu_.data().set_raw(0x21F2, 0x00);
+  cpu_.data().set_raw(0x21F3, 0x01);
+  step(1);
+  EXPECT_EQ(cpu_.pc(), 1u);  // masked semantics unchanged
+  EXPECT_EQ(cpu_.last_ret_raw_words(), 0x20001u);
+  EXPECT_TRUE(cpu_.last_ret_wrapped());
+  step(1);  // invalid opcode at the wrapped target
+  ASSERT_EQ(cpu_.state(), CpuState::Faulted);
+  EXPECT_EQ(cpu_.fault().last_ret_raw_words, 0x20001u);
+  EXPECT_TRUE(cpu_.fault().last_ret_wrapped);
+  EXPECT_GT(cpu_.fault().cycle, 0u);
+}
+
+TEST_F(CpuTest, InRangeRetReportsUnwrapped) {
+  load({enc_no_operand(Op::Ret)});
+  cpu_.set_sp(0x21F0);
+  cpu_.data().set_raw(0x21F1, 0x01);
+  cpu_.data().set_raw(0x21F2, 0x5D);
+  cpu_.data().set_raw(0x21F3, 0x64);
+  step(1);
+  EXPECT_EQ(cpu_.last_ret_raw_words(), 0x15D64u);
+  EXPECT_FALSE(cpu_.last_ret_wrapped());
+}
+
 TEST_F(CpuTest, PushPopRoundTrip) {
   load({enc_imm(Op::Ldi, 24, 0xAB), enc_push(24), enc_pop(25)});
   step(3);

@@ -2,6 +2,9 @@
 // line + servos), input ports, the I/O bus and the memory models.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "avr/cpu.hpp"
 #include "avr/gpio.hpp"
 #include "avr/uart.hpp"
@@ -68,6 +71,96 @@ TEST_F(DeviceTest, UartBacklogAndTiming) {
   // 100 bytes at 115200 baud = 100 * 1388 cycles.
   EXPECT_NEAR(static_cast<double>(uart_.cycles_for_bytes(100)),
               100.0 * 16e6 * 10 / 115200, 100.0);
+}
+
+TEST(UartConfig, UnpaceableRatesRejected) {
+  // Regression: a zero baud (or zero clock) used to divide by zero when
+  // deriving cycles_per_byte; a baud above clock*10 silently produced a
+  // zero-cycle byte time (infinite line rate). All three must throw.
+  Cpu cpu(avr::atmega2560());
+  EXPECT_THROW(avr::Uart(cpu.io(), avr::usart0_config(16'000'000, 0)),
+               support::PreconditionError);
+  EXPECT_THROW(avr::Uart(cpu.io(), avr::usart0_config(0, 115200)),
+               support::PreconditionError);
+  EXPECT_THROW(avr::Uart(cpu.io(), avr::usart0_config(16, 115200)),
+               support::PreconditionError);
+}
+
+namespace {
+struct RecordingTap : avr::UartTap {
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> tx;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> rx;
+  std::uint64_t underruns = 0;
+  void on_tx(std::uint64_t cycle, std::uint8_t byte) override {
+    tx.emplace_back(cycle, byte);
+  }
+  void on_rx(std::uint64_t cycle, std::uint8_t byte) override {
+    rx.emplace_back(cycle, byte);
+  }
+  void on_rx_underrun(std::uint64_t) override { ++underruns; }
+};
+}  // namespace
+
+TEST_F(DeviceTest, UartUnderrunReadsIdleLine) {
+  // Regression: reading UDRn with nothing received used to return a
+  // fabricated 0x00 that a MAVLink parser could take for payload. An 8N1
+  // line idles at mark, so the read must see 0xFF — and be counted.
+  RecordingTap tap;
+  uart_.set_tap(&tap);
+  load({enc_lds(25, 0xC6).first, enc_lds(25, 0xC6).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(100);
+  EXPECT_EQ(cpu_.reg(25), avr::kUartIdleLine);
+  EXPECT_EQ(uart_.rx_underruns(), 1u);
+  EXPECT_EQ(tap.underruns, 1u);
+  EXPECT_TRUE(tap.rx.empty());
+}
+
+TEST_F(DeviceTest, UartTapSeesLineActivity) {
+  RecordingTap tap;
+  uart_.set_tap(&tap);
+  const std::uint8_t msg[] = {0x42};
+  uart_.host_send(msg);
+  load({enc_imm(Op::Ldi, 24, 0xAA), enc_sts(0xC6, 24).first,
+        enc_sts(0xC6, 24).second,
+        enc_lds(24, 0xC0).first, enc_lds(24, 0xC0).second,
+        enc_skip_reg(Op::Sbrs, 24, 7), enc_rel_jump(Op::Rjmp, -4),
+        enc_lds(25, 0xC6).first, enc_lds(25, 0xC6).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(10'000);
+  ASSERT_EQ(tap.tx.size(), 1u);
+  EXPECT_EQ(tap.tx[0].second, 0xAA);
+  ASSERT_EQ(tap.rx.size(), 1u);
+  EXPECT_EQ(tap.rx[0].second, 0x42);
+  // The RX byte became visible only after one byte-time on the line.
+  EXPECT_GE(tap.rx[0].first, uart_.cycles_for_bytes(1));
+  EXPECT_EQ(uart_.rx_underruns(), 0u);
+  uart_.set_tap(nullptr);
+}
+
+TEST_F(DeviceTest, UartBackToBackHostSendsPaceContiguously) {
+  // Two host_send calls issued at the same instant must land one byte-time
+  // apart (the pacing cursor carries across calls), not both at t+1.
+  const std::uint8_t first[] = {0x11};
+  const std::uint8_t second[] = {0x22};
+  uart_.host_send(first);
+  uart_.host_send(second);
+  load({enc_lds(24, 0xC0).first, enc_lds(24, 0xC0).second,
+        enc_skip_reg(Op::Sbrs, 24, 7), enc_rel_jump(Op::Rjmp, -4),
+        enc_lds(25, 0xC6).first, enc_lds(25, 0xC6).second,
+        enc_lds(24, 0xC0).first, enc_lds(24, 0xC0).second,
+        enc_skip_reg(Op::Sbrs, 24, 7), enc_rel_jump(Op::Rjmp, -4),
+        enc_lds(26, 0xC6).first, enc_lds(26, 0xC6).second,
+        enc_no_operand(Op::Break)});
+  cpu_.run(10'000);
+  EXPECT_EQ(cpu_.state(), avr::CpuState::Stopped);
+  EXPECT_EQ(cpu_.reg(25), 0x11);
+  EXPECT_EQ(cpu_.reg(26), 0x22);
+  // Finished only after TWO byte-times (second byte paced behind the
+  // first), but promptly after that — not re-based to a later cursor.
+  EXPECT_GT(cpu_.cycles(), uart_.cycles_for_bytes(2));
+  EXPECT_LT(cpu_.cycles(), uart_.cycles_for_bytes(2) + 200);
+  EXPECT_EQ(uart_.rx_underruns(), 0u);
 }
 
 TEST_F(DeviceTest, OutputPortRecordsHistory) {

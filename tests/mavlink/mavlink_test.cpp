@@ -172,6 +172,69 @@ TEST(Parser, OversizedAttackPayloadParses) {
   EXPECT_EQ(packets[0].payload.size(), 200u);
 }
 
+TEST(Packet, PayloadBeyondLengthFieldRejected) {
+  // Regression: encode() used to truncate the length byte (256 -> 0) while
+  // still writing all 256 payload bytes, emitting a stream no parser could
+  // ever frame. Both serialization entry points must refuse instead.
+  Packet p;
+  p.msgid = 23;
+  p.payload.assign(kMaxPayload + 1, 0xAB);
+  EXPECT_THROW(encode(p), support::PreconditionError);
+  EXPECT_THROW(packet_crc(p), support::PreconditionError);
+}
+
+TEST(Parser, MaxLengthPayloadRoundTrips) {
+  // 255 is the largest payload the one-byte length field can carry; it must
+  // keep working right up to the limit the previous test enforces.
+  Packet p;
+  p.msgid = 23;
+  support::Rng rng(7);
+  for (std::size_t i = 0; i < kMaxPayload; ++i) {
+    p.payload.push_back(static_cast<std::uint8_t>(rng.next()));
+  }
+  Parser parser;
+  const auto packets = parser.push(encode(p));
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload, p.payload);
+}
+
+TEST(Parser, TruncatedFrameEatsIntoNextButRecovers) {
+  // A frame cut mid-payload makes the parser consume the next frame's first
+  // bytes as the missing payload + CRC. That packet fails its checksum; the
+  // parser must resynchronize on the following frame.
+  Heartbeat hb;
+  const support::Bytes full = encode(hb.to_packet(1, 0));
+  support::Bytes stream(full.begin(), full.begin() + 10);  // truncated
+  const support::Bytes second = encode(hb.to_packet(1, 1));
+  const support::Bytes third = encode(hb.to_packet(1, 2));
+  stream.insert(stream.end(), second.begin(), second.end());
+  stream.insert(stream.end(), third.begin(), third.end());
+  Parser parser;
+  const auto packets = parser.push(stream);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].seq, 2);
+  EXPECT_EQ(parser.crc_errors(), 1u);
+  EXPECT_GT(parser.dropped_bytes(), 0u);
+}
+
+TEST(Parser, InterleavedGarbageBetweenFrames) {
+  Heartbeat hb;
+  const support::Bytes junk = {0x00, 0x13, 0x37};
+  support::Bytes stream;
+  for (std::uint8_t seq = 0; seq < 3; ++seq) {
+    stream.insert(stream.end(), junk.begin(), junk.end());
+    const support::Bytes one = encode(hb.to_packet(1, seq));
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  stream.insert(stream.end(), junk.begin(), junk.end());
+  Parser parser;
+  const auto packets = parser.push(stream);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[2].seq, 2);
+  EXPECT_EQ(parser.dropped_bytes(), 4 * junk.size());
+  EXPECT_EQ(parser.crc_errors(), 0u);
+}
+
 TEST(Parser, FuzzedStreamNeverCrashes) {
   support::Rng rng(0xF0221);
   Parser parser;
