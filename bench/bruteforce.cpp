@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "campaign/scenarios.hpp"
 #include "defense/bruteforce.hpp"
 #include "defense/patcher.hpp"
 #include "toolchain/image.hpp"
@@ -31,14 +32,23 @@ int main() {
               "(ours: %.0f bits for 800)\n", entropy_bits(800));
 
   bench::heading("Monte-Carlo validation at enumerable sizes");
+  // Runs through the parallel campaign engine: the aggregate is
+  // bit-identical for any jobs count, so the table below is reproducible
+  // on any machine regardless of core count.
   std::printf("%-4s %-8s %-22s %-22s %-22s %-22s\n", "n", "n!",
               "fixed: simulated", "fixed: (N+1)/2", "MAVR: simulated",
               "MAVR: N");
   for (std::uint32_t n : {3u, 4u, 5u, 6u}) {
-    support::Rng rng(0xB00 + n);
+    campaign::CampaignConfig config;
+    config.trials = 3000;
+    config.jobs = 4;
+    config.seed = 0xB00 + n;
+    config.n_functions = n;
     const double n_perms = permutation_count(n);
-    const auto fixed = simulate_fixed(n, 3000, rng);
-    const auto moving = simulate_rerandomized(n, 3000, rng);
+    config.scenario = campaign::Scenario::kBruteForceFixed;
+    const auto fixed = campaign::run_campaign(config);
+    config.scenario = campaign::Scenario::kBruteForceRerand;
+    const auto moving = campaign::run_campaign(config);
     std::printf("%-4u %-8.0f %-22.2f %-22.2f %-22.2f %-22.2f\n", n, n_perms,
                 fixed.mean_attempts, expected_attempts_fixed(n_perms),
                 moving.mean_attempts,

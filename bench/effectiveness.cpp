@@ -6,8 +6,7 @@
 
 #include "attack/attacks.hpp"
 #include "bench_util.hpp"
-#include "defense/external_flash.hpp"
-#include "defense/master.hpp"
+#include "campaign/scenarios.hpp"
 #include "defense/preprocess.hpp"
 #include "sim/board.hpp"
 #include "sim/ground.hpp"
@@ -51,58 +50,48 @@ int main() {
                 alive ? "keeps flying" : "crashed");
   }
 
-  // --- Same payload vs. the MAVR-randomized binary --------------------------
+  // --- Same payload vs. MAVR-randomized binaries, at population scale --------
   {
-    defense::ExternalFlash flash;
-    sim::Board board;
-    defense::MasterConfig cfg;
-    cfg.seed = 99;
-    cfg.watchdog_timeout_cycles = 400'000;
-    defense::MasterProcessor master(flash, board, cfg);
-    master.host_upload_hex(defense::preprocess_to_hex(fw.image));
-    master.boot();
-    board.run_cycles(400'000);
-
-    sim::GroundStation gcs(board);
-    const attack::Write3 write{plan.gyro_cal_addr, {0xD1, 0x07, 0x00}};
-
-    // The attacker brute-forces: every attempt guesses a different gadget
-    // layout (all derived from the *stale* stock binary, §V-D). Each guess
-    // jumps into the wrong code; sooner or later the garbage execution
-    // wedges the board and the master's feed-line watchdog catches it,
-    // triggering an immediate re-randomization.
+    // The attacker brute-forces: every trial is an independent board behind
+    // a freshly drawn permutation, attacked with a gadget guess derived
+    // from the *stale* stock binary (§V-D). Each guess jumps into the wrong
+    // code; the garbage execution wedges the board and the master's
+    // feed-line watchdog catches it, triggering re-randomization. The
+    // campaign engine runs the fleet in parallel with bit-identical
+    // aggregation at any jobs count.
+    campaign::SimFixture fixture;
+    fixture.fw = fw;
+    fixture.plan = plan;
+    fixture.container_hex = defense::preprocess_to_hex(fw.image);
     attack::GadgetFinder finder(fw.image);
-    std::vector<attack::StkMoveGadget> usable;
     for (const attack::StkMoveGadget& g : finder.stk_moves()) {
-      if (g.pops.size() <= 3) usable.push_back(g);  // chain must fit
+      if (g.pops.size() <= 3) fixture.usable_stk.push_back(g);
     }
-    int detections = 0;
-    int attempts = 0;
-    bool wrote = false;
-    for (attempts = 1; attempts <= 16; ++attempts) {
-      attack::AttackPlan guess = plan;
-      guess.stk = usable[(attempts * 37) % usable.size()];
-      gcs.send_raw_param_set(guess.builder().v2_payload({write}));
-      for (int slice = 0; slice < 60; ++slice) {
-        board.run_cycles(100'000);
-        if (master.service()) ++detections;
-      }
-      wrote = board.cpu().data().raw(plan.gyro_cal_addr) == 0xD1 &&
-              board.cpu().data().raw(plan.gyro_cal_addr + 1) == 0x07;
-      if (wrote || detections > 0) break;
-    }
-    std::printf("randomized binary: stealthy ROP attack %s after %d "
-                "attempt%s (MAVR detected %d failed attack%s and "
-                "re-randomized)\n",
-                wrote ? "SUCCEEDED (!)" : "FAILS", attempts,
-                attempts == 1 ? "" : "s", detections,
-                detections == 1 ? "" : "s");
-    std::printf("post-recovery:     application processor %s, %u "
-                "randomizations performed\n",
-                board.cpu().state() == avr::CpuState::Running
-                    ? "running normally"
-                    : "down",
-                master.randomizations());
+
+    campaign::CampaignConfig config;
+    config.scenario = campaign::Scenario::kV2;
+    config.trials = 8;
+    config.jobs = 2;
+    config.seed = 99;
+    config.watchdog_timeout_cycles = 400'000;
+    const campaign::CampaignStats stats =
+        campaign::run_campaign(config, fixture);
+
+    const std::uint64_t survived =
+        stats.trials - stats.successes - stats.detections;
+    std::printf("randomized fleet:  stealthy ROP attack vs. %llu "
+                "independently randomized boards:\n"
+                "                   %llu succeeded, %llu detected by the "
+                "feed-line watchdog and re-randomized,\n"
+                "                   %llu shrugged the wild return off and "
+                "kept flying (write still missed)\n",
+                static_cast<unsigned long long>(stats.trials),
+                static_cast<unsigned long long>(stats.successes),
+                static_cast<unsigned long long>(stats.detections),
+                static_cast<unsigned long long>(survived));
+    std::printf("                   mean %.0f cycles from boot to verdict "
+                "per board\n",
+                stats.mean_cycles);
   }
   return 0;
 }

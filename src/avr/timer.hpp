@@ -9,13 +9,17 @@
 #include <cstdint>
 
 #include "avr/io.hpp"
+#include "support/error.hpp"
 
 namespace mavr::avr {
 
 class Timer : public Tickable {
  public:
+  /// `period_cycles` must be nonzero: a zero period would make tick()'s
+  /// catch-up loop (`next_ += period_`) spin forever on the first tick.
   Timer(IoBus& bus, std::uint64_t period_cycles)
       : period_(period_cycles), next_(period_cycles) {
+    MAVR_REQUIRE(period_cycles > 0, "timer period must be nonzero");
     bus.add_tickable(this);
   }
 

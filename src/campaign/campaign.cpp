@@ -1,0 +1,146 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mavr::campaign {
+
+const char* scenario_name(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kV1: return "v1";
+    case Scenario::kV2: return "v2";
+    case Scenario::kV3: return "v3";
+    case Scenario::kBruteForceFixed: return "bruteforce-fixed";
+    case Scenario::kBruteForceRerand: return "bruteforce-rerand";
+  }
+  return "?";
+}
+
+std::optional<Scenario> parse_scenario(std::string_view name) {
+  for (Scenario s : {Scenario::kV1, Scenario::kV2, Scenario::kV3,
+                     Scenario::kBruteForceFixed, Scenario::kBruteForceRerand}) {
+    if (name == scenario_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+bool scenario_uses_board(Scenario scenario) {
+  return scenario == Scenario::kV1 || scenario == Scenario::kV2 ||
+         scenario == Scenario::kV3;
+}
+
+namespace {
+
+/// Work-distribution grain. Fixed (never derived from `jobs`) so the
+/// chunk → trial mapping, and with it every chunk accumulator, is the
+/// same no matter how many workers there are.
+constexpr std::uint64_t kChunkTrials = 64;
+
+struct ChunkAccum {
+  double sum_attempts = 0;
+  double max_attempts = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t detections = 0;
+};
+
+/// Nearest-rank percentile of a sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
+  MAVR_REQUIRE(config.jobs >= 1 && config.jobs <= 256,
+               "jobs must be in [1, 256]");
+  CampaignStats stats;
+  stats.trials = config.trials;
+  if (config.trials == 0) return stats;
+
+  const std::uint64_t n_chunks =
+      (config.trials + kChunkTrials - 1) / kChunkTrials;
+  std::vector<ChunkAccum> chunks(n_chunks);
+  std::vector<double> attempts(config.trials);
+
+  // Read-only root: fork() derives child streams from the construction
+  // seed, so concurrent forks are race-free and order-free.
+  const support::Rng root(config.seed);
+
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    try {
+      for (;;) {
+        const std::uint64_t c =
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= n_chunks || abort.load(std::memory_order_relaxed)) return;
+        ChunkAccum& acc = chunks[c];
+        const std::uint64_t begin = c * kChunkTrials;
+        const std::uint64_t end =
+            std::min(begin + kChunkTrials, config.trials);
+        for (std::uint64_t t = begin; t < end; ++t) {
+          support::Rng rng = root.fork(t);
+          const TrialResult r = fn(t, rng);
+          attempts[t] = r.attempts;
+          acc.sum_attempts += r.attempts;
+          acc.max_attempts = std::max(acc.max_attempts, r.attempts);
+          acc.cycles += r.cycles;
+          acc.successes += r.success ? 1 : 0;
+          acc.detections += r.detected ? 1 : 0;
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      abort.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (config.jobs == 1) {
+    worker();  // same code path, no thread overhead
+  } else {
+    const auto n_workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(config.jobs, n_chunks));
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned i = 0; i < n_workers; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Merge per-chunk accumulators in chunk-index order: the floating-point
+  // summation order is fixed regardless of worker scheduling.
+  double sum = 0;
+  for (const ChunkAccum& acc : chunks) {
+    sum += acc.sum_attempts;
+    stats.max_attempts = std::max(stats.max_attempts, acc.max_attempts);
+    stats.total_cycles += acc.cycles;
+    stats.successes += acc.successes;
+    stats.detections += acc.detections;
+  }
+  const auto n = static_cast<double>(config.trials);
+  stats.mean_attempts = sum / n;
+  stats.mean_cycles = static_cast<double>(stats.total_cycles) / n;
+
+  std::sort(attempts.begin(), attempts.end());
+  stats.p50_attempts = percentile(attempts, 0.50);
+  stats.p90_attempts = percentile(attempts, 0.90);
+  stats.p99_attempts = percentile(attempts, 0.99);
+  return stats;
+}
+
+}  // namespace mavr::campaign

@@ -1,0 +1,94 @@
+// Deterministic parallel trial engine for fleet-scale attack/defense
+// campaigns.
+//
+// The paper's security argument (§V-D, §VII-A) is statistical — expected
+// brute-force effort against fixed vs. re-randomized images — but a single
+// board and a serial trial stream cannot populate those distributions at
+// scale. The campaign engine runs N independent trials (each with its own
+// sim::Board and freshly MAVR-randomized firmware, or a pure brute-force
+// model draw) across a fixed-size thread pool.
+//
+// Determinism contract: aggregated results are bit-identical for any
+// `jobs` value. Three mechanisms enforce it:
+//  * every trial draws from its own Rng forked off the root seed
+//    (support::Rng::fork — splitmix64 seed derivation), never from a
+//    shared stream;
+//  * trials are distributed in fixed-size chunks, each chunk owns a
+//    floating-point accumulator, and chunks are merged in index order at
+//    join — so the summation order is independent of which worker ran
+//    which chunk;
+//  * order statistics come from a per-trial metric vector whose slots are
+//    written by trial index and sorted after the join.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "support/rng.hpp"
+
+namespace mavr::campaign {
+
+/// What one trial simulates.
+enum class Scenario {
+  kV1,               ///< traditional ROP vs. a freshly randomized board
+  kV2,               ///< stealthy ROP vs. a freshly randomized board
+  kV3,               ///< trampoline ROP vs. a freshly randomized board
+  kBruteForceFixed,  ///< model: attacker vs. one fixed permutation
+  kBruteForceRerand  ///< model: attacker vs. re-randomize-on-failure
+};
+
+const char* scenario_name(Scenario scenario);
+std::optional<Scenario> parse_scenario(std::string_view name);
+bool scenario_uses_board(Scenario scenario);
+
+struct CampaignConfig {
+  Scenario scenario = Scenario::kBruteForceFixed;
+  std::uint64_t trials = 1000;
+  unsigned jobs = 1;          ///< worker threads (1..256)
+  std::uint64_t seed = 1;     ///< root seed; trial t uses fork(t)
+
+  // Brute-force model scenarios: the paper's n (movable functions).
+  std::uint32_t n_functions = 5;
+
+  // Board scenarios: cycle budget shape of one attack attempt.
+  std::uint64_t warmup_cycles = 400'000;   ///< boot-to-cruise before attack
+  std::uint64_t slice_cycles = 100'000;    ///< watchdog service interval
+  std::uint32_t attack_slices = 60;        ///< slices after payload delivery
+  std::uint64_t watchdog_timeout_cycles = 400'000;
+};
+
+/// Outcome of one trial.
+struct TrialResult {
+  bool success = false;   ///< attack landed (sensor write observed)
+  bool detected = false;  ///< master declared a failed attack
+  double attempts = 1;    ///< brute-force model: attempts until success
+  std::uint64_t cycles = 0;  ///< board cycles consumed by the trial
+};
+
+/// Aggregate over all trials. Every field is bit-identical across `jobs`.
+struct CampaignStats {
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t detections = 0;
+  double mean_attempts = 0;
+  double max_attempts = 0;
+  double p50_attempts = 0;
+  double p90_attempts = 0;
+  double p99_attempts = 0;
+  double mean_cycles = 0;
+  std::uint64_t total_cycles = 0;
+};
+
+/// One trial: index plus its private forked Rng stream.
+using TrialFn = std::function<TrialResult(std::uint64_t trial_index,
+                                          support::Rng& rng)>;
+
+/// Core engine: runs `config.trials` evaluations of `fn` across
+/// `config.jobs` worker threads with chunked work distribution.
+/// `fn` must be callable concurrently from multiple threads (trials are
+/// independent; each call gets a distinct index and Rng).
+CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn);
+
+}  // namespace mavr::campaign

@@ -1,0 +1,54 @@
+#include "campaign/export.hpp"
+
+#include <cstdio>
+
+namespace mavr::campaign {
+
+namespace {
+
+// %.17g round-trips doubles exactly, so an exported file is bitwise
+// comparable across runs. `jobs` is deliberately absent from both formats:
+// it is an execution detail, and the engine's contract is that it does not
+// affect any exported value — jobs=1 and jobs=8 runs of the same campaign
+// produce byte-identical files.
+constexpr const char* kFields =
+    "scenario,trials,seed,n_functions,successes,detections,"
+    "mean_attempts,max_attempts,p50_attempts,p90_attempts,p99_attempts,"
+    "mean_cycles,total_cycles";
+
+std::string format_row(const char* fmt, const CampaignConfig& config,
+                       const CampaignStats& stats) {
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, fmt, scenario_name(config.scenario),
+                static_cast<unsigned long long>(config.trials),
+                static_cast<unsigned long long>(config.seed),
+                static_cast<unsigned>(config.n_functions),
+                static_cast<unsigned long long>(stats.successes),
+                static_cast<unsigned long long>(stats.detections),
+                stats.mean_attempts, stats.max_attempts, stats.p50_attempts,
+                stats.p90_attempts, stats.p99_attempts, stats.mean_cycles,
+                static_cast<unsigned long long>(stats.total_cycles));
+  return buf;
+}
+
+}  // namespace
+
+std::string to_csv(const CampaignConfig& config, const CampaignStats& stats) {
+  return std::string(kFields) + "\n" +
+         format_row("%s,%llu,%llu,%u,%llu,%llu,"
+                    "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%llu\n",
+                    config, stats);
+}
+
+std::string to_json(const CampaignConfig& config, const CampaignStats& stats) {
+  return format_row(
+      "{\"scenario\": \"%s\", \"trials\": %llu, \"seed\": %llu, "
+      "\"n_functions\": %u, \"successes\": %llu, \"detections\": %llu, "
+      "\"mean_attempts\": %.17g, \"max_attempts\": %.17g, "
+      "\"p50_attempts\": %.17g, \"p90_attempts\": %.17g, "
+      "\"p99_attempts\": %.17g, \"mean_cycles\": %.17g, "
+      "\"total_cycles\": %llu}\n",
+      config, stats);
+}
+
+}  // namespace mavr::campaign

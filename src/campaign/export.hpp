@@ -1,0 +1,18 @@
+// Result export for campaign runs: one-row CSV (with header) and a flat
+// JSON object. Both carry the config alongside the aggregates so a result
+// file is self-describing and a rerun is reproducible from it alone.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace mavr::campaign {
+
+/// Two-line CSV: header row + one data row.
+std::string to_csv(const CampaignConfig& config, const CampaignStats& stats);
+
+/// Flat JSON object (config + aggregates), newline-terminated.
+std::string to_json(const CampaignConfig& config, const CampaignStats& stats);
+
+}  // namespace mavr::campaign

@@ -1,0 +1,128 @@
+#include "campaign/scenarios.hpp"
+
+#include "defense/bruteforce.hpp"
+#include "defense/external_flash.hpp"
+#include "defense/master.hpp"
+#include "defense/preprocess.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+#include "support/error.hpp"
+
+namespace mavr::campaign {
+
+namespace {
+
+/// Unused high SRAM where V3 stages its big chain (same spot the
+/// stealthy-attack tests use).
+constexpr std::uint16_t kV3StagingAddr = 0x1B00;
+
+TrialResult run_bruteforce_trial(Scenario scenario, std::uint32_t n_functions,
+                                 support::Rng& rng) {
+  // One model draw per trial; the defense module owns the model.
+  const defense::TrialStats one =
+      scenario == Scenario::kBruteForceFixed
+          ? defense::simulate_fixed(n_functions, 1, rng)
+          : defense::simulate_rerandomized(n_functions, 1, rng);
+  TrialResult result;
+  result.success = true;  // both models run until the attacker succeeds
+  result.attempts = one.mean_attempts;
+  return result;
+}
+
+TrialResult run_board_trial(const SimFixture& fx, const CampaignConfig& config,
+                            support::Rng& rng) {
+  defense::ExternalFlash flash;
+  sim::Board board;
+  defense::MasterConfig mcfg;
+  mcfg.seed = rng.next();  // per-trial permutation stream
+  mcfg.watchdog_timeout_cycles = config.watchdog_timeout_cycles;
+  defense::MasterProcessor master(flash, board, mcfg);
+  master.host_upload_hex(fx.container_hex);
+  master.boot();
+  const std::uint64_t start_cycles = board.cpu().cycles();
+  board.run_cycles(config.warmup_cycles);
+
+  // The attacker's guess: stock-derived plan, randomly chosen pivot gadget
+  // (every gadget address is stale against the fresh permutation).
+  attack::AttackPlan guess = fx.plan;
+  guess.stk = fx.usable_stk[rng.below(fx.usable_stk.size())];
+  const attack::RopChainBuilder builder = guess.builder();
+  const attack::Write3 write{fx.plan.gyro_cal_addr, {0xD1, 0x07, 0x00}};
+
+  std::vector<support::Bytes> payloads;
+  switch (config.scenario) {
+    case Scenario::kV1:
+      payloads.push_back(builder.v1_payload(write));
+      break;
+    case Scenario::kV2:
+      payloads.push_back(builder.v2_payload({write}));
+      break;
+    case Scenario::kV3:
+      payloads = builder.v3_payloads(kV3StagingAddr, {write});
+      break;
+    default:
+      MAVR_CHECK(false, "not a board scenario");
+  }
+
+  sim::GroundStation gcs(board);
+  for (const support::Bytes& p : payloads) gcs.send_raw_param_set(p);
+
+  TrialResult result;
+  auto landed = [&] {
+    return board.cpu().data().raw(fx.plan.gyro_cal_addr) == write.bytes[0] &&
+           board.cpu().data().raw(fx.plan.gyro_cal_addr + 1) == write.bytes[1];
+  };
+  for (std::uint32_t s = 0; s < config.attack_slices; ++s) {
+    board.run_cycles(config.slice_cycles);
+    // Check the write before servicing the watchdog: a detection reflashes
+    // the board and wipes the evidence.
+    if (landed()) {
+      result.success = true;
+      break;
+    }
+    if (master.service()) {
+      result.detected = true;
+      break;
+    }
+  }
+  result.attempts = 1;
+  result.cycles = board.cpu().cycles() - start_cycles;
+  return result;
+}
+
+}  // namespace
+
+SimFixture make_sim_fixture(const firmware::AppProfile& profile) {
+  SimFixture fx;
+  fx.fw = firmware::generate(profile, toolchain::ToolchainOptions::mavr());
+  fx.plan = attack::analyze(fx.fw.image);
+  fx.container_hex = defense::preprocess_to_hex(fx.fw.image);
+  attack::GadgetFinder finder(fx.fw.image);
+  for (const attack::StkMoveGadget& g : finder.stk_moves()) {
+    if (g.pops.size() <= 3) fx.usable_stk.push_back(g);  // chain must fit
+  }
+  MAVR_CHECK(!fx.usable_stk.empty(), "no usable stk_move gadgets");
+  return fx;
+}
+
+CampaignStats run_campaign(const CampaignConfig& config,
+                           const SimFixture& fixture) {
+  MAVR_REQUIRE(scenario_uses_board(config.scenario),
+               "fixture overload is for board scenarios");
+  return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
+    return run_board_trial(fixture, config, rng);
+  });
+}
+
+CampaignStats run_campaign(const CampaignConfig& config) {
+  if (scenario_uses_board(config.scenario)) {
+    const SimFixture fixture =
+        make_sim_fixture(firmware::testapp(/*vulnerable=*/true));
+    return run_campaign(config, fixture);
+  }
+  return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
+    return run_bruteforce_trial(config.scenario, config.n_functions, rng);
+  });
+}
+
+}  // namespace mavr::campaign

@@ -40,11 +40,33 @@ TrialStats simulate_fixed(std::uint32_t n_functions, std::uint64_t trials,
   TrialStats stats;
   stats.trials = trials;
   double sum = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    // The attacker tries permutations in a random order, never repeating
+    // one (each failure eliminates a candidate, §V-D). The target's
+    // position in such a no-repeat order is uniform on [1, n!], so sample
+    // the attempt count directly instead of materializing and shuffling an
+    // n!-element guess list per trial (which is O(n!·trials) time and
+    // memory — unusable beyond ~12 functions, let alone the paper's 85+).
+    const double attempts = static_cast<double>(rng.below(n_perms) + 1);
+    sum += attempts;
+    stats.max_attempts = std::max(stats.max_attempts, attempts);
+  }
+  stats.mean_attempts = sum / static_cast<double>(trials);
+  return stats;
+}
+
+TrialStats simulate_fixed_enumerated(std::uint32_t n_functions,
+                                     std::uint64_t trials,
+                                     support::Rng& rng) {
+  MAVR_REQUIRE(n_functions <= 10,
+               "enumerated guess-order path is a debug aid for small n");
+  const std::uint64_t n_perms = factorial_u64(n_functions);
+  TrialStats stats;
+  stats.trials = trials;
+  double sum = 0;
   std::vector<std::size_t> guess_order(n_perms);
   for (std::uint64_t t = 0; t < trials; ++t) {
     const std::uint64_t target = rng.below(n_perms);
-    // The attacker tries permutations in a random order, never repeating
-    // one (each failure eliminates a candidate, §V-D).
     for (std::size_t i = 0; i < n_perms; ++i) guess_order[i] = i;
     rng.shuffle(guess_order);
     std::uint64_t attempts = 0;

@@ -41,9 +41,17 @@ struct TrialStats {
 };
 
 /// Attacker vs. a fixed permutation: guesses candidates in random order
-/// without repetition (software-only deployment, paper §VIII-A).
+/// without repetition (software-only deployment, paper §VIII-A). The
+/// attempt count of a no-repeat random order is uniform on [1, n!], so it
+/// is sampled directly — O(1) per trial at any n.
 TrialStats simulate_fixed(std::uint32_t n_functions, std::uint64_t trials,
                           support::Rng& rng);
+
+/// Debug path for small n (≤ 10): materializes and shuffles the full
+/// guess order per trial — the literal model simulate_fixed's direct
+/// sampling replaces. Kept so tests can show the two agree statistically.
+TrialStats simulate_fixed_enumerated(std::uint32_t n_functions,
+                                     std::uint64_t trials, support::Rng& rng);
 
 /// Attacker vs. MAVR: the permutation is redrawn after every failed
 /// attempt, so previous failures carry no information.

@@ -12,19 +12,18 @@ constexpr double kDepartureDeg = 75.0;
 }  // namespace
 
 FlightModel::FlightModel(Board& board, std::uint64_t seed)
-    : board_(board), noise_state_(seed | 1) {}
+    : board_(board), gust_rng_(seed) {}
 
 void FlightModel::step(double dt_s) {
   // Servo channel 0 commands roll: 128 = neutral.
   const double deflection = (static_cast<double>(board_.servo(0).value()) -
                              128.0) / 128.0;
 
-  // Slowly varying gust disturbance (deterministic xorshift).
-  noise_state_ ^= noise_state_ << 13;
-  noise_state_ ^= noise_state_ >> 7;
-  noise_state_ ^= noise_state_ << 17;
-  const double gust =
-      (static_cast<double>(noise_state_ % 2001) - 1000.0) / 1000.0;
+  // Slowly varying gust disturbance, uniform on [-1, 1). The previous
+  // ad-hoc xorshift reduced its state `% 2001`, which is both modulo-biased
+  // and correlated in the low bits; Rng::unit() draws from the high bits of
+  // an unbiased stream and stays deterministic for a fixed seed.
+  const double gust = 2.0 * gust_rng_.unit() - 1.0;
   state_.disturbance += (gust * 5.0 - state_.disturbance) * 0.1;
 
   // The firmware's controller *subtracts* measured rate from the setpoint

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "sim/board.hpp"
+#include "support/rng.hpp"
 
 namespace mavr::sim {
 
@@ -39,7 +40,7 @@ class FlightModel {
  private:
   Board& board_;
   FlightState state_;
-  std::uint64_t noise_state_;
+  support::Rng gust_rng_;  ///< unbiased gust draws, deterministic per seed
 };
 
 }  // namespace mavr::sim

@@ -19,9 +19,20 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& lane : s_) lane = splitmix64(sm);
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t root, std::uint64_t index) {
+  std::uint64_t s = root;
+  const std::uint64_t whitened = splitmix64(s);
+  s = whitened ^ index;
+  return splitmix64(s);
+}
+
+Rng Rng::fork(std::uint64_t index) const {
+  return Rng(derive_seed(seed_, index));
 }
 
 std::uint64_t Rng::next() {

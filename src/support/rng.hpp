@@ -17,6 +17,19 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
+  /// Seed of child stream `index` derived from `root` by a splitmix64
+  /// walk. Distinct indices always map to distinct child seeds (splitmix64
+  /// is a bijection of its counter), and the root is whitened first so
+  /// adjacent roots do not produce related families.
+  static std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index);
+
+  /// Independent child generator for stream `index`, derived from this
+  /// generator's construction seed (not its current state): forking is
+  /// order-free, so N workers can fork trial streams concurrently and the
+  /// draws are identical no matter which worker forks first. The campaign
+  /// engine's determinism contract rests on this.
+  Rng fork(std::uint64_t index) const;
+
   /// Next raw 64-bit output.
   std::uint64_t next();
 
@@ -46,6 +59,7 @@ class Rng {
   std::vector<std::size_t> permutation(std::size_t n);
 
  private:
+  std::uint64_t seed_;  ///< construction seed — fork() derives children from it
   std::uint64_t s_[4];
 };
 

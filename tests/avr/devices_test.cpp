@@ -7,6 +7,7 @@
 
 #include "avr/cpu.hpp"
 #include "avr/gpio.hpp"
+#include "avr/timer.hpp"
 #include "avr/uart.hpp"
 #include "toolchain/encode.hpp"
 
@@ -84,6 +85,18 @@ TEST(UartConfig, UnpaceableRatesRejected) {
                support::PreconditionError);
   EXPECT_THROW(avr::Uart(cpu.io(), avr::usart0_config(16, 115200)),
                support::PreconditionError);
+}
+
+TEST(Timer, ZeroPeriodRejected) {
+  // Regression: a zero period set next_ = 0, and the first tick()'s
+  // catch-up loop (`next_ += period_`) never advanced — an infinite loop
+  // on the very first cycle. Now refused at construction.
+  Cpu cpu(avr::atmega2560());
+  EXPECT_THROW(avr::Timer(cpu.io(), 0), support::PreconditionError);
+  avr::Timer ok(cpu.io(), 1);  // smallest legal period still works
+  ok.tick(10);
+  EXPECT_TRUE(ok.pending());
+  EXPECT_EQ(ok.fires(), 10u);
 }
 
 namespace {

@@ -1,0 +1,160 @@
+// Campaign engine: determinism across worker counts, aggregation
+// correctness against the §V-D analytic models, scenario behavior, and
+// result export.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "campaign/export.hpp"
+#include "campaign/scenarios.hpp"
+#include "defense/bruteforce.hpp"
+#include "support/error.hpp"
+
+namespace mavr {
+namespace {
+
+using campaign::CampaignConfig;
+using campaign::CampaignStats;
+using campaign::Scenario;
+
+bool bitwise_equal(const CampaignStats& a, const CampaignStats& b) {
+  // Doubles compared as bits: the engine's contract is bit-identity, and
+  // memcmp also distinguishes -0.0/0.0 and would catch NaN laundering.
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+CampaignStats run_bruteforce(Scenario scenario, unsigned jobs,
+                             std::uint64_t trials = 10'000,
+                             std::uint64_t seed = 0xC0FFEE) {
+  CampaignConfig config;
+  config.scenario = scenario;
+  config.trials = trials;
+  config.jobs = jobs;
+  config.seed = seed;
+  config.n_functions = 5;
+  return campaign::run_campaign(config);
+}
+
+TEST(CampaignEngine, BitIdenticalAcrossWorkerCounts) {
+  const CampaignStats one = run_bruteforce(Scenario::kBruteForceFixed, 1);
+  for (unsigned jobs : {2u, 3u, 8u}) {
+    const CampaignStats many =
+        run_bruteforce(Scenario::kBruteForceFixed, jobs);
+    EXPECT_TRUE(bitwise_equal(one, many)) << "jobs=" << jobs;
+  }
+  const CampaignStats geo1 = run_bruteforce(Scenario::kBruteForceRerand, 1);
+  const CampaignStats geo8 = run_bruteforce(Scenario::kBruteForceRerand, 8);
+  EXPECT_TRUE(bitwise_equal(geo1, geo8));
+}
+
+TEST(CampaignEngine, ExportedFilesAreJobsIndependent) {
+  CampaignConfig config;
+  config.scenario = Scenario::kBruteForceRerand;
+  config.trials = 2'000;
+  config.n_functions = 4;
+  config.jobs = 1;
+  const CampaignStats one = campaign::run_campaign(config);
+  const std::string csv1 = campaign::to_csv(config, one);
+  const std::string json1 = campaign::to_json(config, one);
+  config.jobs = 8;
+  const CampaignStats many = campaign::run_campaign(config);
+  EXPECT_EQ(csv1, campaign::to_csv(config, many));
+  EXPECT_EQ(json1, campaign::to_json(config, many));
+  // Self-describing formats: header + the scenario name.
+  EXPECT_NE(csv1.find("mean_attempts"), std::string::npos);
+  EXPECT_NE(json1.find("\"scenario\": \"bruteforce-rerand\""),
+            std::string::npos);
+}
+
+TEST(CampaignEngine, FixedModelMatchesAnalyticWithinOnePercent) {
+  // Acceptance bar: mean attempts within 1% of (N+1)/2 at 10k trials.
+  const CampaignStats stats =
+      run_bruteforce(Scenario::kBruteForceFixed, 8);
+  const double expected =
+      defense::expected_attempts_fixed(defense::permutation_count(5));
+  EXPECT_NEAR(stats.mean_attempts, expected, expected * 0.01);
+  EXPECT_EQ(stats.successes, stats.trials);
+  // Uniform on [1, N]: the quantiles sit near qN and never exceed N.
+  EXPECT_LE(stats.max_attempts, 120.0);
+  EXPECT_NEAR(stats.p50_attempts, 60.0, 6.0);
+  EXPECT_NEAR(stats.p99_attempts, 119.0, 4.0);
+}
+
+TEST(CampaignEngine, RerandModelMatchesAnalytic) {
+  const CampaignStats stats =
+      run_bruteforce(Scenario::kBruteForceRerand, 4);
+  const double expected = defense::expected_attempts_rerandomized(
+      defense::permutation_count(5));
+  EXPECT_NEAR(stats.mean_attempts, expected, expected * 0.05);
+  // Geometric: unbounded worst case, heavier tail than the fixed model.
+  EXPECT_GT(stats.max_attempts, 120.0);
+  EXPECT_LE(stats.p50_attempts, stats.p90_attempts);
+  EXPECT_LE(stats.p90_attempts, stats.p99_attempts);
+  EXPECT_LE(stats.p99_attempts, stats.max_attempts);
+}
+
+TEST(CampaignEngine, ZeroTrialsAndBadJobsRejected) {
+  CampaignConfig config;
+  config.trials = 0;
+  const CampaignStats empty = campaign::run_campaign(config);
+  EXPECT_EQ(empty.trials, 0u);
+  EXPECT_EQ(empty.mean_attempts, 0.0);
+  config.trials = 10;
+  config.jobs = 0;
+  EXPECT_THROW(campaign::run_campaign(config), support::PreconditionError);
+  config.jobs = 257;
+  EXPECT_THROW(campaign::run_campaign(config), support::PreconditionError);
+}
+
+TEST(CampaignEngine, WorkerExceptionsPropagate) {
+  CampaignConfig config;
+  config.trials = 200;
+  config.jobs = 4;
+  EXPECT_THROW(
+      campaign::run_trials(config,
+                           [](std::uint64_t t, support::Rng&)
+                               -> campaign::TrialResult {
+                             if (t == 137) {
+                               throw support::PreconditionError("trial 137");
+                             }
+                             return {};
+                           }),
+      support::PreconditionError);
+}
+
+TEST(CampaignEngine, ScenarioNamesRoundTrip) {
+  for (Scenario s : {Scenario::kV1, Scenario::kV2, Scenario::kV3,
+                     Scenario::kBruteForceFixed,
+                     Scenario::kBruteForceRerand}) {
+    const auto parsed = campaign::parse_scenario(campaign::scenario_name(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(campaign::parse_scenario("v4").has_value());
+}
+
+// Board campaign: a fleet of independently randomized boards under the V2
+// stealthy attack. No stale stock-derived payload may land its write, most
+// boards go quiet and are caught by the feed-line watchdog (a wild return
+// can get lucky and land back in live code, so "all detected" would be too
+// strong), and the aggregate must be identical when the fleet runs on 1
+// worker vs. several.
+TEST(CampaignBoards, V2FleetIsDetectedAndDeterministic) {
+  const campaign::SimFixture fixture =
+      campaign::make_sim_fixture(firmware::testapp(/*vulnerable=*/true));
+  CampaignConfig config;
+  config.scenario = Scenario::kV2;
+  config.trials = 4;
+  config.seed = 7;
+  config.jobs = 1;
+  const CampaignStats one = campaign::run_campaign(config, fixture);
+  config.jobs = 4;
+  const CampaignStats four = campaign::run_campaign(config, fixture);
+  EXPECT_TRUE(bitwise_equal(one, four));
+  EXPECT_EQ(one.successes, 0u);
+  EXPECT_GE(one.detections, one.trials / 2);
+  EXPECT_GT(one.total_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace mavr

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "defense/bruteforce.hpp"
+#include "support/error.hpp"
 
 namespace mavr {
 namespace {
@@ -14,6 +15,7 @@ using defense::expected_attempts_fixed;
 using defense::expected_attempts_rerandomized;
 using defense::permutation_count;
 using defense::simulate_fixed;
+using defense::simulate_fixed_enumerated;
 using defense::simulate_rerandomized;
 
 TEST(BruteForce, EntropyMatchesPaperFigure) {
@@ -51,6 +53,30 @@ TEST_P(BruteForceMonteCarlo, FixedPermutationMatchesAnalytic) {
   EXPECT_NEAR(stats.mean_attempts, expected, expected * 0.10);
   // With elimination the worst case is bounded by N.
   EXPECT_LE(stats.max_attempts, permutation_count(n));
+}
+
+TEST_P(BruteForceMonteCarlo, DirectSamplingAgreesWithEnumeration) {
+  // simulate_fixed samples the attempt count directly (uniform on [1, n!]);
+  // the enumerated debug path shuffles the literal guess list. Same model,
+  // so their Monte-Carlo means must agree statistically.
+  const std::uint32_t n = GetParam();
+  support::Rng rng_a(0xBF40 + n), rng_b(0xBF50 + n);
+  const auto sampled = simulate_fixed(n, 4000, rng_a);
+  const auto enumerated = simulate_fixed_enumerated(n, 4000, rng_b);
+  const double expected = expected_attempts_fixed(permutation_count(n));
+  EXPECT_NEAR(sampled.mean_attempts, enumerated.mean_attempts,
+              expected * 0.10);
+  // Both respect the elimination bound.
+  EXPECT_LE(sampled.max_attempts, permutation_count(n));
+  EXPECT_LE(enumerated.max_attempts, permutation_count(n));
+}
+
+TEST(BruteForce, EnumeratedPathRefusesLargeN) {
+  support::Rng rng(1);
+  EXPECT_THROW(simulate_fixed_enumerated(11, 1, rng),
+               support::PreconditionError);
+  // The direct sampler has no such limit (this used to be O(n!) per trial).
+  EXPECT_NO_THROW(simulate_fixed(20, 10, rng));
 }
 
 TEST_P(BruteForceMonteCarlo, ReRandomizedMatchesAnalytic) {

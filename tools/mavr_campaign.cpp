@@ -1,0 +1,146 @@
+// mavr-campaign — fleet-scale attack/defense trial runner.
+//
+//   mavr-campaign --scenario {v1,v2,v3,bruteforce-fixed,bruteforce-rerand}
+//                 [--trials N] [--jobs N] [--seed N] [--functions N]
+//                 [--out FILE.{csv,json}]
+//
+// Runs N independent trials of the chosen scenario across a thread pool.
+// Board scenarios (v1/v2/v3) stand up a fresh board behind a freshly
+// MAVR-randomized firmware per trial and deliver one stock-derived attack;
+// brute-force scenarios run the paper's §V-D models. Results are
+// bit-identical for any --jobs value (see DESIGN.md, campaign engine).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "campaign/export.hpp"
+#include "campaign/scenarios.hpp"
+#include "defense/bruteforce.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mavr-campaign --scenario "
+      "{v1,v2,v3,bruteforce-fixed,bruteforce-rerand}\n"
+      "                     [--trials N] [--jobs N] [--seed N]\n"
+      "                     [--functions N] [--out FILE.{csv,json}]\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mavr;
+  campaign::CampaignConfig config;
+  config.trials = 1000;
+  config.jobs = 1;
+  bool have_scenario = false;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (const char* v = arg_value("--scenario")) {
+      const auto scenario = campaign::parse_scenario(v);
+      if (!scenario) {
+        std::fprintf(stderr, "unknown scenario: %s\n", v);
+        return usage();
+      }
+      config.scenario = *scenario;
+      have_scenario = true;
+    } else if (const char* v = arg_value("--trials")) {
+      config.trials = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = arg_value("--jobs")) {
+      config.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+    } else if (const char* v = arg_value("--seed")) {
+      config.seed = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = arg_value("--functions")) {
+      config.n_functions = static_cast<std::uint32_t>(
+          std::strtoul(v, nullptr, 0));
+    } else if (const char* v = arg_value("--out")) {
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "bad argument: %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (!have_scenario || config.trials == 0 || config.jobs == 0) {
+    return usage();
+  }
+
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    const campaign::CampaignStats stats = campaign::run_campaign(config);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::printf("scenario %s: %llu trials, %u jobs, seed %llu (%.2f s, "
+                "%.0f trials/s)\n",
+                campaign::scenario_name(config.scenario),
+                static_cast<unsigned long long>(stats.trials), config.jobs,
+                static_cast<unsigned long long>(config.seed), wall_s,
+                static_cast<double>(stats.trials) / wall_s);
+    std::printf("  successes:  %llu (%.2f%%)   detections: %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(stats.successes),
+                100.0 * static_cast<double>(stats.successes) /
+                    static_cast<double>(stats.trials),
+                static_cast<unsigned long long>(stats.detections),
+                100.0 * static_cast<double>(stats.detections) /
+                    static_cast<double>(stats.trials));
+    std::printf("  attempts:   mean %.2f  p50 %.0f  p90 %.0f  p99 %.0f  "
+                "max %.0f\n",
+                stats.mean_attempts, stats.p50_attempts, stats.p90_attempts,
+                stats.p99_attempts, stats.max_attempts);
+    if (stats.total_cycles > 0) {
+      std::printf("  board time: mean %.0f cycles/trial, %llu total\n",
+                  stats.mean_cycles,
+                  static_cast<unsigned long long>(stats.total_cycles));
+    }
+    if (!campaign::scenario_uses_board(config.scenario)) {
+      const double n_perms = defense::permutation_count(config.n_functions);
+      const double expected =
+          config.scenario == campaign::Scenario::kBruteForceFixed
+              ? defense::expected_attempts_fixed(n_perms)
+              : defense::expected_attempts_rerandomized(n_perms);
+      std::printf("  analytic:   n=%u -> N=%.0f permutations, E[attempts] "
+                  "= %.2f (measured/analytic = %.4f)\n",
+                  config.n_functions, n_perms, expected,
+                  stats.mean_attempts / expected);
+    }
+
+    if (!out_path.empty()) {
+      const bool csv = ends_with(out_path, ".csv");
+      if (!csv && !ends_with(out_path, ".json")) {
+        std::fprintf(stderr, "--out must end in .csv or .json\n");
+        return 2;
+      }
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+      out << (csv ? campaign::to_csv(config, stats)
+                  : campaign::to_json(config, stats));
+      std::printf("  wrote %s\n", out_path.c_str());
+    }
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
