@@ -19,13 +19,15 @@ const char* scenario_name(Scenario scenario) {
     case Scenario::kV3: return "v3";
     case Scenario::kBruteForceFixed: return "bruteforce-fixed";
     case Scenario::kBruteForceRerand: return "bruteforce-rerand";
+    case Scenario::kFaultSweep: return "fault-sweep";
   }
   return "?";
 }
 
 std::optional<Scenario> parse_scenario(std::string_view name) {
   for (Scenario s : {Scenario::kV1, Scenario::kV2, Scenario::kV3,
-                     Scenario::kBruteForceFixed, Scenario::kBruteForceRerand}) {
+                     Scenario::kBruteForceFixed, Scenario::kBruteForceRerand,
+                     Scenario::kFaultSweep}) {
     if (name == scenario_name(s)) return s;
   }
   return std::nullopt;
@@ -33,7 +35,7 @@ std::optional<Scenario> parse_scenario(std::string_view name) {
 
 bool scenario_uses_board(Scenario scenario) {
   return scenario == Scenario::kV1 || scenario == Scenario::kV2 ||
-         scenario == Scenario::kV3;
+         scenario == Scenario::kV3 || scenario == Scenario::kFaultSweep;
 }
 
 namespace {
@@ -46,9 +48,11 @@ constexpr std::uint64_t kChunkTrials = 64;
 struct ChunkAccum {
   double sum_attempts = 0;
   double max_attempts = 0;
+  double sum_startup_ms = 0;
   std::uint64_t cycles = 0;
   std::uint64_t successes = 0;
   std::uint64_t detections = 0;
+  std::uint64_t degradations = 0;
 };
 
 /// Nearest-rank percentile of a sorted sample.
@@ -98,9 +102,11 @@ CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
           attempts[t] = r.attempts;
           acc.sum_attempts += r.attempts;
           acc.max_attempts = std::max(acc.max_attempts, r.attempts);
+          acc.sum_startup_ms += r.startup_ms;
           acc.cycles += r.cycles;
           acc.successes += r.success ? 1 : 0;
           acc.detections += r.detected ? 1 : 0;
+          acc.degradations += r.degraded ? 1 : 0;
         }
       }
     } catch (...) {
@@ -125,16 +131,20 @@ CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
   // Merge per-chunk accumulators in chunk-index order: the floating-point
   // summation order is fixed regardless of worker scheduling.
   double sum = 0;
+  double sum_startup = 0;
   for (const ChunkAccum& acc : chunks) {
     sum += acc.sum_attempts;
+    sum_startup += acc.sum_startup_ms;
     stats.max_attempts = std::max(stats.max_attempts, acc.max_attempts);
     stats.total_cycles += acc.cycles;
     stats.successes += acc.successes;
     stats.detections += acc.detections;
+    stats.degradations += acc.degradations;
   }
   const auto n = static_cast<double>(config.trials);
   stats.mean_attempts = sum / n;
   stats.mean_cycles = static_cast<double>(stats.total_cycles) / n;
+  stats.mean_startup_ms = sum_startup / n;
 
   std::sort(attempts.begin(), attempts.end());
   stats.p50_attempts = percentile(attempts, 0.50);

@@ -36,7 +36,8 @@ enum class Scenario {
   kV2,               ///< stealthy ROP vs. a freshly randomized board
   kV3,               ///< trampoline ROP vs. a freshly randomized board
   kBruteForceFixed,  ///< model: attacker vs. one fixed permutation
-  kBruteForceRerand  ///< model: attacker vs. re-randomize-on-failure
+  kBruteForceRerand, ///< model: attacker vs. re-randomize-on-failure
+  kFaultSweep        ///< reflash pipeline vs. an armed fault plane
 };
 
 const char* scenario_name(Scenario scenario);
@@ -57,13 +58,19 @@ struct CampaignConfig {
   std::uint64_t slice_cycles = 100'000;    ///< watchdog service interval
   std::uint32_t attack_slices = 60;        ///< slices after payload delivery
   std::uint64_t watchdog_timeout_cycles = 400'000;
+
+  // Fault-sweep scenario: per-operation injection rate fed through
+  // support::FaultConfig::uniform (0 = fault-free pipeline).
+  double fault_rate = 0.0;
 };
 
 /// Outcome of one trial.
 struct TrialResult {
-  bool success = false;   ///< attack landed (sensor write observed)
+  bool success = false;   ///< attack landed / reflash recovered fresh image
   bool detected = false;  ///< master declared a failed attack
-  double attempts = 1;    ///< brute-force model: attempts until success
+  bool degraded = false;  ///< fault sweep: fell to last-good or held safe
+  double attempts = 1;    ///< model attempts / reflash programming attempts
+  double startup_ms = 0;  ///< fault sweep: faulted-reflash startup time
   std::uint64_t cycles = 0;  ///< board cycles consumed by the trial
 };
 
@@ -72,6 +79,7 @@ struct CampaignStats {
   std::uint64_t trials = 0;
   std::uint64_t successes = 0;
   std::uint64_t detections = 0;
+  std::uint64_t degradations = 0;
   double mean_attempts = 0;
   double max_attempts = 0;
   double p50_attempts = 0;
@@ -79,6 +87,7 @@ struct CampaignStats {
   double p99_attempts = 0;
   double mean_cycles = 0;
   std::uint64_t total_cycles = 0;
+  double mean_startup_ms = 0;
 };
 
 /// One trial: index plus its private forked Rng stream.

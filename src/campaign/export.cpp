@@ -12,9 +12,9 @@ namespace {
 // affect any exported value — jobs=1 and jobs=8 runs of the same campaign
 // produce byte-identical files.
 constexpr const char* kFields =
-    "scenario,trials,seed,n_functions,successes,detections,"
-    "mean_attempts,max_attempts,p50_attempts,p90_attempts,p99_attempts,"
-    "mean_cycles,total_cycles";
+    "scenario,trials,seed,n_functions,fault_rate,successes,detections,"
+    "degradations,mean_attempts,max_attempts,p50_attempts,p90_attempts,"
+    "p99_attempts,mean_cycles,total_cycles,mean_startup_ms";
 
 std::string format_row(const char* fmt, const CampaignConfig& config,
                        const CampaignStats& stats) {
@@ -22,32 +22,40 @@ std::string format_row(const char* fmt, const CampaignConfig& config,
   std::snprintf(buf, sizeof buf, fmt, scenario_name(config.scenario),
                 static_cast<unsigned long long>(config.trials),
                 static_cast<unsigned long long>(config.seed),
-                static_cast<unsigned>(config.n_functions),
+                static_cast<unsigned>(config.n_functions), config.fault_rate,
                 static_cast<unsigned long long>(stats.successes),
                 static_cast<unsigned long long>(stats.detections),
+                static_cast<unsigned long long>(stats.degradations),
                 stats.mean_attempts, stats.max_attempts, stats.p50_attempts,
                 stats.p90_attempts, stats.p99_attempts, stats.mean_cycles,
-                static_cast<unsigned long long>(stats.total_cycles));
+                static_cast<unsigned long long>(stats.total_cycles),
+                stats.mean_startup_ms);
   return buf;
 }
 
 }  // namespace
 
-std::string to_csv(const CampaignConfig& config, const CampaignStats& stats) {
-  return std::string(kFields) + "\n" +
-         format_row("%s,%llu,%llu,%u,%llu,%llu,"
-                    "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%llu\n",
+const char* csv_header() { return kFields; }
+
+std::string csv_row(const CampaignConfig& config, const CampaignStats& stats) {
+  return format_row("%s,%llu,%llu,%u,%.17g,%llu,%llu,%llu,"
+                    "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%llu,%.17g\n",
                     config, stats);
+}
+
+std::string to_csv(const CampaignConfig& config, const CampaignStats& stats) {
+  return std::string(kFields) + "\n" + csv_row(config, stats);
 }
 
 std::string to_json(const CampaignConfig& config, const CampaignStats& stats) {
   return format_row(
       "{\"scenario\": \"%s\", \"trials\": %llu, \"seed\": %llu, "
-      "\"n_functions\": %u, \"successes\": %llu, \"detections\": %llu, "
+      "\"n_functions\": %u, \"fault_rate\": %.17g, \"successes\": %llu, "
+      "\"detections\": %llu, \"degradations\": %llu, "
       "\"mean_attempts\": %.17g, \"max_attempts\": %.17g, "
       "\"p50_attempts\": %.17g, \"p90_attempts\": %.17g, "
       "\"p99_attempts\": %.17g, \"mean_cycles\": %.17g, "
-      "\"total_cycles\": %llu}\n",
+      "\"total_cycles\": %llu, \"mean_startup_ms\": %.17g}\n",
       config, stats);
 }
 

@@ -1,6 +1,11 @@
-// Result export for campaign runs: one-row CSV (with header) and a flat
-// JSON object. Both carry the config alongside the aggregates so a result
+// Result export for campaign runs: CSV (header + rows) and flat JSON
+// objects. Both carry the config alongside the aggregates so a result
 // file is self-describing and a rerun is reproducible from it alone.
+//
+// The header/row split is the machine-diffable contract shared with the
+// benches: anything sweeping a parameter (bench/reflash_faults) emits
+// csv_header() once and one csv_row()/to_json() per configuration, so its
+// files diff cleanly against single-run mavr-campaign exports.
 #pragma once
 
 #include <string>
@@ -8,6 +13,12 @@
 #include "campaign/campaign.hpp"
 
 namespace mavr::campaign {
+
+/// The CSV column list (no trailing newline).
+const char* csv_header();
+
+/// One newline-terminated CSV data row.
+std::string csv_row(const CampaignConfig& config, const CampaignStats& stats);
 
 /// Two-line CSV: header row + one data row.
 std::string to_csv(const CampaignConfig& config, const CampaignStats& stats);

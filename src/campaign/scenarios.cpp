@@ -7,6 +7,7 @@
 #include "sim/board.hpp"
 #include "sim/ground.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace mavr::campaign {
 
@@ -90,6 +91,54 @@ TrialResult run_board_trial(const SimFixture& fx, const CampaignConfig& config,
   return result;
 }
 
+// One fault-sweep trial (the reflash pipeline under an armed fault plane):
+// a clean boot establishes the last-known-good image, then the plane is
+// armed on every hardware boundary and a scheduled re-randomization runs
+// under fault pressure. The pipeline must end in one of three verified
+// states — fresh image (success), last-known-good fallback or a held
+// bootloader (degraded) — and the released image must actually run.
+TrialResult run_fault_trial(const SimFixture& fx, const CampaignConfig& config,
+                            support::Rng& rng) {
+  defense::ExternalFlash flash;
+  sim::Board board;
+  defense::MasterConfig mcfg;
+  mcfg.seed = rng.next();  // per-trial permutation stream
+  mcfg.watchdog_timeout_cycles = config.watchdog_timeout_cycles;
+  defense::MasterProcessor master(flash, board, mcfg);
+  master.host_upload_hex(fx.container_hex);
+  master.boot();  // fault-free: establishes the last-known-good image
+  const std::uint64_t start_cycles = board.cpu().cycles();
+
+  // Arm the plane on all three boundaries. Its schedule comes from a child
+  // stream forked off the trial Rng, so it is bit-reproducible per trial.
+  support::FaultPlane plane(support::FaultConfig::uniform(config.fault_rate),
+                            rng.fork(1));
+  flash.attach_faults(&plane);
+  board.attach_faults(&plane);
+  master.attach_faults(&plane);
+  master.boot();  // the re-randomization under test
+
+  TrialResult result;
+  result.degraded =
+      master.health_state() != defense::MasterHealth::kHealthy;
+  result.success = !result.degraded;
+  result.attempts = 1.0 + static_cast<double>(master.health().page_retries +
+                                              master.health().image_retries);
+  if (!board.in_bootloader()) {
+    if (master.last_startup()) {
+      result.startup_ms = master.last_startup()->total_ms;
+    }
+    // The released image must run — a torn image would crash here.
+    board.run_cycles(config.slice_cycles);
+    if (board.crashed()) {
+      result.success = false;
+      result.degraded = true;
+    }
+  }
+  result.cycles = board.cpu().cycles() - start_cycles;
+  return result;
+}
+
 }  // namespace
 
 SimFixture make_sim_fixture(const firmware::AppProfile& profile) {
@@ -109,6 +158,11 @@ CampaignStats run_campaign(const CampaignConfig& config,
                            const SimFixture& fixture) {
   MAVR_REQUIRE(scenario_uses_board(config.scenario),
                "fixture overload is for board scenarios");
+  if (config.scenario == Scenario::kFaultSweep) {
+    return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
+      return run_fault_trial(fixture, config, rng);
+    });
+  }
   return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
     return run_board_trial(fixture, config, rng);
   });

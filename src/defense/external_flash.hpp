@@ -13,6 +13,7 @@
 
 #include "support/bytes.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace mavr::defense {
 
@@ -38,18 +39,36 @@ class ExternalFlash {
   }
 
   /// Random-access read — the property that lets the master process the
-  /// binary in a streaming fashion (paper §VI-B3).
+  /// binary in a streaming fashion (paper §VI-B3). Reads pass through the
+  /// attached fault plane (bit flips / stuck bytes) when one is armed.
   std::uint8_t read(std::uint32_t addr) const {
     MAVR_REQUIRE(addr < data_.size(), "external flash read out of range");
-    return data_[addr];
+    const std::uint8_t value = data_[addr];
+    return faults_ ? faults_->filter_read(value) : value;
   }
 
+  /// Streams the whole chip through read() — the master's container fetch
+  /// path, subject to read faults. Distinct calls see distinct fault draws,
+  /// which is what makes a bounded re-read retry meaningful.
+  support::Bytes read_all() const {
+    support::Bytes out(data_.size());
+    for (std::uint32_t i = 0; i < out.size(); ++i) out[i] = read(i);
+    return out;
+  }
+
+  /// Attaches (or clears, with nullptr) a fault-injection plane on the SPI
+  /// read path. The plane must outlive the attachment.
+  void attach_faults(support::FaultPlane* plane) { faults_ = plane; }
+
+  /// Pristine chip contents (host/test introspection — not the faulted
+  /// hardware read path).
   const support::Bytes& contents() const { return data_; }
   bool empty() const { return data_.empty(); }
 
  private:
   std::uint32_t capacity_;
   support::Bytes data_;
+  support::FaultPlane* faults_ = nullptr;
 };
 
 }  // namespace mavr::defense

@@ -8,8 +8,15 @@
 // Container layout (what the HEX encodes):
 //   u32  magic "MVRC"
 //   u32  blob length
+//   u32  image length
+//   u32  CRC-32/ISO-HDLC over blob ‖ image
 //   blob (toolchain::SymbolBlob wire format, CRC protected)
 //   firmware image bytes
+//
+// The container-level CRC32 is what lets the master processor reject a
+// corrupted external-flash read *before* patching and reprogramming the
+// application from it (DESIGN.md §9) — the blob's own CRC16 only covers
+// the symbol table, not the image bytes the randomizer rewrites.
 #pragma once
 
 #include <string>

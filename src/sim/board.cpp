@@ -55,17 +55,42 @@ void Board::bootloader_enter() {
 void Board::bootloader_erase() {
   MAVR_REQUIRE(in_bootloader_, "not in bootloader");
   cpu_.flash().erase();
+  // Chip erase clears the lock bits on the real part; modelling that here
+  // is what makes readback verification of freshly written pages possible
+  // before the master re-arms the fuse.
+  readout_protected_ = false;
   erased_this_session_ = true;
   ++flash_write_cycles_;
 }
 
 void Board::bootloader_write_page(std::uint32_t byte_addr,
                                   std::span<const std::uint8_t> page) {
+  const std::uint32_t page_bytes = cpu_.spec().flash_page_bytes;
   MAVR_REQUIRE(in_bootloader_, "not in bootloader");
   MAVR_REQUIRE(erased_this_session_, "write before chip erase");
-  MAVR_REQUIRE(page.size() <= cpu_.spec().flash_page_bytes,
-               "page larger than flash page");
+  MAVR_REQUIRE(page.size() <= page_bytes, "page larger than flash page");
+  MAVR_REQUIRE(byte_addr % page_bytes == 0,
+               "page address not page aligned");
+  MAVR_REQUIRE(byte_addr + page.size() <= cpu_.spec().flash_bytes,
+               "page write beyond end of flash");
+  if (faults_ && !faults_->program_succeeds(flash_write_cycles_)) {
+    return;  // program pulse failed; the page retains its erased contents
+  }
   cpu_.flash().program_page(byte_addr, page);
+}
+
+support::Bytes Board::bootloader_read_page(std::uint32_t byte_addr,
+                                           std::uint32_t len) const {
+  MAVR_REQUIRE(in_bootloader_, "not in bootloader");
+  MAVR_REQUIRE(!readout_protected_,
+               "bootloader readback blocked by protection fuse");
+  MAVR_REQUIRE(byte_addr + len <= cpu_.spec().flash_bytes,
+               "readback beyond end of flash");
+  support::Bytes out(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    out[i] = cpu_.flash().byte(byte_addr + i);
+  }
+  return out;
 }
 
 void Board::bootloader_run_application() {

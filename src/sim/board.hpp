@@ -20,6 +20,7 @@
 #include "avr/uart.hpp"
 #include "firmware/generator.hpp"
 #include "support/bytes.hpp"
+#include "support/fault.hpp"
 
 namespace mavr::sim {
 
@@ -66,12 +67,27 @@ class Board {
   /// writable page by page.
   void bootloader_enter();
   bool in_bootloader() const { return in_bootloader_; }
-  /// Chip erase (begins a programming cycle; counts flash wear).
+  /// Chip erase (begins a programming cycle; counts flash wear). Like the
+  /// real part's lock bits, the erase also clears the readout-protection
+  /// fuse — which is what lets the master verify its pages by readback
+  /// before re-arming the fuse.
   void bootloader_erase();
+  /// Programs one page. `byte_addr` must be page aligned and the write
+  /// must fit inside the part's flash — both validated up front. When a
+  /// fault plane is attached, the program pulse can fail and leave the
+  /// page erased (the master's readback verify is what catches this).
   void bootloader_write_page(std::uint32_t byte_addr,
                              std::span<const std::uint8_t> page);
+  /// Reads `len` flash bytes back through the bootloader (the master's
+  /// page-verify path). Refused once the readout-protection fuse is set.
+  support::Bytes bootloader_read_page(std::uint32_t byte_addr,
+                                      std::uint32_t len) const;
   /// Leaves the bootloader and restarts the application from reset.
   void bootloader_run_application();
+
+  /// Attaches (or clears, with nullptr) a fault-injection plane on the
+  /// internal-flash programming path. The plane must outlive the board.
+  void attach_faults(support::FaultPlane* plane) { faults_ = plane; }
 
   /// Completed flash programming cycles — measured against the part's
   /// 10,000-cycle endurance (paper §VI-A).
@@ -133,6 +149,7 @@ class Board {
   std::unique_ptr<avr::OutputPort> led_;
   std::unique_ptr<avr::Timer> timer_;
   std::unique_ptr<HookTracer> hook_tracer_;
+  support::FaultPlane* faults_ = nullptr;
   bool readout_protected_ = false;
   bool in_bootloader_ = false;
   bool erased_this_session_ = false;

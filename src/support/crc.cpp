@@ -19,4 +19,21 @@ std::uint16_t crc16_x25(std::span<const std::uint8_t> data) {
   return crc.value();
 }
 
+void Crc32::update(std::uint8_t byte) {
+  crc_ ^= byte;
+  for (int bit = 0; bit < 8; ++bit) {
+    crc_ = (crc_ >> 1) ^ (0xEDB88320u & (~(crc_ & 1u) + 1u));
+  }
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) update(b);
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
 }  // namespace mavr::support

@@ -1,0 +1,72 @@
+#include "support/fault.hpp"
+
+namespace mavr::support {
+
+FaultConfig FaultConfig::uniform(double rate) {
+  FaultConfig c;
+  // A container read touches tens of kilobytes while a page transfer moves
+  // 256 bytes, so per-byte read rates are scaled down to keep the fault
+  // pressure per whole-container read in the same regime as per-page
+  // transfer faults (otherwise read faults saturate the sweep long before
+  // the page-level machinery is exercised).
+  c.read_bit_flip = rate / 4096.0;
+  c.read_stuck_byte = rate / 8192.0;
+  c.page_corrupt = rate;
+  c.page_drop = rate;
+  c.program_fail = rate;
+  return c;
+}
+
+FaultPlane::FaultPlane(const FaultConfig& config, const Rng& rng)
+    : armed_(config.any()),
+      config_(config),
+      read_rng_(rng.fork(0)),
+      page_rng_(rng.fork(1)),
+      program_rng_(rng.fork(2)) {}
+
+std::uint8_t FaultPlane::filter_read(std::uint8_t value) {
+  if (!armed_) return value;
+  // Each enabled fault class draws exactly once per byte, so the schedule
+  // is a pure function of (config, seed, read index).
+  if (config_.read_stuck_byte > 0 && read_rng_.chance(config_.read_stuck_byte)) {
+    ++stats_.read_stuck_bytes;
+    return 0xFF;  // erased-cell readout
+  }
+  if (config_.read_bit_flip > 0 && read_rng_.chance(config_.read_bit_flip)) {
+    ++stats_.read_bit_flips;
+    return static_cast<std::uint8_t>(value ^ (1u << read_rng_.below(8)));
+  }
+  return value;
+}
+
+PageTransfer FaultPlane::filter_page(std::span<std::uint8_t> page) {
+  if (!armed_ || page.empty()) return PageTransfer::kOk;
+  if (config_.page_drop > 0 && page_rng_.chance(config_.page_drop)) {
+    ++stats_.pages_dropped;
+    return PageTransfer::kDropped;
+  }
+  if (config_.page_corrupt > 0 && page_rng_.chance(config_.page_corrupt)) {
+    ++stats_.pages_corrupted;
+    const std::size_t at =
+        static_cast<std::size_t>(page_rng_.below(page.size()));
+    page[at] = static_cast<std::uint8_t>(page[at] ^ (1u << page_rng_.below(8)));
+    return PageTransfer::kCorrupted;
+  }
+  return PageTransfer::kOk;
+}
+
+bool FaultPlane::program_succeeds(std::uint32_t wear_cycles) {
+  if (!armed_) return true;
+  if (config_.program_fail > 0 && program_rng_.chance(config_.program_fail)) {
+    ++stats_.programs_failed;
+    return false;
+  }
+  if (config_.wearout_threshold > 0 && wear_cycles >= config_.wearout_threshold &&
+      config_.wearout_fail > 0 && program_rng_.chance(config_.wearout_fail)) {
+    ++stats_.wearout_failures;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mavr::support

@@ -1,0 +1,115 @@
+// Deterministic fault-injection plane for the hardware boundaries the
+// MAVR defense crosses (DESIGN.md §9).
+//
+// The self-healing reflash pipeline (defense::MasterProcessor) is only
+// credible if it survives faults on every link it depends on:
+//  * external-flash container reads (bit flips, stuck bytes),
+//  * the master ↔ application serial page stream (corrupted page bytes,
+//    dropped pages / bootloader timeouts),
+//  * internal-flash page programming (program-pulse failures, wear-out
+//    coupled to the 10,000-cycle endurance counter, paper §VI-A).
+//
+// One FaultPlane is shared by all three attachment points of a single
+// board (ExternalFlash, MasterProcessor, sim::Board). Each fault site
+// draws from its own child stream forked off the plane's Rng by site
+// index (support::Rng::fork — a pure function of the construction seed),
+// so the schedule at one site never depends on traffic at another and a
+// campaign trial's fault schedule is bit-reproducible at any jobs count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "support/rng.hpp"
+
+namespace mavr::support {
+
+/// Per-site fault probabilities. All zero (never injects) by default.
+struct FaultConfig {
+  // External-flash reads (applied per byte read).
+  double read_bit_flip = 0;    ///< one random bit of the byte is flipped
+  double read_stuck_byte = 0;  ///< the byte reads back as erased 0xFF
+
+  // Serial page stream, master → application bootloader (per page sent).
+  double page_corrupt = 0;  ///< one transit byte is bit-flipped
+  double page_drop = 0;     ///< page never arrives (bootloader ack timeout)
+
+  // Internal-flash page programming (per page programmed).
+  double program_fail = 0;  ///< program pulse fails, page left erased
+  /// Wear-out model: once the part has seen `wearout_threshold` erase
+  /// cycles (0 disables), every page program additionally fails with
+  /// probability `wearout_fail`.
+  std::uint32_t wearout_threshold = 0;
+  double wearout_fail = 0;
+
+  /// Uniform fault pressure: per-page sites take `rate` directly; the
+  /// per-byte external-read sites are scaled down so a whole-container
+  /// read exerts fault pressure comparable to a page transfer.
+  static FaultConfig uniform(double rate);
+
+  bool any() const {
+    return read_bit_flip > 0 || read_stuck_byte > 0 || page_corrupt > 0 ||
+           page_drop > 0 || program_fail > 0 ||
+           (wearout_threshold > 0 && wearout_fail > 0);
+  }
+};
+
+/// Fate of one serial page transfer.
+enum class PageTransfer {
+  kOk,         ///< page arrived intact
+  kCorrupted,  ///< page arrived with a flipped byte (caller's buffer mutated)
+  kDropped,    ///< page never arrived — the bootloader ack timed out
+};
+
+/// Tally of injected faults, per site (read-only observability for tests,
+/// campaigns and benches).
+struct FaultStats {
+  std::uint64_t read_bit_flips = 0;
+  std::uint64_t read_stuck_bytes = 0;
+  std::uint64_t pages_corrupted = 0;
+  std::uint64_t pages_dropped = 0;
+  std::uint64_t programs_failed = 0;
+  std::uint64_t wearout_failures = 0;
+
+  std::uint64_t total() const {
+    return read_bit_flips + read_stuck_bytes + pages_corrupted +
+           pages_dropped + programs_failed + wearout_failures;
+  }
+};
+
+class FaultPlane {
+ public:
+  /// Disarmed plane: never injects and never draws from its streams, so an
+  /// attached-but-disarmed plane is behaviorally invisible.
+  FaultPlane() : FaultPlane(FaultConfig{}, Rng(0)) {}
+
+  /// Armed plane. Site streams are forked off `rng` by site index.
+  FaultPlane(const FaultConfig& config, const Rng& rng);
+
+  bool armed() const { return armed_; }
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// External-flash read filter: returns the (possibly corrupted) byte.
+  std::uint8_t filter_read(std::uint8_t value);
+
+  /// Draws the fate of one serial page transfer. On kCorrupted, one byte
+  /// of `page` has been bit-flipped in place; on kDropped the buffer is
+  /// untouched and the page must be treated as never written.
+  PageTransfer filter_page(std::span<std::uint8_t> page);
+
+  /// Internal-flash program pulse for one page given the part's current
+  /// wear (completed erase cycles). False = the pulse failed and the page
+  /// retains its erased contents.
+  bool program_succeeds(std::uint32_t wear_cycles);
+
+ private:
+  bool armed_;
+  FaultConfig config_;
+  FaultStats stats_;
+  Rng read_rng_;     ///< fork index 0
+  Rng page_rng_;     ///< fork index 1
+  Rng program_rng_;  ///< fork index 2
+};
+
+}  // namespace mavr::support

@@ -93,6 +93,28 @@ TEST(Master, DetectsSilentApplicationWithinTimeout) {
   EXPECT_FALSE(master.service());
 }
 
+TEST(Master, DetectReflashDetectAgain) {
+  // Regression for the watchdog bookkeeping across a reflash: the reflash
+  // must re-arm the quiet check (fresh grace period), and a still-silent
+  // application must be caught a second time — a stale feed high-water
+  // mark would disarm the watchdog after the first detection.
+  ExternalFlash flash;
+  sim::Board board;
+  MasterConfig cfg;
+  cfg.watchdog_timeout_cycles = 100'000;
+  MasterProcessor master(flash, board, cfg);
+  master.host_upload_hex(silent_hex());
+  master.boot();
+
+  board.run_cycles(200'000);
+  EXPECT_TRUE(master.service());
+  EXPECT_FALSE(master.service());  // grace period right after the reflash
+  board.run_cycles(200'000);
+  EXPECT_TRUE(master.service());
+  EXPECT_EQ(master.attacks_detected(), 2u);
+  EXPECT_EQ(master.randomizations(), 3u);  // boot + two attack reflashes
+}
+
 TEST(Master, DetectsFaultedCoreImmediately) {
   ExternalFlash flash;
   sim::Board board;

@@ -40,6 +40,46 @@ TEST(Board, BootloaderProtocolDiscipline) {
   EXPECT_FALSE(board.in_bootloader());
 }
 
+TEST(Board, BootloaderPageWriteValidatedUpFront) {
+  sim::Board board;
+  board.bootloader_enter();
+  board.bootloader_erase();
+  // Misaligned page address.
+  EXPECT_THROW(board.bootloader_write_page(100, support::Bytes(256)),
+               support::PreconditionError);
+  // Past the end of flash.
+  const std::uint32_t flash_bytes = board.cpu().spec().flash_bytes;
+  EXPECT_THROW(board.bootloader_write_page(flash_bytes, support::Bytes(16)),
+               support::PreconditionError);
+  EXPECT_THROW(
+      board.bootloader_write_page(flash_bytes - 256, support::Bytes(257)),
+      support::PreconditionError);
+  // The last valid page is accepted.
+  board.bootloader_write_page(flash_bytes - 256, support::Bytes(256, 0xAB));
+  EXPECT_EQ(board.bootloader_read_page(flash_bytes - 256, 1)[0], 0xAB);
+  board.bootloader_run_application();
+}
+
+TEST(Board, BootloaderReadbackDiscipline) {
+  sim::Board board;
+  // Readback outside the bootloader is refused.
+  EXPECT_THROW(board.bootloader_read_page(0, 4), support::PreconditionError);
+  board.bootloader_enter();
+  board.bootloader_erase();
+  board.bootloader_write_page(0, support::Bytes(256, 0x5A));
+  EXPECT_EQ(board.bootloader_read_page(0, 256), support::Bytes(256, 0x5A));
+  EXPECT_THROW(
+      board.bootloader_read_page(board.cpu().spec().flash_bytes - 2, 4),
+      support::PreconditionError);
+  // Once the fuse is re-armed, readback is blocked again — and a chip
+  // erase (which clears the lock bits, as on the real part) re-enables it.
+  board.set_readout_protection();
+  EXPECT_THROW(board.bootloader_read_page(0, 4), support::PreconditionError);
+  board.bootloader_erase();
+  EXPECT_EQ(board.bootloader_read_page(0, 1)[0], 0xFF);
+  board.bootloader_run_application();
+}
+
 TEST(Board, CoreHeldWhileInBootloader) {
   sim::Board board;
   board.flash_image(fw().image.bytes);

@@ -1,14 +1,17 @@
 // mavr-campaign — fleet-scale attack/defense trial runner.
 //
-//   mavr-campaign --scenario {v1,v2,v3,bruteforce-fixed,bruteforce-rerand}
+//   mavr-campaign --scenario {v1,v2,v3,bruteforce-fixed,bruteforce-rerand,
+//                             fault-sweep}
 //                 [--trials N] [--jobs N] [--seed N] [--functions N]
-//                 [--out FILE.{csv,json}]
+//                 [--fault-rate X] [--out FILE.{csv,json}]
 //
 // Runs N independent trials of the chosen scenario across a thread pool.
 // Board scenarios (v1/v2/v3) stand up a fresh board behind a freshly
 // MAVR-randomized firmware per trial and deliver one stock-derived attack;
-// brute-force scenarios run the paper's §V-D models. Results are
-// bit-identical for any --jobs value (see DESIGN.md, campaign engine).
+// brute-force scenarios run the paper's §V-D models; fault-sweep runs the
+// self-healing reflash pipeline against an armed fault plane at
+// --fault-rate. Results are bit-identical for any --jobs value (see
+// DESIGN.md, campaign engine).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +30,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: mavr-campaign --scenario "
-      "{v1,v2,v3,bruteforce-fixed,bruteforce-rerand}\n"
+      "{v1,v2,v3,bruteforce-fixed,bruteforce-rerand,fault-sweep}\n"
       "                     [--trials N] [--jobs N] [--seed N]\n"
-      "                     [--functions N] [--out FILE.{csv,json}]\n");
+      "                     [--functions N] [--fault-rate X]\n"
+      "                     [--out FILE.{csv,json}]\n");
   return 2;
 }
 
@@ -71,6 +75,8 @@ int main(int argc, char** argv) {
     } else if (const char* v = arg_value("--functions")) {
       config.n_functions = static_cast<std::uint32_t>(
           std::strtoul(v, nullptr, 0));
+    } else if (const char* v = arg_value("--fault-rate")) {
+      config.fault_rate = std::strtod(v, nullptr);
     } else if (const char* v = arg_value("--out")) {
       out_path = v;
     } else {
@@ -106,6 +112,15 @@ int main(int argc, char** argv) {
                 "max %.0f\n",
                 stats.mean_attempts, stats.p50_attempts, stats.p90_attempts,
                 stats.p99_attempts, stats.max_attempts);
+    if (config.scenario == campaign::Scenario::kFaultSweep) {
+      std::printf("  fault rate: %g   degradations: %llu (%.2f%%)   "
+                  "mean startup: %.2f ms\n",
+                  config.fault_rate,
+                  static_cast<unsigned long long>(stats.degradations),
+                  100.0 * static_cast<double>(stats.degradations) /
+                      static_cast<double>(stats.trials),
+                  stats.mean_startup_ms);
+    }
     if (stats.total_cycles > 0) {
       std::printf("  board time: mean %.0f cycles/trial, %llu total\n",
                   stats.mean_cycles,
