@@ -1,0 +1,94 @@
+// Runtime cost of the intrusion-detection engine on the interpreter hot
+// loop (DESIGN.md §10): the same clean flight simulated untraced, then
+// with the engine armed under each single detector and the full set. The
+// spread between BM_Untraced and BM_AllDetectors is the on-board price of
+// the detection layer the paper argues randomization makes unnecessary —
+// the number the detect-sweep campaign's overhead column contextualizes.
+#include <benchmark/benchmark.h>
+
+#include "detect/engine.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+
+namespace {
+
+using namespace mavr;
+
+const firmware::Firmware& test_fw() {
+  static firmware::Firmware fw = firmware::generate(
+      firmware::testapp(true), toolchain::ToolchainOptions::mavr());
+  return fw;
+}
+
+void run_slice(benchmark::State& state, sim::Board& board) {
+  board.run_cycles(100'000);
+  if (board.cpu().state() != avr::CpuState::Running) {
+    state.SkipWithError("board died");
+  }
+}
+
+void sim_rate(benchmark::State& state) {
+  state.counters["sim_MHz"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 100'000,
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void bench_with_detectors(benchmark::State& state, unsigned detectors) {
+  sim::Board board;
+  board.flash_image(test_fw().image.bytes);
+  detect::EngineConfig config;
+  config.detectors = detectors;
+  detect::Engine engine(config);
+  engine.arm(board.cpu());
+  engine.rebuild(test_fw().image.bytes, test_fw().image.text_end);
+  board.run_cycles(200'000);  // boot
+  for (auto _ : state) run_slice(state, board);
+  sim_rate(state);
+  if (engine.tripped()) state.SkipWithError("false positive on clean flight");
+}
+
+void BM_Untraced(benchmark::State& state) {
+  sim::Board board;
+  board.flash_image(test_fw().image.bytes);
+  board.run_cycles(200'000);
+  for (auto _ : state) run_slice(state, board);
+  sim_rate(state);
+}
+BENCHMARK(BM_Untraced)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineNoDetectors(benchmark::State& state) {
+  // The armed engine with every detector masked off: the cost of the
+  // instrumented interpreter instantiation plus the mask checks.
+  bench_with_detectors(state, detect::kDetectNone);
+}
+BENCHMARK(BM_EngineNoDetectors)->Unit(benchmark::kMicrosecond);
+
+void BM_Canary(benchmark::State& state) {
+  bench_with_detectors(state, detect::kDetectCanary);
+}
+BENCHMARK(BM_Canary)->Unit(benchmark::kMicrosecond);
+
+void BM_ShadowStack(benchmark::State& state) {
+  bench_with_detectors(state, detect::kDetectShadowStack);
+}
+BENCHMARK(BM_ShadowStack)->Unit(benchmark::kMicrosecond);
+
+void BM_SpBounds(benchmark::State& state) {
+  bench_with_detectors(state, detect::kDetectSpBounds);
+}
+BENCHMARK(BM_SpBounds)->Unit(benchmark::kMicrosecond);
+
+void BM_ReturnCfi(benchmark::State& state) {
+  bench_with_detectors(state, detect::kDetectReturnCfi);
+}
+BENCHMARK(BM_ReturnCfi)->Unit(benchmark::kMicrosecond);
+
+void BM_AllDetectors(benchmark::State& state) {
+  bench_with_detectors(state, detect::kDetectAll);
+}
+BENCHMARK(BM_AllDetectors)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

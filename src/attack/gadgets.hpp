@@ -42,6 +42,15 @@ struct GadgetCensus {
   std::uint32_t write_mem_gadgets = 0;
   std::uint32_t pop_chain_gadgets = 0; ///< rets preceded by >= 4 pops
 
+  /// The paper's "gadgets found" population. pop_chain_gadgets is
+  /// deliberately excluded: every pop-chain is one of the ret_gadgets
+  /// already counted (the census tallies each ret-terminated sequence
+  /// once, then classifies it), so adding the column would double-count
+  /// exactly the chains the stealthy payloads are built from. stk_move and
+  /// write_mem entries are *mid-sequence* entry points (the out SPH / std
+  /// Y+1 before the pop run), distinct addresses from their ret gadget,
+  /// which is why those two do add. Pinned against the vulnerable test
+  /// app in attack/gadgets_test.cpp.
   std::uint32_t total() const {
     return ret_gadgets + stk_move_gadgets + write_mem_gadgets;
   }

@@ -20,14 +20,51 @@ const char* scenario_name(Scenario scenario) {
     case Scenario::kBruteForceFixed: return "bruteforce-fixed";
     case Scenario::kBruteForceRerand: return "bruteforce-rerand";
     case Scenario::kFaultSweep: return "fault-sweep";
+    case Scenario::kDetectSweep: return "detect-sweep";
   }
   return "?";
 }
 
+const char* scenario_description(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kV1:
+      return "traditional ROP fleet vs. freshly randomized boards";
+    case Scenario::kV2:
+      return "stealthy ROP fleet (repaired frame, clean return) vs. "
+             "randomized boards";
+    case Scenario::kV3:
+      return "trampoline ROP fleet (chain staged in unused SRAM) vs. "
+             "randomized boards";
+    case Scenario::kBruteForceFixed:
+      return "brute-force model: attacker vs. one fixed permutation (paper "
+             "sec. V-D)";
+    case Scenario::kBruteForceRerand:
+      return "brute-force model: attacker vs. re-randomize-on-failure";
+    case Scenario::kFaultSweep:
+      return "self-healing reflash pipeline vs. an armed fault plane at "
+             "--fault-rate";
+    case Scenario::kDetectSweep:
+      return "runtime detectors (--detectors) vs. one attack variant or a "
+             "clean flight (--attack)";
+  }
+  return "?";
+}
+
+std::span<const Scenario> all_scenarios() {
+  static constexpr Scenario kAll[] = {
+      Scenario::kV1,
+      Scenario::kV2,
+      Scenario::kV3,
+      Scenario::kBruteForceFixed,
+      Scenario::kBruteForceRerand,
+      Scenario::kFaultSweep,
+      Scenario::kDetectSweep,
+  };
+  return kAll;
+}
+
 std::optional<Scenario> parse_scenario(std::string_view name) {
-  for (Scenario s : {Scenario::kV1, Scenario::kV2, Scenario::kV3,
-                     Scenario::kBruteForceFixed, Scenario::kBruteForceRerand,
-                     Scenario::kFaultSweep}) {
+  for (Scenario s : all_scenarios()) {
     if (name == scenario_name(s)) return s;
   }
   return std::nullopt;
@@ -35,7 +72,26 @@ std::optional<Scenario> parse_scenario(std::string_view name) {
 
 bool scenario_uses_board(Scenario scenario) {
   return scenario == Scenario::kV1 || scenario == Scenario::kV2 ||
-         scenario == Scenario::kV3 || scenario == Scenario::kFaultSweep;
+         scenario == Scenario::kV3 || scenario == Scenario::kFaultSweep ||
+         scenario == Scenario::kDetectSweep;
+}
+
+const char* detect_attack_name(DetectAttack attack) {
+  switch (attack) {
+    case DetectAttack::kClean: return "clean";
+    case DetectAttack::kV1: return "v1";
+    case DetectAttack::kV2: return "v2";
+    case DetectAttack::kV3: return "v3";
+  }
+  return "?";
+}
+
+std::optional<DetectAttack> parse_detect_attack(std::string_view name) {
+  for (DetectAttack a : {DetectAttack::kClean, DetectAttack::kV1,
+                         DetectAttack::kV2, DetectAttack::kV3}) {
+    if (name == detect_attack_name(a)) return a;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -49,10 +105,12 @@ struct ChunkAccum {
   double sum_attempts = 0;
   double max_attempts = 0;
   double sum_startup_ms = 0;
+  double sum_ttd_cycles = 0;  ///< over detected trials only
   std::uint64_t cycles = 0;
   std::uint64_t successes = 0;
   std::uint64_t detections = 0;
   std::uint64_t degradations = 0;
+  std::uint64_t detector_trips = 0;
 };
 
 /// Nearest-rank percentile of a sorted sample.
@@ -103,10 +161,12 @@ CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
           acc.sum_attempts += r.attempts;
           acc.max_attempts = std::max(acc.max_attempts, r.attempts);
           acc.sum_startup_ms += r.startup_ms;
+          if (r.detected) acc.sum_ttd_cycles += static_cast<double>(r.ttd_cycles);
           acc.cycles += r.cycles;
           acc.successes += r.success ? 1 : 0;
           acc.detections += r.detected ? 1 : 0;
           acc.degradations += r.degraded ? 1 : 0;
+          acc.detector_trips += r.detector_fired ? 1 : 0;
         }
       }
     } catch (...) {
@@ -132,19 +192,25 @@ CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
   // summation order is fixed regardless of worker scheduling.
   double sum = 0;
   double sum_startup = 0;
+  double sum_ttd = 0;
   for (const ChunkAccum& acc : chunks) {
     sum += acc.sum_attempts;
     sum_startup += acc.sum_startup_ms;
+    sum_ttd += acc.sum_ttd_cycles;
     stats.max_attempts = std::max(stats.max_attempts, acc.max_attempts);
     stats.total_cycles += acc.cycles;
     stats.successes += acc.successes;
     stats.detections += acc.detections;
     stats.degradations += acc.degradations;
+    stats.detector_trips += acc.detector_trips;
   }
   const auto n = static_cast<double>(config.trials);
   stats.mean_attempts = sum / n;
   stats.mean_cycles = static_cast<double>(stats.total_cycles) / n;
   stats.mean_startup_ms = sum_startup / n;
+  stats.mean_ttd_cycles =
+      stats.detections > 0 ? sum_ttd / static_cast<double>(stats.detections)
+                           : 0;
 
   std::sort(attempts.begin(), attempts.end());
   stats.p50_attempts = percentile(attempts, 0.50);

@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string_view>
 
+#include "detect/engine.hpp"
 #include "support/rng.hpp"
 
 namespace mavr::campaign {
@@ -37,12 +39,28 @@ enum class Scenario {
   kV3,               ///< trampoline ROP vs. a freshly randomized board
   kBruteForceFixed,  ///< model: attacker vs. one fixed permutation
   kBruteForceRerand, ///< model: attacker vs. re-randomize-on-failure
-  kFaultSweep        ///< reflash pipeline vs. an armed fault plane
+  kFaultSweep,       ///< reflash pipeline vs. an armed fault plane
+  kDetectSweep       ///< runtime detectors vs. one attack variant / clean
 };
 
 const char* scenario_name(Scenario scenario);
+/// One-line human description (mavr-campaign --list-scenarios).
+const char* scenario_description(Scenario scenario);
 std::optional<Scenario> parse_scenario(std::string_view name);
 bool scenario_uses_board(Scenario scenario);
+/// Every registered scenario, in presentation order.
+std::span<const Scenario> all_scenarios();
+
+/// Which flight the detect-sweep scenario flies against the detectors.
+enum class DetectAttack {
+  kClean,  ///< no attack: measures the false-positive rate
+  kV1,     ///< traditional ROP (crashes off the smashed stack)
+  kV2,     ///< stealthy ROP (repairs the frame, clean return)
+  kV3      ///< trampoline ROP (stages the chain in unused SRAM)
+};
+
+const char* detect_attack_name(DetectAttack attack);
+std::optional<DetectAttack> parse_detect_attack(std::string_view name);
 
 struct CampaignConfig {
   Scenario scenario = Scenario::kBruteForceFixed;
@@ -62,6 +80,15 @@ struct CampaignConfig {
   // Fault-sweep scenario: per-operation injection rate fed through
   // support::FaultConfig::uniform (0 = fault-free pipeline).
   double fault_rate = 0.0;
+
+  // Detect-sweep scenario: the detector set armed on every board, the
+  // flight flown against it, and whether MAVR randomization stays on.
+  // Randomization defaults off so the stock-derived payloads exercise the
+  // detectors as designed — the stealth hierarchy is a property of the
+  // detectors, not of stale gadget addresses (DESIGN.md §10).
+  unsigned detectors = detect::kDetectAll;
+  DetectAttack detect_attack = DetectAttack::kClean;
+  bool detect_randomize = false;
 };
 
 /// Outcome of one trial.
@@ -69,9 +96,14 @@ struct TrialResult {
   bool success = false;   ///< attack landed / reflash recovered fresh image
   bool detected = false;  ///< master declared a failed attack
   bool degraded = false;  ///< fault sweep: fell to last-good or held safe
+  bool detector_fired = false;  ///< detect sweep: a runtime detector tripped
   double attempts = 1;    ///< model attempts / reflash programming attempts
   double startup_ms = 0;  ///< fault sweep: faulted-reflash startup time
   std::uint64_t cycles = 0;  ///< board cycles consumed by the trial
+  /// Detect sweep: cycles from payload delivery to the detection the
+  /// master acted on (first detector verdict when one fired, else the
+  /// watchdog's service call). Only meaningful when `detected`.
+  std::uint64_t ttd_cycles = 0;
 };
 
 /// Aggregate over all trials. Every field is bit-identical across `jobs`.
@@ -88,6 +120,8 @@ struct CampaignStats {
   double mean_cycles = 0;
   std::uint64_t total_cycles = 0;
   double mean_startup_ms = 0;
+  std::uint64_t detector_trips = 0;  ///< trials where a detector fired
+  double mean_ttd_cycles = 0;        ///< mean ttd over detected trials
 };
 
 /// One trial: index plus its private forked Rng stream.

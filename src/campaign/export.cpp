@@ -12,24 +12,39 @@ namespace {
 // affect any exported value — jobs=1 and jobs=8 runs of the same campaign
 // produce byte-identical files.
 constexpr const char* kFields =
-    "scenario,trials,seed,n_functions,fault_rate,successes,detections,"
-    "degradations,mean_attempts,max_attempts,p50_attempts,p90_attempts,"
-    "p99_attempts,mean_cycles,total_cycles,mean_startup_ms";
+    "scenario,trials,seed,n_functions,fault_rate,attack,detectors,"
+    "successes,detections,detector_trips,degradations,mean_attempts,"
+    "max_attempts,p50_attempts,p90_attempts,p99_attempts,mean_cycles,"
+    "total_cycles,mean_startup_ms,mean_ttd_cycles";
+
+// Detect-sweep config columns; "-" keeps other scenarios' rows regular
+// without implying they flew an attack or armed detectors.
+std::string attack_field(const CampaignConfig& config) {
+  if (config.scenario != Scenario::kDetectSweep) return "-";
+  return detect_attack_name(config.detect_attack);
+}
+
+std::string detectors_field(const CampaignConfig& config) {
+  if (config.scenario != Scenario::kDetectSweep) return "-";
+  return detect::detector_set_name(config.detectors);
+}
 
 std::string format_row(const char* fmt, const CampaignConfig& config,
                        const CampaignStats& stats) {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(buf, sizeof buf, fmt, scenario_name(config.scenario),
                 static_cast<unsigned long long>(config.trials),
                 static_cast<unsigned long long>(config.seed),
                 static_cast<unsigned>(config.n_functions), config.fault_rate,
+                attack_field(config).c_str(), detectors_field(config).c_str(),
                 static_cast<unsigned long long>(stats.successes),
                 static_cast<unsigned long long>(stats.detections),
+                static_cast<unsigned long long>(stats.detector_trips),
                 static_cast<unsigned long long>(stats.degradations),
                 stats.mean_attempts, stats.max_attempts, stats.p50_attempts,
                 stats.p90_attempts, stats.p99_attempts, stats.mean_cycles,
                 static_cast<unsigned long long>(stats.total_cycles),
-                stats.mean_startup_ms);
+                stats.mean_startup_ms, stats.mean_ttd_cycles);
   return buf;
 }
 
@@ -38,8 +53,8 @@ std::string format_row(const char* fmt, const CampaignConfig& config,
 const char* csv_header() { return kFields; }
 
 std::string csv_row(const CampaignConfig& config, const CampaignStats& stats) {
-  return format_row("%s,%llu,%llu,%u,%.17g,%llu,%llu,%llu,"
-                    "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%llu,%.17g\n",
+  return format_row("%s,%llu,%llu,%u,%.17g,%s,%s,%llu,%llu,%llu,%llu,"
+                    "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%llu,%.17g,%.17g\n",
                     config, stats);
 }
 
@@ -50,12 +65,15 @@ std::string to_csv(const CampaignConfig& config, const CampaignStats& stats) {
 std::string to_json(const CampaignConfig& config, const CampaignStats& stats) {
   return format_row(
       "{\"scenario\": \"%s\", \"trials\": %llu, \"seed\": %llu, "
-      "\"n_functions\": %u, \"fault_rate\": %.17g, \"successes\": %llu, "
-      "\"detections\": %llu, \"degradations\": %llu, "
+      "\"n_functions\": %u, \"fault_rate\": %.17g, \"attack\": \"%s\", "
+      "\"detectors\": \"%s\", \"successes\": %llu, "
+      "\"detections\": %llu, \"detector_trips\": %llu, "
+      "\"degradations\": %llu, "
       "\"mean_attempts\": %.17g, \"max_attempts\": %.17g, "
       "\"p50_attempts\": %.17g, \"p90_attempts\": %.17g, "
       "\"p99_attempts\": %.17g, \"mean_cycles\": %.17g, "
-      "\"total_cycles\": %llu, \"mean_startup_ms\": %.17g}\n",
+      "\"total_cycles\": %llu, \"mean_startup_ms\": %.17g, "
+      "\"mean_ttd_cycles\": %.17g}\n",
       config, stats);
 }
 

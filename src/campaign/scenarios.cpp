@@ -91,6 +91,93 @@ TrialResult run_board_trial(const SimFixture& fx, const CampaignConfig& config,
   return result;
 }
 
+// One detect-sweep trial: a board flying behind a master with a runtime
+// intrusion-detection engine armed on its core, attacked (or not) by one
+// stock-derived payload. Randomization is normally *off* here
+// (CampaignConfig::detect_randomize) so the attack executes as designed and
+// the result isolates what the detectors — not stale gadget addresses —
+// catch; switching it on measures the combined defense.
+TrialResult run_detect_trial(const SimFixture& fx, const CampaignConfig& config,
+                             support::Rng& rng) {
+  defense::ExternalFlash flash;
+  sim::Board board;
+  defense::MasterConfig mcfg;
+  mcfg.seed = rng.next();  // per-trial permutation stream
+  mcfg.watchdog_timeout_cycles = config.watchdog_timeout_cycles;
+  mcfg.randomize_enabled = config.detect_randomize;
+  defense::MasterProcessor master(flash, board, mcfg);
+
+  detect::EngineConfig ecfg;
+  ecfg.detectors = config.detectors;
+  detect::Engine engine(ecfg);
+  engine.arm(board.cpu());
+  master.attach_detector(&engine);
+
+  master.host_upload_hex(fx.container_hex);
+  master.boot();  // programs the image and rebuilds the engine's CFI set
+  const std::uint64_t start_cycles = board.cpu().cycles();
+  board.run_cycles(config.warmup_cycles);
+
+  std::vector<support::Bytes> payloads;
+  const attack::Write3 write{fx.plan.gyro_cal_addr, {0xD1, 0x07, 0x00}};
+  if (config.detect_attack != DetectAttack::kClean) {
+    attack::AttackPlan guess = fx.plan;
+    guess.stk = fx.usable_stk[rng.below(fx.usable_stk.size())];
+    const attack::RopChainBuilder builder = guess.builder();
+    switch (config.detect_attack) {
+      case DetectAttack::kV1:
+        payloads.push_back(builder.v1_payload(write));
+        break;
+      case DetectAttack::kV2:
+        payloads.push_back(builder.v2_payload({write}));
+        break;
+      case DetectAttack::kV3:
+        payloads = builder.v3_payloads(kV3StagingAddr, {write});
+        break;
+      case DetectAttack::kClean:
+        break;
+    }
+  }
+
+  const std::uint64_t attack_cycle = board.cpu().cycles();
+  sim::GroundStation gcs(board);
+  for (const support::Bytes& p : payloads) gcs.send_raw_param_set(p);
+
+  TrialResult result;
+  auto landed = [&] {
+    return board.cpu().data().raw(fx.plan.gyro_cal_addr) == write.bytes[0] &&
+           board.cpu().data().raw(fx.plan.gyro_cal_addr + 1) == write.bytes[1];
+  };
+  for (std::uint32_t s = 0; s < config.attack_slices; ++s) {
+    board.run_cycles(config.slice_cycles);
+    // Success and detection are not exclusive: a stealthy write can land in
+    // the same slice the detector flags the pivot — the campaign reports
+    // both, the detection rate is what ranks the detectors.
+    if (!result.success && config.detect_attack != DetectAttack::kClean &&
+        landed()) {
+      result.success = true;
+    }
+    if (master.service()) {
+      result.detected = true;
+      // The master's recovery already reset the engine's latch; the verdict
+      // log and lifetime trip counter survive for attribution.
+      result.detector_fired = engine.total_trips() > 0;
+      const std::uint64_t now = board.cpu().cycles();
+      std::uint64_t at = now;
+      if (!engine.verdicts().empty()) at = engine.verdicts().front().cycle;
+      result.ttd_cycles = at > attack_cycle ? at - attack_cycle : 0;
+      break;
+    }
+  }
+  if (config.detect_attack == DetectAttack::kClean) {
+    // A clean flight succeeds by surviving: no detection, no crash.
+    result.success = !result.detected && !board.crashed();
+  }
+  result.attempts = 1;
+  result.cycles = board.cpu().cycles() - start_cycles;
+  return result;
+}
+
 // One fault-sweep trial (the reflash pipeline under an armed fault plane):
 // a clean boot establishes the last-known-good image, then the plane is
 // armed on every hardware boundary and a scheduled re-randomization runs
@@ -161,6 +248,11 @@ CampaignStats run_campaign(const CampaignConfig& config,
   if (config.scenario == Scenario::kFaultSweep) {
     return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
       return run_fault_trial(fixture, config, rng);
+    });
+  }
+  if (config.scenario == Scenario::kDetectSweep) {
+    return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
+      return run_detect_trial(fixture, config, rng);
     });
   }
   return run_trials(config, [&](std::uint64_t, support::Rng& rng) {

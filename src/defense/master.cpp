@@ -1,6 +1,7 @@
 #include "defense/master.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "support/crc.hpp"
@@ -51,12 +52,14 @@ void MasterProcessor::boot() {
           << " endurance cycles left (reserve " << config_.endurance_reserve
           << "); releasing previously programmed image";
       board_.reset();
+      reset_detector();
     }
   } else {
     // Scheduled non-randomizing boot: just release the application from
     // reset — the previously programmed binary keeps its permutation and
     // no flash endurance is spent.
     board_.reset();
+    reset_detector();
   }
   last_feed_cycle_ = board_.cpu().cycles();
 }
@@ -85,10 +88,18 @@ void MasterProcessor::randomize_and_program() {
     degrade_to_last_good();
     return;
   }
-  std::vector<std::size_t> permutation =
-      draw_permutation(container->blob, rng_);
-  const RandomizeResult result =
-      randomize_image(container->image, container->blob, permutation);
+  std::vector<std::size_t> permutation;
+  RandomizeResult result;
+  if (config_.randomize_enabled) {
+    permutation = draw_permutation(container->blob, rng_);
+    result = randomize_image(container->image, container->blob, permutation);
+  } else {
+    // Detection-only deployment: program the container verbatim. The
+    // identity permutation keeps current_permutation() meaningful.
+    permutation.resize(movable_count(container->blob));
+    std::iota(permutation.begin(), permutation.end(), std::size_t{0});
+    result.image = container->image;
+  }
 
   StartupReport report;
   for (std::uint32_t attempt = 0; attempt <= config_.image_retries;
@@ -108,6 +119,8 @@ void MasterProcessor::randomize_and_program() {
       ++randomizations_;
       health_state_ = MasterHealth::kHealthy;
       finish_report(result.image.size(), report);
+      text_end_ = container->blob.text_end;
+      sync_detector(last_good_image_);
       return;
     }
   }
@@ -196,6 +209,9 @@ void MasterProcessor::degrade_to_last_good() {
         MAVR_LOG(Warn, "master")
             << "reflash failed; released last-known-good image";
         finish_report(last_good_image_.size(), report);
+        // The last-good image came from the same container, so text_end_
+        // still caps its executable region.
+        sync_detector(last_good_image_);
         return;
       }
     }
@@ -240,11 +256,16 @@ bool MasterProcessor::service() {
 
   const bool quiet = now > last_feed_cycle_ &&
                      now - last_feed_cycle_ > config_.watchdog_timeout_cycles;
-  if (!board_.crashed() && !quiet) return false;
+  // A runtime-detector trip is an intrusion even while the board keeps
+  // flying and feeding — the stealthy variants' whole point — and gets the
+  // same answer as a crashed/quiet board.
+  const bool intrusion = detector_ != nullptr && detector_->tripped();
+  if (!board_.crashed() && !quiet && !intrusion) return false;
 
-  // Failed ROP attack: the application is executing garbage (§V-D).
-  // Reset, re-randomize, reprogram — the attacker must start over against
-  // a fresh permutation.
+  // Failed ROP attack: the application is executing garbage (§V-D) — or a
+  // detector flagged a live one. Reset, re-randomize, reprogram — the
+  // attacker must start over against a fresh permutation.
+  if (intrusion) ++health_.detector_trips;
   ++attacks_detected_;
   if (endurance_remaining() > 0) {
     randomize_and_program();
@@ -257,9 +278,20 @@ bool MasterProcessor::service() {
         << "attack detected but endurance budget exhausted; restarting "
            "without re-randomization";
     board_.reset();
+    reset_detector();
   }
   last_feed_cycle_ = board_.cpu().cycles();
   return true;
+}
+
+void MasterProcessor::sync_detector(std::span<const std::uint8_t> image) {
+  if (detector_ == nullptr) return;
+  detector_->rebuild(image, text_end_);
+  detector_->reset_dynamic();
+}
+
+void MasterProcessor::reset_detector() {
+  if (detector_ != nullptr) detector_->reset_dynamic();
 }
 
 }  // namespace mavr::defense

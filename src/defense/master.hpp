@@ -48,6 +48,7 @@
 #include "defense/external_flash.hpp"
 #include "defense/patcher.hpp"
 #include "defense/preprocess.hpp"
+#include "detect/engine.hpp"
 #include "sim/board.hpp"
 #include "support/fault.hpp"
 #include "support/rng.hpp"
@@ -59,6 +60,11 @@ struct MasterConfig {
   /// Randomize every Nth boot (1 = every boot). Failed-attack detection
   /// always re-randomizes regardless of the schedule.
   std::uint32_t randomize_every_n_boots = 1;
+  /// When false the master programs the container image verbatim (identity
+  /// permutation) — the detection-only deployment the detect-sweep campaign
+  /// evaluates (runtime detectors with MAVR randomization switched off).
+  /// The reflash pipeline, watchdog and degradation ladder are unchanged.
+  bool randomize_enabled = true;
   /// Master ↔ application serial link (prototype: 115200; production PCB
   /// with impedance control: mega-baud, paper §VII-B1).
   std::uint32_t serial_baud = 115200;
@@ -116,6 +122,7 @@ struct ReflashHealth {
   std::uint64_t holds_in_bootloader = 0;     ///< degradation rung 2 taken
   std::uint64_t scheduled_skips = 0;         ///< rerands skipped (endurance)
   std::uint64_t endurance_exhausted_events = 0;  ///< reflash refused (budget)
+  std::uint64_t detector_trips = 0;          ///< intrusions flagged by detect
 };
 
 class MasterProcessor {
@@ -144,6 +151,18 @@ class MasterProcessor {
   /// also attached to the ExternalFlash (reads) and the Board (program
   /// pulses). The plane must outlive the attachment.
   void attach_faults(support::FaultPlane* plane) { faults_ = plane; }
+
+  /// Attaches (or clears, with nullptr) a runtime intrusion-detection
+  /// engine. The caller arms it on the board's Cpu; the master then
+  ///  * treats Engine::tripped() exactly like a crashed/quiet board in
+  ///    service() — reset, re-randomize, reprogram (ReflashHealth counts
+  ///    the trip in detector_trips);
+  ///  * rebuilds the engine's return-edge CFI set from every image it
+  ///    successfully programs (randomization moves the call sites), and
+  ///  * resets the engine's dynamic state whenever the application is
+  ///    released from reset.
+  /// The engine must outlive the attachment.
+  void attach_detector(detect::Engine* engine) { detector_ = engine; }
 
   // --- Introspection ----------------------------------------------------------
   std::uint32_t boots() const { return boots_; }
@@ -181,12 +200,19 @@ class MasterProcessor {
   void degrade_to_last_good();
   void finish_report(std::size_t image_bytes, StartupReport& report);
   double page_transfer_ms(std::size_t bytes) const;
+  /// Rebuilds the attached detector's CFI set against the image just
+  /// programmed and clears its dynamic state (no-op when none attached).
+  void sync_detector(std::span<const std::uint8_t> image);
+  /// Clears the attached detector's dynamic state for a plain reset.
+  void reset_detector();
 
   ExternalFlash& flash_;
   sim::Board& board_;
   MasterConfig config_;
   support::Rng rng_;
   support::FaultPlane* faults_ = nullptr;
+  detect::Engine* detector_ = nullptr;
+  std::uint32_t text_end_ = 0;  ///< of the loaded container (CFI sweep cap)
   std::uint32_t boots_ = 0;
   std::uint32_t randomizations_ = 0;
   std::uint64_t attacks_detected_ = 0;

@@ -1,0 +1,242 @@
+#include "detect/engine.hpp"
+
+#include <algorithm>
+
+#include "avr/decode.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace mavr::detect {
+
+const char* detector_name(Detector detector) {
+  switch (detector) {
+    case Detector::kCanary: return "canary";
+    case Detector::kShadowStack: return "shadow";
+    case Detector::kSpBounds: return "sp-bounds";
+    case Detector::kReturnCfi: return "cfi";
+  }
+  return "?";
+}
+
+std::string detector_set_name(unsigned mask) {
+  if ((mask & kDetectAll) == 0) return "none";
+  std::string out;
+  const auto add = [&](unsigned bit, const char* name) {
+    if (!(mask & bit)) return;
+    if (!out.empty()) out += '+';
+    out += name;
+  };
+  add(kDetectCanary, "canary");
+  add(kDetectShadowStack, "shadow");
+  add(kDetectSpBounds, "sp-bounds");
+  add(kDetectReturnCfi, "cfi");
+  return out;
+}
+
+std::optional<unsigned> parse_detector_set(std::string_view text) {
+  unsigned mask = 0;
+  while (!text.empty()) {
+    // Accept both separators so detector_set_name round-trips: "+" is the
+    // display form, "," the conventional CLI list form.
+    const std::size_t comma = text.find_first_of(",+");
+    const std::string_view token = text.substr(0, comma);
+    if (token == "canary") {
+      mask |= kDetectCanary;
+    } else if (token == "shadow") {
+      mask |= kDetectShadowStack;
+    } else if (token == "sp-bounds") {
+      mask |= kDetectSpBounds;
+    } else if (token == "cfi") {
+      mask |= kDetectReturnCfi;
+    } else if (token == "all") {
+      mask |= kDetectAll;
+    } else if (token == "none") {
+      // contributes nothing; lets "none" select the empty set
+    } else {
+      return std::nullopt;
+    }
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return mask;
+}
+
+Engine::Engine(const EngineConfig& config) : config_(config) {
+  MAVR_REQUIRE(config_.freed_ring > 0, "freed_ring must be positive");
+  shadow_.reserve(64);
+  frames_.reserve(64);
+  reset_dynamic();
+}
+
+void Engine::arm(avr::Cpu& cpu) {
+  cpu_ = &cpu;
+  const avr::McuSpec& spec = cpu.spec();
+  stack_hi_ = static_cast<std::uint16_t>(spec.ramend());
+  stack_lo_ =
+      static_cast<std::uint16_t>(spec.ramend() - config_.stack_reserve_bytes + 1);
+  push_bytes_ = spec.pc_push_bytes;
+  cpu.set_tracer(this);
+  reset_dynamic();
+}
+
+void Engine::disarm() {
+  if (cpu_ != nullptr && cpu_->tracer() == this) cpu_->set_tracer(nullptr);
+  cpu_ = nullptr;
+}
+
+void Engine::rebuild(std::span<const std::uint8_t> image,
+                     std::uint32_t text_end) {
+  // Linear disassembly, same discipline as attack::GadgetFinder: AVR's
+  // two-byte alignment means a single sweep from address 0 visits every
+  // instruction — there are no overlapping streams at odd offsets. Every
+  // CALL/RCALL/ICALL/EICALL marks its successor word as a valid RET target.
+  const std::uint32_t limit = std::min<std::uint32_t>(
+      text_end, static_cast<std::uint32_t>(image.size()));
+  cfi_words_ = limit / 2;
+  cfi_bits_.assign((cfi_words_ + 63) / 64, 0);
+  std::uint32_t pos = 0;
+  while (pos + 2 <= limit) {
+    const std::uint16_t w1 = support::load_u16_le(image, pos);
+    const std::uint16_t w2 =
+        (pos + 4 <= limit) ? support::load_u16_le(image, pos + 2) : 0;
+    const avr::Instr in = avr::decode(w1, w2);
+    using avr::Op;
+    if (in.op == Op::Call || in.op == Op::Rcall || in.op == Op::Icall ||
+        in.op == Op::Eicall) {
+      const std::uint32_t succ = pos / 2 + in.size_words;
+      if (succ < cfi_words_) cfi_bits_[succ / 64] |= std::uint64_t{1} << (succ % 64);
+    }
+    pos += in.size_words * 2;
+  }
+}
+
+void Engine::reset_dynamic() {
+  shadow_.clear();
+  frames_.clear();
+  freed_.assign(config_.freed_ring, FrameRecord{});
+  freed_next_ = 0;
+  tripped_ = false;
+}
+
+void Engine::record(Detector detector, const avr::Cpu& cpu,
+                    std::uint32_t pc_words, std::uint32_t value,
+                    const char* reason) {
+  tripped_ = true;
+  ++total_trips_;
+  if (verdicts_.size() >= config_.max_verdicts) return;
+  Verdict v;
+  v.detector = detector;
+  v.cycle = cpu.cycles();
+  v.pc_words = pc_words;
+  v.value = value;
+  v.reason = reason;
+  verdicts_.push_back(v);
+}
+
+void Engine::remember_frame(const avr::Cpu& cpu) {
+  // Fires with the return address already pushed: SP points below the
+  // slot, whose lowest byte address is SP+1. Record the bytes as stored
+  // rather than re-deriving the layout — whatever the hardware pushed is
+  // what an untouched slot must still hold.
+  FrameRecord frame;
+  frame.slot = static_cast<std::uint16_t>(cpu.sp() + 1);
+  for (unsigned i = 0; i < push_bytes_ && i < 3; ++i) {
+    frame.bytes[i] =
+        cpu.data().raw(static_cast<std::uint32_t>(frame.slot) + i);
+  }
+  frames_.push_back(frame);
+}
+
+bool Engine::cfi_valid(std::uint32_t raw_words) const {
+  if (raw_words >= cfi_words_) return false;
+  return (cfi_bits_[raw_words / 64] >> (raw_words % 64)) & 1;
+}
+
+void Engine::on_call(const avr::Cpu& cpu, std::uint32_t from_words,
+                     std::uint32_t to_words, std::uint32_t ret_words) {
+  (void)from_words, (void)to_words;
+  if (config_.detectors & kDetectShadowStack) shadow_.push_back(ret_words);
+  if (config_.detectors & kDetectCanary) remember_frame(cpu);
+}
+
+void Engine::on_irq(const avr::Cpu& cpu, std::uint8_t slot,
+                    std::uint32_t from_words) {
+  (void)slot;
+  if (config_.detectors & kDetectShadowStack) shadow_.push_back(from_words);
+  if (config_.detectors & kDetectCanary) remember_frame(cpu);
+}
+
+void Engine::on_ret(const avr::Cpu& cpu, std::uint32_t from_words,
+                    std::uint32_t to_words, std::uint32_t raw_words,
+                    bool reti) {
+  (void)to_words;
+  if (config_.detectors & kDetectShadowStack) {
+    // An empty shadow means the engine attached mid-run (or the program
+    // returns past its entry frame) — nothing to compare against.
+    if (!shadow_.empty()) {
+      const std::uint32_t expected = shadow_.back();
+      shadow_.pop_back();
+      if (raw_words != expected) {
+        record(Detector::kShadowStack, cpu, from_words, raw_words,
+               "ret target differs from the mirrored call push");
+      }
+    }
+  }
+  if ((config_.detectors & kDetectReturnCfi) && cfi_words_ != 0 && !reti) {
+    // RETI is exempt: interrupts return to whatever PC they preempted.
+    if (!cfi_valid(raw_words)) {
+      record(Detector::kReturnCfi, cpu, from_words, raw_words,
+             "ret target is not a call-site successor");
+    }
+  }
+}
+
+void Engine::on_sp_change(const avr::Cpu& cpu, std::uint16_t old_sp,
+                          std::uint16_t new_sp) {
+  if (config_.detectors & kDetectSpBounds) {
+    // Edge-triggered on leaving [stack_lo, stack_hi]: the V3 pivot's
+    // `out SPH` already lands outside, the V2 pivot never does (it lands
+    // numerically on the victim frame's own floor — watchpoints.hpp).
+    const bool out = new_sp < stack_lo_ || new_sp > stack_hi_;
+    const bool was_out = old_sp < stack_lo_ || old_sp > stack_hi_;
+    if (out && !was_out) {
+      record(Detector::kSpBounds, cpu, cpu.pc(), new_sp,
+             "stack pointer left the legal stack region");
+    }
+  }
+  if ((config_.detectors & kDetectCanary) && new_sp > old_sp) {
+    // Frames whose slot bytes have all been popped are retired to the
+    // freed ring *without* verification: the stealthy variants' repaired
+    // epilogue pops are exactly what must not be flagged here (the slot
+    // is only re-checked if the core later faults).
+    while (!frames_.empty() &&
+           frames_.back().slot + push_bytes_ - 1 <= new_sp) {
+      freed_[freed_next_] = frames_.back();
+      freed_next_ = (freed_next_ + 1) % freed_.size();
+      frames_.pop_back();
+    }
+  }
+}
+
+void Engine::on_fault(const avr::Cpu& cpu, const avr::FaultInfo& info) {
+  if (!(config_.detectors & kDetectCanary)) return;
+  // Crash-time forensics: a traditional ROP chain (V1) smashes the return
+  // slot, runs its chain off the corrupted stack and faults — the slot
+  // still holds attacker bytes. Clean flights never fault, so this check
+  // contributes no false positives by construction.
+  const auto check = [&](const FrameRecord& frame) {
+    if (frame.slot == 0) return;  // empty ring entry
+    for (unsigned i = 0; i < push_bytes_ && i < 3; ++i) {
+      if (cpu.data().raw(static_cast<std::uint32_t>(frame.slot) + i) !=
+          frame.bytes[i]) {
+        record(Detector::kCanary, cpu, info.pc_words, frame.slot,
+               "return-address slot no longer holds the pushed bytes");
+        return;
+      }
+    }
+  };
+  for (const FrameRecord& frame : frames_) check(frame);
+  for (const FrameRecord& frame : freed_) check(frame);
+}
+
+}  // namespace mavr::detect

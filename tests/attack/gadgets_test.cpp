@@ -5,6 +5,8 @@
 #include "attack/gadgets.hpp"
 #include "attack/rop.hpp"
 #include "avr/mcu.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
 #include "toolchain/encode.hpp"
 
 namespace mavr {
@@ -102,6 +104,79 @@ TEST(GadgetFinder, ScanStopsAtTextEnd) {
   code.insert(code.end(), data.begin(), data.end());
   GadgetFinder finder(code, 2);  // text ends before the second "ret"
   EXPECT_EQ(finder.census().ret_gadgets, 1u);
+}
+
+TEST(GadgetFinder, EmptyTextRegionYieldsEmptyCensus) {
+  const support::Bytes code = words_to_bytes({enc_no_operand(Op::Ret)});
+  GadgetFinder with_code(code, 0);  // text_end = 0: nothing executable
+  EXPECT_EQ(with_code.census().total(), 0u);
+  EXPECT_TRUE(with_code.stk_moves().empty());
+  EXPECT_TRUE(with_code.write_mems().empty());
+
+  GadgetFinder no_image(std::span<const std::uint8_t>{}, 0x1000);
+  EXPECT_EQ(no_image.census().total(), 0u);
+}
+
+TEST(GadgetFinder, TextEndPastImageIsClamped) {
+  // A text_end claiming more code than the image holds (truncated blob)
+  // must clamp to the image, not read past it.
+  const support::Bytes code = words_to_bytes(
+      {enc_pop(29), enc_pop(28), enc_no_operand(Op::Ret)});
+  GadgetFinder finder(code, 0x0002'0000);
+  EXPECT_EQ(finder.census().ret_gadgets, 1u);
+}
+
+TEST(GadgetFinder, ImageEndingMidInstructionIsSafe) {
+  // The last word is the first half of a 32-bit CALL: the sweep must treat
+  // the missing second word as absent (no out-of-bounds read) and stop.
+  const support::Bytes truncated = words_to_bytes(
+      {enc_no_operand(Op::Ret), enc_abs_jump(Op::Call, 0x1234).first});
+  GadgetFinder f1(truncated, static_cast<std::uint32_t>(truncated.size()));
+  EXPECT_EQ(f1.census().ret_gadgets, 1u);
+
+  // An odd text_end truncates the trailing partial word but keeps every
+  // instruction that fits whole before it.
+  GadgetFinder f2(truncated, 3);
+  EXPECT_EQ(f2.census().ret_gadgets, 1u);
+  GadgetFinder f3(truncated, 1);  // not even one word fits
+  EXPECT_EQ(f3.census().ret_gadgets, 0u);
+}
+
+TEST(GadgetFinder, CensusTotalCountsEachRetSequenceOnce) {
+  // The Fig. 5 sequence is simultaneously a ret gadget, a write_mem gadget
+  // and a pop-chain. total() adds the mid-sequence entry points (stk_move,
+  // write_mem) but not pop_chain_gadgets — every pop-chain already *is*
+  // one of the counted ret gadgets, entered at the same pop run.
+  const support::Bytes code = words_to_bytes({
+      enc_std(true, 1, 5), enc_std(true, 2, 6), enc_std(true, 3, 7),
+      enc_pop(29), enc_pop(28), enc_pop(7), enc_pop(6), enc_pop(5),
+      enc_no_operand(Op::Ret),
+  });
+  GadgetFinder finder(code, static_cast<std::uint32_t>(code.size()));
+  const attack::GadgetCensus& c = finder.census();
+  EXPECT_EQ(c.ret_gadgets, 1u);
+  EXPECT_EQ(c.write_mem_gadgets, 1u);
+  EXPECT_EQ(c.pop_chain_gadgets, 1u);
+  EXPECT_EQ(c.total(), 2u);  // ret + write_mem entries; pop-chain not added
+}
+
+TEST(GadgetFinder, CensusPinnedOnTestappImage) {
+  // Pin the census on the stock test application so a decoder or scanner
+  // regression shows up as a concrete number, not a vague drift. The
+  // vulnerable flag only changes the parser's bounds check, not codegen
+  // that the scanner sees as gadget material.
+  const firmware::Firmware fw = firmware::generate(
+      firmware::testapp(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+  GadgetFinder finder(fw.image);
+  const attack::GadgetCensus& c = finder.census();
+  EXPECT_EQ(c.ret_gadgets, 96u);
+  EXPECT_EQ(c.stk_move_gadgets, 23u);
+  EXPECT_EQ(c.write_mem_gadgets, 4u);
+  EXPECT_EQ(c.pop_chain_gadgets, 20u);
+  EXPECT_EQ(c.total(), 123u);
+  EXPECT_EQ(c.total(),
+            c.ret_gadgets + c.stk_move_gadgets + c.write_mem_gadgets);
 }
 
 // --- RopChainBuilder byte-level layout ---------------------------------------

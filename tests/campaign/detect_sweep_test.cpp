@@ -1,0 +1,184 @@
+// Detect-sweep campaign scenario: the paper's stealth hierarchy measured
+// end-to-end (canary catches V1 but not V2; shadow stack and SP bounds
+// catch the stealthy pivots), a zero-false-positive clean fleet, and the
+// engine's determinism contract extended to detector trials.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "campaign/export.hpp"
+#include "campaign/scenarios.hpp"
+
+namespace mavr {
+namespace {
+
+using campaign::CampaignConfig;
+using campaign::CampaignStats;
+using campaign::DetectAttack;
+using campaign::Scenario;
+
+const campaign::SimFixture& fixture() {
+  static const campaign::SimFixture fx =
+      campaign::make_sim_fixture(firmware::testapp(/*vulnerable=*/true));
+  return fx;
+}
+
+CampaignConfig base_config(DetectAttack attack, unsigned detectors,
+                           std::uint64_t trials, unsigned jobs = 4) {
+  CampaignConfig config;
+  config.scenario = Scenario::kDetectSweep;
+  config.trials = trials;
+  config.jobs = jobs;
+  config.seed = 0xDE7EC7;
+  config.detect_attack = attack;
+  config.detectors = detectors;
+  return config;
+}
+
+CampaignStats run(DetectAttack attack, unsigned detectors,
+                  std::uint64_t trials = 4) {
+  return campaign::run_campaign(base_config(attack, detectors, trials),
+                                fixture());
+}
+
+// --- The stealth hierarchy (paper §IV-D / §VII, DESIGN.md §10) --------------
+
+TEST(DetectSweep, CanaryCatchesV1) {
+  const CampaignStats stats = run(DetectAttack::kV1, detect::kDetectCanary);
+  EXPECT_EQ(stats.detections, stats.trials);
+  EXPECT_EQ(stats.detector_trips, stats.trials);
+  EXPECT_GT(stats.mean_ttd_cycles, 0.0);
+}
+
+TEST(DetectSweep, WatchdogAloneCatchesV1WithoutAnyDetector) {
+  // V1 crashes the board; the master's crash watchdog detects it even with
+  // every runtime detector masked off — the baseline the paper assumes.
+  const CampaignStats stats = run(DetectAttack::kV1, detect::kDetectNone);
+  EXPECT_EQ(stats.detections, stats.trials);
+  EXPECT_EQ(stats.detector_trips, 0u);
+}
+
+TEST(DetectSweep, CanaryMissesStealthyV2) {
+  // V2's repaired epilogue returns cleanly and never faults: the canary
+  // detector has nothing to check and the attack lands undetected — the
+  // paper's stealth claim, reproduced as a measurement.
+  const CampaignStats stats = run(DetectAttack::kV2, detect::kDetectCanary);
+  EXPECT_EQ(stats.detections, 0u);
+  EXPECT_EQ(stats.detector_trips, 0u);
+  EXPECT_EQ(stats.successes, stats.trials);
+}
+
+TEST(DetectSweep, SpBoundsMissesV2ButCatchesV3) {
+  // The V2 pivot stays inside the legal stack region; the V3 trampoline
+  // pivots SP into low SRAM and must cross the floor.
+  const CampaignStats v2 = run(DetectAttack::kV2, detect::kDetectSpBounds);
+  EXPECT_EQ(v2.detections, 0u);
+  EXPECT_EQ(v2.successes, v2.trials);
+  const CampaignStats v3 = run(DetectAttack::kV3, detect::kDetectSpBounds);
+  EXPECT_EQ(v3.detections, v3.trials);
+  EXPECT_EQ(v3.detector_trips, v3.trials);
+}
+
+TEST(DetectSweep, ShadowStackCatchesStealthyVariants) {
+  const CampaignStats v2 = run(DetectAttack::kV2, detect::kDetectShadowStack);
+  EXPECT_EQ(v2.detections, v2.trials);
+  EXPECT_EQ(v2.detector_trips, v2.trials);
+  EXPECT_GT(v2.mean_ttd_cycles, 0.0);
+  const CampaignStats v3 = run(DetectAttack::kV3, detect::kDetectShadowStack);
+  EXPECT_EQ(v3.detections, v3.trials);
+  // Detecting the staging pivot triggers a reflash that wipes the staged
+  // chain before the final write can land.
+  EXPECT_EQ(v3.successes, 0u);
+}
+
+TEST(DetectSweep, ReturnCfiCatchesV2) {
+  const CampaignStats stats = run(DetectAttack::kV2, detect::kDetectReturnCfi);
+  EXPECT_EQ(stats.detections, stats.trials);
+  EXPECT_EQ(stats.detector_trips, stats.trials);
+}
+
+// --- False positives ---------------------------------------------------------
+
+TEST(DetectSweep, CleanFleetHasZeroFalsePositives) {
+  // ≥1000 clean flights against the full detector set: not one verdict,
+  // not one watchdog detection, every flight survives. Budgets are trimmed
+  // (the flight only needs to boot and cruise a few service intervals) so
+  // the fleet stays fast.
+  CampaignConfig config =
+      base_config(DetectAttack::kClean, detect::kDetectAll, 1000);
+  config.warmup_cycles = 200'000;
+  config.slice_cycles = 50'000;
+  config.attack_slices = 4;
+  const CampaignStats stats = campaign::run_campaign(config, fixture());
+  EXPECT_EQ(stats.trials, 1000u);
+  EXPECT_EQ(stats.detections, 0u);
+  EXPECT_EQ(stats.detector_trips, 0u);
+  EXPECT_EQ(stats.successes, stats.trials);
+  EXPECT_EQ(stats.mean_ttd_cycles, 0.0);
+}
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(DetectSweep, BitIdenticalStatsAndExportsAcrossJobs) {
+  // 96 trials span two chunks, so the jobs=8 run genuinely interleaves
+  // workers; detector verdicts and time-to-detect must replay bit-exactly.
+  const CampaignConfig c1 =
+      base_config(DetectAttack::kV2, detect::kDetectAll, 96, 1);
+  const CampaignStats one = campaign::run_campaign(c1, fixture());
+  CampaignConfig c8 = c1;
+  c8.jobs = 8;
+  const CampaignStats eight = campaign::run_campaign(c8, fixture());
+  EXPECT_EQ(std::memcmp(&one, &eight, sizeof one), 0);
+  EXPECT_EQ(campaign::to_csv(c1, one), campaign::to_csv(c8, eight));
+  EXPECT_EQ(campaign::to_json(c1, one), campaign::to_json(c8, eight));
+}
+
+// --- Plumbing ----------------------------------------------------------------
+
+TEST(DetectSweep, ScenarioAndAttackNamesRoundTrip) {
+  EXPECT_STREQ(campaign::scenario_name(Scenario::kDetectSweep),
+               "detect-sweep");
+  EXPECT_EQ(campaign::parse_scenario("detect-sweep"), Scenario::kDetectSweep);
+  EXPECT_TRUE(campaign::scenario_uses_board(Scenario::kDetectSweep));
+  for (DetectAttack a : {DetectAttack::kClean, DetectAttack::kV1,
+                         DetectAttack::kV2, DetectAttack::kV3}) {
+    EXPECT_EQ(campaign::parse_detect_attack(campaign::detect_attack_name(a)),
+              a);
+  }
+  EXPECT_FALSE(campaign::parse_detect_attack("v9").has_value());
+}
+
+TEST(DetectSweep, EveryScenarioListedWithDescription) {
+  bool saw_detect = false;
+  for (Scenario s : campaign::all_scenarios()) {
+    EXPECT_EQ(campaign::parse_scenario(campaign::scenario_name(s)), s);
+    EXPECT_GT(std::strlen(campaign::scenario_description(s)), 0u);
+    if (s == Scenario::kDetectSweep) saw_detect = true;
+  }
+  EXPECT_TRUE(saw_detect);
+}
+
+TEST(DetectSweep, ExportCarriesDetectorColumns) {
+  const std::string header = campaign::csv_header();
+  EXPECT_NE(header.find("attack"), std::string::npos);
+  EXPECT_NE(header.find("detectors"), std::string::npos);
+  EXPECT_NE(header.find("detector_trips"), std::string::npos);
+  EXPECT_NE(header.find("mean_ttd_cycles"), std::string::npos);
+
+  const CampaignConfig config = base_config(
+      DetectAttack::kV2, detect::kDetectShadowStack | detect::kDetectSpBounds,
+      2, 1);
+  const CampaignStats stats = campaign::run_campaign(config, fixture());
+  const std::string json = campaign::to_json(config, stats);
+  EXPECT_NE(json.find("\"attack\": \"v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"detectors\": \"shadow+sp-bounds\""),
+            std::string::npos);
+  // Non-detect scenarios keep the columns regular with a "-" placeholder.
+  CampaignConfig other = config;
+  other.scenario = Scenario::kBruteForceFixed;
+  EXPECT_NE(campaign::csv_row(other, stats).find(",-,-,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mavr

@@ -1,17 +1,24 @@
 // mavr-campaign — fleet-scale attack/defense trial runner.
 //
 //   mavr-campaign --scenario {v1,v2,v3,bruteforce-fixed,bruteforce-rerand,
-//                             fault-sweep}
+//                             fault-sweep,detect-sweep}
 //                 [--trials N] [--jobs N] [--seed N] [--functions N]
-//                 [--fault-rate X] [--out FILE.{csv,json}]
+//                 [--fault-rate X]
+//                 [--detectors LIST] [--attack {clean,v1,v2,v3}]
+//                 [--randomize {on,off}]
+//                 [--out FILE.{csv,json}]
+//   mavr-campaign --list-scenarios
 //
 // Runs N independent trials of the chosen scenario across a thread pool.
 // Board scenarios (v1/v2/v3) stand up a fresh board behind a freshly
 // MAVR-randomized firmware per trial and deliver one stock-derived attack;
 // brute-force scenarios run the paper's §V-D models; fault-sweep runs the
 // self-healing reflash pipeline against an armed fault plane at
-// --fault-rate. Results are bit-identical for any --jobs value (see
-// DESIGN.md, campaign engine).
+// --fault-rate; detect-sweep arms the runtime intrusion detectors
+// (--detectors, a comma list of canary,shadow,sp-bounds,cfi or all/none)
+// against one attack variant or a clean flight (--attack), with MAVR
+// randomization off unless --randomize on. Results are bit-identical for
+// any --jobs value (see DESIGN.md, campaign engine).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,11 +37,25 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: mavr-campaign --scenario "
-      "{v1,v2,v3,bruteforce-fixed,bruteforce-rerand,fault-sweep}\n"
+      "{v1,v2,v3,bruteforce-fixed,bruteforce-rerand,fault-sweep,"
+      "detect-sweep}\n"
       "                     [--trials N] [--jobs N] [--seed N]\n"
       "                     [--functions N] [--fault-rate X]\n"
-      "                     [--out FILE.{csv,json}]\n");
+      "                     [--detectors {canary,shadow,sp-bounds,cfi}*|"
+      "all|none]\n"
+      "                     [--attack {clean,v1,v2,v3}] "
+      "[--randomize {on,off}]\n"
+      "                     [--out FILE.{csv,json}]\n"
+      "       mavr-campaign --list-scenarios\n");
   return 2;
+}
+
+int list_scenarios() {
+  for (mavr::campaign::Scenario s : mavr::campaign::all_scenarios()) {
+    std::printf("%-18s %s\n", mavr::campaign::scenario_name(s),
+                mavr::campaign::scenario_description(s));
+  }
+  return 0;
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -58,6 +79,9 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
+    if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+      return list_scenarios();
+    }
     if (const char* v = arg_value("--scenario")) {
       const auto scenario = campaign::parse_scenario(v);
       if (!scenario) {
@@ -77,6 +101,29 @@ int main(int argc, char** argv) {
           std::strtoul(v, nullptr, 0));
     } else if (const char* v = arg_value("--fault-rate")) {
       config.fault_rate = std::strtod(v, nullptr);
+    } else if (const char* v = arg_value("--detectors")) {
+      const auto mask = detect::parse_detector_set(v);
+      if (!mask) {
+        std::fprintf(stderr, "unknown detector list: %s\n", v);
+        return usage();
+      }
+      config.detectors = *mask;
+    } else if (const char* v = arg_value("--attack")) {
+      const auto attack = campaign::parse_detect_attack(v);
+      if (!attack) {
+        std::fprintf(stderr, "unknown attack: %s\n", v);
+        return usage();
+      }
+      config.detect_attack = *attack;
+    } else if (const char* v = arg_value("--randomize")) {
+      if (std::strcmp(v, "on") == 0) {
+        config.detect_randomize = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        config.detect_randomize = false;
+      } else {
+        std::fprintf(stderr, "--randomize takes on|off\n");
+        return usage();
+      }
     } else if (const char* v = arg_value("--out")) {
       out_path = v;
     } else {
@@ -112,6 +159,18 @@ int main(int argc, char** argv) {
                 "max %.0f\n",
                 stats.mean_attempts, stats.p50_attempts, stats.p90_attempts,
                 stats.p99_attempts, stats.max_attempts);
+    if (config.scenario == campaign::Scenario::kDetectSweep) {
+      std::printf("  attack: %s   detectors: %s   randomize: %s\n",
+                  campaign::detect_attack_name(config.detect_attack),
+                  detect::detector_set_name(config.detectors).c_str(),
+                  config.detect_randomize ? "on" : "off");
+      std::printf("  detector trips: %llu (%.2f%%)   mean time-to-detect: "
+                  "%.0f cycles\n",
+                  static_cast<unsigned long long>(stats.detector_trips),
+                  100.0 * static_cast<double>(stats.detector_trips) /
+                      static_cast<double>(stats.trials),
+                  stats.mean_ttd_cycles);
+    }
     if (config.scenario == campaign::Scenario::kFaultSweep) {
       std::printf("  fault rate: %g   degradations: %llu (%.2f%%)   "
                   "mean startup: %.2f ms\n",
