@@ -1,0 +1,62 @@
+// Interpreter throughput: retired MIPS on the test application and the
+// arduplane flight firmware, with and without an attached (no-op) tracer.
+//
+// This is the single-core number the campaign engine's trials/s scales
+// from, and the headline metric of the interpreter performance
+// architecture (DESIGN.md §11): dense-table I/O dispatch, event-driven
+// peripheral clocking and register-resident hot counters. Each
+// configuration reports the best of three repetitions so a scheduler
+// hiccup does not masquerade as a regression.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/board.hpp"
+
+namespace {
+
+using namespace mavr;
+
+constexpr std::uint64_t kWarmupCycles = 1'000'000;
+constexpr std::uint64_t kBudgetCycles = 200'000'000;
+constexpr int kReps = 3;
+
+double measure_mips(const firmware::Firmware& fw, bool traced) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    sim::Board board;
+    avr::Tracer null_tracer;  // hook bodies are no-ops: measures hook cost
+    if (traced) board.cpu().set_tracer(&null_tracer);
+    board.flash_image(fw.image.bytes);
+    board.run_cycles(kWarmupCycles);  // warm the decode cache
+    const std::uint64_t retired0 = board.cpu().instructions_retired();
+    const auto t0 = std::chrono::steady_clock::now();
+    board.run_cycles(kBudgetCycles);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double mips =
+        static_cast<double>(board.cpu().instructions_retired() - retired0) /
+        secs / 1e6;
+    best = std::max(best, mips);
+  }
+  return best;
+}
+
+void report(const char* tag, const firmware::Firmware& fw) {
+  const double untraced = measure_mips(fw, false);
+  const double traced = measure_mips(fw, true);
+  std::printf("  %-12s untraced %8.1f MIPS   traced %8.1f MIPS   hook cost %4.1f%%\n",
+              tag, untraced, traced, (1.0 - traced / untraced) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Interpreter throughput (best of 3, 200M-cycle budget)");
+  report("testapp", bench::built(firmware::testapp(true)));
+  report("arduplane", bench::built(firmware::arduplane(true)));
+  return 0;
+}

@@ -10,6 +10,32 @@ namespace mavr::avr {
 namespace {
 constexpr std::uint8_t bit7(std::uint8_t v) { return (v >> 7) & 1; }
 constexpr std::uint8_t bit3(std::uint8_t v) { return (v >> 3) & 1; }
+
+/// SREG bit as a mask byte.
+constexpr std::uint8_t fb(SregBit bit) {
+  return static_cast<std::uint8_t>(1u << bit);
+}
+
+// Flag groups recomputed per ALU class. Each group is cleared from a local
+// copy of SREG, the fresh bits OR-ed in, and the result written back once —
+// the old per-flag set_flag() path cost six read-modify-write round trips
+// through the data space per arithmetic instruction.
+constexpr std::uint8_t kArithFlags =
+    fb(kH) | fb(kC) | fb(kV) | fb(kN) | fb(kZ) | fb(kS);
+constexpr std::uint8_t kLogicFlags = fb(kV) | fb(kN) | fb(kZ) | fb(kS);
+constexpr std::uint8_t kShiftFlags =
+    fb(kC) | fb(kV) | fb(kN) | fb(kZ) | fb(kS);
+}  // namespace
+
+namespace {
+/// Decode-cache sentinel: size_words == 0 never comes out of decode().
+constexpr Instr kUndecoded{.op = Op::Invalid,
+                           .rd = 0,
+                           .rr = 0,
+                           .bit = 0,
+                           .k = 0,
+                           .target = 0,
+                           .size_words = 0};
 }  // namespace
 
 Cpu::Cpu(const McuSpec& spec)
@@ -17,11 +43,14 @@ Cpu::Cpu(const McuSpec& spec)
       flash_(spec),
       data_(spec, io_),
       eeprom_(spec),
+      ram_(data_.raw_data()),
+      data_size_(spec.data_space_bytes()),
+      push_bytes_(static_cast<std::uint8_t>(spec.pc_push_bytes)),
       pc_mask_(spec.flash_words() - 1),
-      cache_(spec.flash_words()),
-      cache_valid_(spec.flash_words(), 0) {
+      cache_(spec.flash_words(), kUndecoded) {
   MAVR_CHECK(std::has_single_bit(spec.flash_words()),
              "flash word count must be a power of two for PC wrapping");
+  cache_generation_ = flash_.generation();
   reset();
 }
 
@@ -36,16 +65,19 @@ void Cpu::reset() {
 }
 
 const Instr& Cpu::decoded(std::uint32_t word_addr) {
+  Instr& in = cache_[word_addr];
+  if (in.size_words == 0) [[unlikely]] {
+    in = decode(flash_.word(word_addr),
+                flash_.word((word_addr + 1) & pc_mask_));
+  }
+  return in;
+}
+
+void Cpu::sync_decode_cache() {
   if (cache_generation_ != flash_.generation()) {
-    std::fill(cache_valid_.begin(), cache_valid_.end(), std::uint8_t{0});
+    std::fill(cache_.begin(), cache_.end(), kUndecoded);
     cache_generation_ = flash_.generation();
   }
-  if (!cache_valid_[word_addr]) {
-    cache_[word_addr] = decode(flash_.word(word_addr),
-                               flash_.word((word_addr + 1) & pc_mask_));
-    cache_valid_[word_addr] = 1;
-  }
-  return cache_[word_addr];
 }
 
 void Cpu::set_flag(SregBit bit, bool value) {
@@ -60,38 +92,51 @@ void Cpu::set_flag(SregBit bit, bool value) {
 
 void Cpu::flags_add(std::uint8_t d, std::uint8_t r, std::uint8_t carry_in,
                     std::uint8_t res) {
-  const std::uint8_t d7 = bit7(d), r7 = bit7(r), s7 = bit7(res);
-  const unsigned wide = unsigned(d) + unsigned(r) + carry_in;
-  const bool v = (d7 && r7 && !s7) || (!d7 && !r7 && s7);
-  const bool n = s7;
-  set_flag(kH, ((d & 0xF) + (r & 0xF) + carry_in) > 0xF);
-  set_flag(kC, wide > 0xFF);
-  set_flag(kV, v);
-  set_flag(kN, n);
-  set_flag(kZ, res == 0);
-  set_flag(kS, n != v);
+  // Branchless composition. `carries` is the full-adder carry-out vector,
+  // the identity (d&r) | ((d|r) & ~res) — valid with any carry-in because
+  // `res` already encodes it — so H and C are single bit extracts and V is
+  // the textbook signed-overflow formula. Data-dependent flag bits are
+  // close to random, so arithmetic beats branching on them.
+  (void)carry_in;
+  const unsigned carries = (d & r) | ((d | r) & ~unsigned{res});
+  const unsigned v = ((d & r & ~unsigned{res}) | (~unsigned{d} & ~unsigned{r} & res)) >> 7;
+  const unsigned n = res >> 7;
+  const unsigned c = (carries >> 7) & 1;
+  const unsigned h = (carries >> 3) & 1;
+  const unsigned z = res == 0 ? 1u : 0u;
+  const unsigned s = (sreg() & ~unsigned{kArithFlags}) | (c << kC) |
+                     (z << kZ) | (n << kN) | (v << kV) | ((n ^ v) << kS) |
+                     (h << kH);
+  set_sreg(static_cast<std::uint8_t>(s));
 }
 
 void Cpu::flags_sub(std::uint8_t d, std::uint8_t r, std::uint8_t borrow_in,
                     std::uint8_t res, bool keep_z) {
-  const std::uint8_t d7 = bit7(d), r7 = bit7(r), s7 = bit7(res);
-  const bool v = (d7 && !r7 && !s7) || (!d7 && r7 && s7);
-  const bool n = s7;
-  set_flag(kH, (d & 0xF) < ((r & 0xF) + borrow_in));
-  set_flag(kC, unsigned(d) < (unsigned(r) + borrow_in));
-  set_flag(kV, v);
-  set_flag(kN, n);
-  // SBC/SBCI/CPC only clear Z, never set it (multi-byte compare semantics).
-  set_flag(kZ, keep_z ? (res == 0 && flag(kZ)) : (res == 0));
-  set_flag(kS, n != v);
+  // Mirror of flags_add with the borrow-out vector (~d&r) | ((~d|r)&res);
+  // again `res` encodes the borrow-in, so H and C fall out as bit extracts.
+  (void)borrow_in;
+  const unsigned nd = ~unsigned{d};
+  const unsigned borrows = (nd & r) | ((nd | r) & res);
+  const unsigned v = ((d & ~unsigned{r} & ~unsigned{res}) | (nd & r & res)) >> 7;
+  const unsigned n = res >> 7;
+  const unsigned c = (borrows >> 7) & 1;
+  const unsigned h = (borrows >> 3) & 1;
+  const std::uint8_t old = sreg();
+  // SBC/SBCI/CPC only clear Z, never set it (multi-byte compare semantics):
+  // with keep_z the old Z gates the new one.
+  const unsigned zgate = keep_z ? (old >> kZ) & 1u : 1u;
+  const unsigned z = res == 0 ? zgate : 0u;
+  const unsigned s = (old & ~unsigned{kArithFlags}) | (c << kC) | (z << kZ) |
+                     (n << kN) | (v << kV) | ((n ^ v) << kS) | (h << kH);
+  set_sreg(static_cast<std::uint8_t>(s));
 }
 
 void Cpu::flags_logic(std::uint8_t res) {
-  const bool n = bit7(res);
-  set_flag(kV, false);
-  set_flag(kN, n);
-  set_flag(kZ, res == 0);
-  set_flag(kS, n);  // S = N ^ V, V = 0
+  const unsigned n = res >> 7;
+  const unsigned z = res == 0 ? 1u : 0u;
+  const unsigned s = (sreg() & ~unsigned{kLogicFlags}) | (z << kZ) |
+                     (n << kN) | (n << kS);  // S = N ^ V with V = 0
+  set_sreg(static_cast<std::uint8_t>(s));
 }
 
 void Cpu::push_byte(std::uint8_t value) {
@@ -112,9 +157,28 @@ std::uint8_t Cpu::pop_byte() {
 void Cpu::push_pc(std::uint32_t ret_words) {
   // Hardware pushes the LSB first, so ascending memory reads big-endian —
   // the byte order every ROP payload in the paper (Fig. 6) relies on.
+  //
+  // Fast path: when every pushed byte lands in plain RAM (at or above the
+  // I/O region, below the data-space end) the writes cannot hit a device
+  // handler, cannot wrap, and cannot alias SPL/SPH — so batching them is
+  // exactly equivalent to the byte-at-a-time sequence. A stack pivoted
+  // into the I/O region or off the end takes the general path, which
+  // re-reads SP between bytes (a push that rewrites SPL redirects the
+  // bytes that follow, and the ROP payloads depend on that).
+  const std::uint16_t sp_now = sp();
+  const unsigned n = push_bytes_;
+  if (sp_now >= kExtIoEnd + (n - 1) && sp_now < data_size_) [[likely]] {
+    ram_[sp_now] = static_cast<std::uint8_t>(ret_words & 0xFF);
+    ram_[sp_now - 1] = static_cast<std::uint8_t>((ret_words >> 8) & 0xFF);
+    if (n == 3) {
+      ram_[sp_now - 2] = static_cast<std::uint8_t>((ret_words >> 16) & 0xFF);
+    }
+    set_sp(static_cast<std::uint16_t>(sp_now - n));
+    return;
+  }
   push_byte(static_cast<std::uint8_t>(ret_words & 0xFF));
   push_byte(static_cast<std::uint8_t>((ret_words >> 8) & 0xFF));
-  if (spec_.pc_push_bytes == 3) {
+  if (n == 3) {
     push_byte(static_cast<std::uint8_t>((ret_words >> 16) & 0xFF));
   }
 }
@@ -123,8 +187,19 @@ std::uint32_t Cpu::pop_pc() {
   // Returns the raw popped value; callers apply pc_mask_. Preserving the
   // unmasked bytes lets a wild return from a smashed stack be diagnosed
   // instead of silently wrapping into valid flash.
+  //
+  // Same fast path as push_pc: plain-RAM loads have no side effects, so
+  // batching them is exact whenever all n bytes sit in [kExtIoEnd, end).
+  const std::uint32_t sp_now = sp();
+  const unsigned n = push_bytes_;
+  if (sp_now + 1 >= kExtIoEnd && sp_now + n < data_size_) [[likely]] {
+    std::uint32_t value = 0;
+    for (unsigned i = 1; i <= n; ++i) value = (value << 8) | ram_[sp_now + i];
+    set_sp(static_cast<std::uint16_t>(sp_now + n));
+    return value;
+  }
   std::uint32_t value = 0;
-  if (spec_.pc_push_bytes == 3) value = pop_byte();
+  if (n == 3) value = pop_byte();
   value = (value << 8) | pop_byte();
   value = (value << 8) | pop_byte();
   return value;
@@ -165,18 +240,40 @@ void Cpu::store_mem(std::uint32_t addr, std::uint8_t value) {
 // Tracer callbacks in. step()/run() pick an instantiation with a single
 // null-pointer branch, so disabling tracing costs nothing in the hot path.
 template <bool kTraced>
-void Cpu::step_impl() {
+void Cpu::step_impl(std::uint64_t deadline, bool single) {
   if (state_ != CpuState::Running) return;
 
-  const std::uint32_t pc0 = pc_;
+  // The hot architectural counters live in locals for the whole loop: byte
+  // stores through ram_ may alias any member (char-type aliasing), so
+  // member counters would be reloaded and re-stored every instruction,
+  // while loop locals stay in registers. The traced instantiation syncs
+  // the members around every hook so tracers observe exactly the
+  // per-instruction state the member-based loop exposed; cold exits
+  // (fault, a throwing device handler) sync before leaving.
+  std::uint32_t pc = pc_;
+  std::uint64_t cycles = cycles_;
+  std::uint64_t retired = retired_;
+  try {
+  do {
+  if constexpr (kTraced) {
+    pc_ = pc;
+    cycles_ = cycles;
+    retired_ = retired;
+  }
+  const std::uint32_t pc0 = pc;
   [[maybe_unused]] std::uint16_t sp0 = 0;
   if constexpr (kTraced) sp0 = sp();
-  const Instr& in = decoded(pc0);
+  // Executed from a by-value copy: the interpreter's data-space byte stores
+  // could alias a cache_ reference, forcing field reloads after every store.
+  const Instr in = decoded(pc0);
   std::uint32_t next = (pc0 + in.size_words) & pc_mask_;
   std::uint32_t cyc = 1;
 
   switch (in.op) {
     case Op::Invalid:
+      pc_ = pc;
+      cycles_ = cycles;
+      retired_ = retired;
       fault_now(pc0, flash_.word(pc0),
                 "invalid opcode " + support::hex_value(flash_.word(pc0)));
       if constexpr (kTraced) tracer_->on_fault(*this, fault_);
@@ -252,8 +349,10 @@ void Cpu::step_impl() {
           static_cast<std::uint16_t>(unsigned(reg(in.rd)) * reg(in.rr));
       set_reg(0, static_cast<std::uint8_t>(res & 0xFF));
       set_reg(1, static_cast<std::uint8_t>(res >> 8));
-      set_flag(kC, (res >> 15) & 1);
-      set_flag(kZ, res == 0);
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~(fb(kC) | fb(kZ)));
+      if ((res >> 15) & 1) s |= fb(kC);
+      if (res == 0) s |= fb(kZ);
+      set_sreg(s);
       cyc = 2;
       break;
     }
@@ -318,38 +417,51 @@ void Cpu::step_impl() {
     case Op::Com: {
       const std::uint8_t res = static_cast<std::uint8_t>(~reg(in.rd));
       set_reg(in.rd, res);
-      flags_logic(res);
-      set_flag(kC, true);
+      std::uint8_t s =
+          sreg() & static_cast<std::uint8_t>(~(kLogicFlags | fb(kC)));
+      s |= fb(kC);  // COM always sets carry
+      if (bit7(res)) s |= fb(kN) | fb(kS);
+      if (res == 0) s |= fb(kZ);
+      set_sreg(s);
       break;
     }
     case Op::Neg: {
       const std::uint8_t d = reg(in.rd);
       const std::uint8_t res = static_cast<std::uint8_t>(0 - d);
       set_reg(in.rd, res);
-      set_flag(kH, (bit3(res) | bit3(d)) != 0);
-      set_flag(kC, res != 0);
-      set_flag(kV, res == 0x80);
-      set_flag(kN, bit7(res));
-      set_flag(kZ, res == 0);
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool n = bit7(res), v = res == 0x80;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kArithFlags);
+      if ((bit3(res) | bit3(d)) != 0) s |= fb(kH);
+      if (res != 0) s |= fb(kC);
+      if (v) s |= fb(kV);
+      if (n) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (n != v) s |= fb(kS);
+      set_sreg(s);
       break;
     }
     case Op::Inc: {
       const std::uint8_t res = static_cast<std::uint8_t>(reg(in.rd) + 1);
       set_reg(in.rd, res);
-      set_flag(kV, res == 0x80);
-      set_flag(kN, bit7(res));
-      set_flag(kZ, res == 0);
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool n = bit7(res), v = res == 0x80;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kLogicFlags);
+      if (v) s |= fb(kV);
+      if (n) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (n != v) s |= fb(kS);
+      set_sreg(s);
       break;
     }
     case Op::Dec: {
       const std::uint8_t res = static_cast<std::uint8_t>(reg(in.rd) - 1);
       set_reg(in.rd, res);
-      set_flag(kV, res == 0x7F);
-      set_flag(kN, bit7(res));
-      set_flag(kZ, res == 0);
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool n = bit7(res), v = res == 0x7F;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kLogicFlags);
+      if (v) s |= fb(kV);
+      if (n) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (n != v) s |= fb(kS);
+      set_sreg(s);
       break;
     }
     case Op::Swap: {
@@ -362,22 +474,25 @@ void Cpu::step_impl() {
       const std::uint8_t d = reg(in.rd);
       const std::uint8_t res = static_cast<std::uint8_t>((d >> 1) | (d & 0x80));
       set_reg(in.rd, res);
-      set_flag(kC, d & 1);
-      set_flag(kN, bit7(res));
-      set_flag(kZ, res == 0);
-      set_flag(kV, flag(kN) != flag(kC));
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool c = (d & 1) != 0, n = bit7(res), v = n != c;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kShiftFlags);
+      if (c) s |= fb(kC);
+      if (n) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (v) s |= fb(kV);
+      if (n != v) s |= fb(kS);
+      set_sreg(s);
       break;
     }
     case Op::Lsr: {
       const std::uint8_t d = reg(in.rd);
       const std::uint8_t res = static_cast<std::uint8_t>(d >> 1);
       set_reg(in.rd, res);
-      set_flag(kC, d & 1);
-      set_flag(kN, false);
-      set_flag(kZ, res == 0);
-      set_flag(kV, flag(kC));
-      set_flag(kS, flag(kV));
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kShiftFlags);
+      // N = 0, so V = N ^ C = C and S = N ^ V = C.
+      if (d & 1) s |= fb(kC) | fb(kV) | fb(kS);
+      if (res == 0) s |= fb(kZ);
+      set_sreg(s);
       break;
     }
     case Op::Ror: {
@@ -385,11 +500,14 @@ void Cpu::step_impl() {
       const std::uint8_t res =
           static_cast<std::uint8_t>((d >> 1) | (flag(kC) ? 0x80 : 0));
       set_reg(in.rd, res);
-      set_flag(kC, d & 1);
-      set_flag(kN, bit7(res));
-      set_flag(kZ, res == 0);
-      set_flag(kV, flag(kN) != flag(kC));
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool c = (d & 1) != 0, n = bit7(res), v = n != c;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kShiftFlags);
+      if (c) s |= fb(kC);
+      if (n) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (v) s |= fb(kV);
+      if (n != v) s |= fb(kS);
+      set_sreg(s);
       break;
     }
     case Op::Adiw: {
@@ -397,11 +515,14 @@ void Cpu::step_impl() {
       const std::uint16_t res = static_cast<std::uint16_t>(d + in.k);
       set_reg_pair(in.rd, res);
       const bool rdh7 = (d >> 15) & 1, r15 = (res >> 15) & 1;
-      set_flag(kV, !rdh7 && r15);
-      set_flag(kC, !r15 && rdh7);
-      set_flag(kN, r15);
-      set_flag(kZ, res == 0);
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool v = !rdh7 && r15;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kShiftFlags);
+      if (v) s |= fb(kV);
+      if (!r15 && rdh7) s |= fb(kC);
+      if (r15) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (r15 != v) s |= fb(kS);
+      set_sreg(s);
       cyc = 2;
       break;
     }
@@ -410,11 +531,14 @@ void Cpu::step_impl() {
       const std::uint16_t res = static_cast<std::uint16_t>(d - in.k);
       set_reg_pair(in.rd, res);
       const bool rdh7 = (d >> 15) & 1, r15 = (res >> 15) & 1;
-      set_flag(kV, rdh7 && !r15);
-      set_flag(kC, r15 && !rdh7);
-      set_flag(kN, r15);
-      set_flag(kZ, res == 0);
-      set_flag(kS, flag(kN) != flag(kV));
+      const bool v = rdh7 && !r15;
+      std::uint8_t s = sreg() & static_cast<std::uint8_t>(~kShiftFlags);
+      if (v) s |= fb(kV);
+      if (r15 && !rdh7) s |= fb(kC);
+      if (r15) s |= fb(kN);
+      if (res == 0) s |= fb(kZ);
+      if (r15 != v) s |= fb(kS);
+      set_sreg(s);
       cyc = 2;
       break;
     }
@@ -728,39 +852,70 @@ void Cpu::step_impl() {
     if (sp1 != sp0) tracer_->on_sp_change(*this, sp0, sp1);
   }
 
-  pc_ = next & pc_mask_;
-  cycles_ += cyc;
-  ++retired_;
-  io_.tick(cycles_);
+  pc = next & pc_mask_;
+  cycles += cyc;
+  ++retired;
+  // Publish the post-retire time for clock-reading devices (one store),
+  // then dispatch device ticks only when a cached deadline is crossed —
+  // the per-instruction virtual broadcast is gone from the hot path.
+  io_.set_now(cycles);
+  if (cycles >= io_.next_deadline()) [[unlikely]] io_.tick(cycles);
 
-  if constexpr (kTraced) tracer_->on_retire(*this, pc0, in, cyc);
+  if constexpr (kTraced) {
+    pc_ = pc;
+    cycles_ = cycles;
+    retired_ = retired;
+    tracer_->on_retire(*this, pc0, in, cyc);
+  }
 
   // Interrupt delivery between instructions (lowest vector slot wins).
-  if (flag(kI) && !irq_lines_.empty()) {
+  // Lines are only walked while the bus's interrupt hint is up — devices
+  // raise it when a condition goes pending, and a poll that finds nothing
+  // clears it, so quiescent stretches skip the type-erased take() calls.
+  if (flag(kI) && io_.irq_hint() && !irq_lines_.empty()) {
+    bool took = false;
     for (auto& [slot, take] : irq_lines_) {
       if (!take()) continue;
-      const std::uint32_t from = pc_;
+      took = true;
+      const std::uint32_t from = pc;
       [[maybe_unused]] std::uint16_t sp_before = 0;
       if constexpr (kTraced) sp_before = sp();
       push_pc(from);
       set_flag(kI, false);
-      pc_ = (static_cast<std::uint32_t>(slot) * 2) & pc_mask_;
-      cycles_ += 5;
+      pc = (static_cast<std::uint32_t>(slot) * 2) & pc_mask_;
+      cycles += 5;
       ++interrupts_taken_;
       if constexpr (kTraced) {
+        pc_ = pc;
+        cycles_ = cycles;
         tracer_->on_sp_change(*this, sp_before, sp());
         tracer_->on_irq(*this, slot, from);
       }
       break;
     }
+    // Keep the hint up after a dispatch: another line may still be pending
+    // (it will be re-polled at the next instruction with I set).
+    if (!took) io_.clear_irq_hint();
   }
+  } while (!single && state_ == CpuState::Running && cycles < deadline);
+  } catch (...) {
+    pc_ = pc;
+    cycles_ = cycles;
+    retired_ = retired;
+    throw;
+  }
+  pc_ = pc;
+  cycles_ = cycles;
+  retired_ = retired;
 }
 
 void Cpu::step() {
+  sync_decode_cache();
+  io_.raise_irq();
   if (tracer_ == nullptr) [[likely]] {
-    step_impl<false>();
+    step_impl<false>(0, /*single=*/true);
   } else {
-    step_impl<true>();
+    step_impl<true>(0, /*single=*/true);
   }
 }
 
@@ -771,17 +926,21 @@ void Cpu::set_irq_line(std::uint8_t vector_slot, std::function<bool()> take) {
 }
 
 std::uint64_t Cpu::run(std::uint64_t cycle_budget) {
+  sync_decode_cache();
+  // Pending state may have been flipped from outside the simulation loop
+  // (tests driving lines directly, UART feeds between runs): poll at least
+  // once regardless of device hints.
+  io_.raise_irq();
   const std::uint64_t start = cycles_;
   const std::uint64_t deadline = start + cycle_budget;
-  // Hoist the tracer dispatch out of the loop: the untraced instantiation
-  // is the pre-observability interpreter, branch-free on the hot path.
-  if (tracer_ == nullptr) [[likely]] {
-    while (state_ == CpuState::Running && cycles_ < deadline) {
-      step_impl<false>();
-    }
-  } else {
-    while (state_ == CpuState::Running && cycles_ < deadline) {
-      step_impl<true>();
+  // Tracer dispatch resolved once: the untraced instantiation is the
+  // pre-observability interpreter, branch-free on the hot path. The loop
+  // itself lives inside step_impl so the hot counters stay in registers.
+  if (cycle_budget != 0) {
+    if (tracer_ == nullptr) [[likely]] {
+      step_impl<false>(deadline, /*single=*/false);
+    } else {
+      step_impl<true>(deadline, /*single=*/false);
     }
   }
   return cycles_ - start;

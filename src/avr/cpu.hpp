@@ -131,10 +131,11 @@ class Cpu {
   std::uint64_t run(std::uint64_t cycle_budget);
 
   // --- Architectural state -------------------------------------------------
-  std::uint8_t reg(unsigned index) const { return data_.raw(index); }
-  void set_reg(unsigned index, std::uint8_t value) {
-    data_.set_raw(index, value);
-  }
+  // Register file, SP and SREG live at fixed data-space addresses far below
+  // the data-space end, so these accessors go straight at the backing store
+  // (no wrap check, no device dispatch — matching the old raw() semantics).
+  std::uint8_t reg(unsigned index) const { return ram_[index]; }
+  void set_reg(unsigned index, std::uint8_t value) { ram_[index] = value; }
 
   /// 16-bit register pair (X: lo=26, Y: lo=28, Z: lo=30).
   std::uint16_t reg_pair(unsigned lo) const {
@@ -146,16 +147,15 @@ class Cpu {
   }
 
   std::uint16_t sp() const {
-    return static_cast<std::uint16_t>(data_.raw(kAddrSpl) |
-                                      (data_.raw(kAddrSph) << 8));
+    return static_cast<std::uint16_t>(ram_[kAddrSpl] | (ram_[kAddrSph] << 8));
   }
   void set_sp(std::uint16_t value) {
-    data_.set_raw(kAddrSpl, static_cast<std::uint8_t>(value & 0xFF));
-    data_.set_raw(kAddrSph, static_cast<std::uint8_t>(value >> 8));
+    ram_[kAddrSpl] = static_cast<std::uint8_t>(value & 0xFF);
+    ram_[kAddrSph] = static_cast<std::uint8_t>(value >> 8);
   }
 
-  std::uint8_t sreg() const { return data_.raw(kAddrSreg); }
-  void set_sreg(std::uint8_t value) { data_.set_raw(kAddrSreg, value); }
+  std::uint8_t sreg() const { return ram_[kAddrSreg]; }
+  void set_sreg(std::uint8_t value) { ram_[kAddrSreg] = value; }
   bool flag(SregBit bit) const { return (sreg() >> bit) & 1; }
 
   /// Program counter in words.
@@ -177,6 +177,11 @@ class Cpu {
   /// true when an interrupt is pending and clear it (hardware ack).
   /// Delivery follows AVR semantics: only with SREG.I set, between
   /// instructions; the return address is pushed and I is cleared.
+  ///
+  /// Lines are polled while the bus's interrupt hint is up (see
+  /// IoBus::raise_irq). Devices raising pending state mid-run must raise
+  /// the hint; state flipped from outside the simulation loop is covered
+  /// by the unconditional re-raise at step()/run() entry.
   void set_irq_line(std::uint8_t vector_slot, std::function<bool()> take);
 
   /// Interrupts delivered since power-on.
@@ -195,13 +200,18 @@ class Cpu {
   bool last_ret_wrapped() const { return last_ret_wrapped_; }
 
  private:
+  /// The interpreter loop. Executes one instruction when `single`, else
+  /// runs until the core leaves Running or `deadline` (absolute cycles) is
+  /// crossed. Holding the loop inside one function keeps the hot counters
+  /// (PC, cycle count, retire count) in registers across instructions.
   template <bool kTraced>
-  void step_impl();
+  void step_impl(std::uint64_t deadline, bool single);
   template <bool kTraced>
   std::uint8_t load_mem(std::uint32_t addr);
   template <bool kTraced>
   void store_mem(std::uint32_t addr, std::uint8_t value);
   const Instr& decoded(std::uint32_t word_addr);
+  void sync_decode_cache();
   void set_flag(SregBit bit, bool value);
   void flags_add(std::uint8_t d, std::uint8_t r, std::uint8_t carry_in,
                  std::uint8_t res);
@@ -221,6 +231,11 @@ class Cpu {
   ProgramMemory flash_;
   DataMemory data_;
   Eeprom eeprom_;
+  /// Borrowed pointer at data_'s backing store (stable; see raw_data()).
+  std::uint8_t* ram_;
+  /// Cached spec fields, so the hot path avoids re-reading through spec_.
+  std::uint32_t data_size_;
+  std::uint8_t push_bytes_;
 
   std::uint32_t pc_ = 0;
   std::uint32_t pc_mask_;
@@ -234,9 +249,12 @@ class Cpu {
   bool last_ret_wrapped_ = false;
   std::vector<std::pair<std::uint8_t, std::function<bool()>>> irq_lines_;
 
-  // Decode cache, invalidated whenever the flash generation changes.
+  // Decode cache, one entry per flash word; size_words == 0 marks a slot
+  // as not-yet-decoded (every real decode yields 1 or 2). Re-synced to the
+  // flash generation at run()/step() entry rather than per instruction —
+  // flash can only be reprogrammed from outside the interpreter loop (SPM
+  // is modelled as a no-op).
   std::vector<Instr> cache_;
-  std::vector<std::uint8_t> cache_valid_;
   std::uint64_t cache_generation_ = ~std::uint64_t{0};
 };
 

@@ -3,15 +3,16 @@
 namespace mavr::avr {
 
 OutputPort::OutputPort(IoBus& bus, std::uint16_t addr, bool record_history)
-    : record_history_(record_history) {
+    : bus_(bus), record_history_(record_history) {
   bus.on_read(addr, [this] { return value_; });
   bus.on_write(addr, [this](std::uint8_t v) {
     value_ = v;
-    last_write_cycle_ = now_;
+    last_write_cycle_ = bus_.now();
     ++write_count_;
-    if (record_history_) history_.push_back(Write{.cycle = now_, .value = v});
+    if (record_history_) {
+      history_.push_back(Write{.cycle = bus_.now(), .value = v});
+    }
   });
-  bus.add_tickable(this);
 }
 
 InputPort::InputPort(IoBus& bus, std::uint16_t addr) {

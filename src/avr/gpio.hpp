@@ -16,7 +16,7 @@
 
 namespace mavr::avr {
 
-class OutputPort : public Tickable {
+class OutputPort {
  public:
   struct Write {
     std::uint64_t cycle;
@@ -39,11 +39,9 @@ class OutputPort : public Tickable {
   const std::vector<Write>& history() const { return history_; }
   void clear_history() { history_.clear(); }
 
-  void tick(std::uint64_t now_cycles) override { now_ = now_cycles; }
-
  private:
+  IoBus& bus_;  ///< write timestamps come from the bus clock
   std::uint8_t value_ = 0;
-  std::uint64_t now_ = 0;
   std::uint64_t last_write_cycle_ = 0;
   std::uint64_t write_count_ = 0;
   bool record_history_;

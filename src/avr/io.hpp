@@ -2,12 +2,22 @@
 //
 // Devices (UART, SPI, GPIO, timer) register read/write handlers for
 // data-space addresses in the I/O region; everything else behaves as plain
-// RAM. Devices advance with CPU time through tick().
+// RAM. Dispatch is dense-table based: one handler slot per address in
+// [0, kExtIoEnd) plus a byte map of dispatch flags, so the interpreter's
+// RAM fast path costs a single indexed test and the device path a single
+// indirect call (no hashing, no double lookup).
+//
+// Peripheral time advances event-driven rather than per instruction: the
+// bus caches the earliest `next_event_cycles()` deadline across registered
+// Tickables and the CPU dispatches tick() only when its cycle counter
+// crosses that deadline. Devices that merely need to know "what time is
+// it" (UART pacing, output-port timestamps) read the bus clock, which the
+// CPU publishes with one store per retired instruction — the same value
+// the old per-instruction tick() broadcast delivered.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "avr/mcu.hpp"
@@ -15,13 +25,22 @@
 
 namespace mavr::avr {
 
+/// Deadline value meaning "this device never needs an unsolicited tick".
+inline constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
 /// Interface for peripherals that need to observe simulated time.
 class Tickable {
  public:
   virtual ~Tickable() = default;
 
-  /// Called with the new absolute cycle count after each CPU step.
+  /// Called with the new absolute cycle count whenever the CPU crosses the
+  /// device's reported deadline (and on every explicit IoBus::tick()).
   virtual void tick(std::uint64_t now_cycles) = 0;
+
+  /// Absolute cycle at which this device next changes state on its own
+  /// (timer compare match, ...). The bus re-queries this after every
+  /// dispatched tick; kNoDeadline opts out of unsolicited ticks entirely.
+  virtual std::uint64_t next_event_cycles() const { return kNoDeadline; }
 };
 
 /// Address-dispatched I/O: maps data-space addresses to device handlers.
@@ -30,48 +49,114 @@ class IoBus {
   using ReadFn = std::function<std::uint8_t()>;
   using WriteFn = std::function<void(std::uint8_t)>;
 
-  /// Registers a read handler for data-space address `addr`.
+  /// Bits in the per-address dispatch map.
+  static constexpr std::uint8_t kHandlesRead = 0x01;
+  static constexpr std::uint8_t kHandlesWrite = 0x02;
+
+  IoBus() : reads_(kExtIoEnd), writes_(kExtIoEnd), dispatch_(kExtIoEnd, 0) {}
+
+  /// Registers a read handler for data-space address `addr`. The address
+  /// must fall inside the memory-mapped I/O region — a handler above
+  /// kExtIoEnd would be unreachable through load/store dispatch.
   void on_read(std::uint16_t addr, ReadFn fn) {
-    MAVR_REQUIRE(!reads_.contains(addr), "duplicate I/O read handler");
-    reads_.emplace(addr, std::move(fn));
+    MAVR_REQUIRE(addr < kExtIoEnd, "I/O read handler outside the I/O region");
+    MAVR_REQUIRE(!(dispatch_[addr] & kHandlesRead),
+                 "duplicate I/O read handler");
+    reads_[addr] = std::move(fn);
+    dispatch_[addr] |= kHandlesRead;
   }
 
   /// Registers a write handler for data-space address `addr`.
   void on_write(std::uint16_t addr, WriteFn fn) {
-    MAVR_REQUIRE(!writes_.contains(addr), "duplicate I/O write handler");
-    writes_.emplace(addr, std::move(fn));
+    MAVR_REQUIRE(addr < kExtIoEnd, "I/O write handler outside the I/O region");
+    MAVR_REQUIRE(!(dispatch_[addr] & kHandlesWrite),
+                 "duplicate I/O write handler");
+    writes_[addr] = std::move(fn);
+    dispatch_[addr] |= kHandlesWrite;
   }
 
   /// Registers a device for time advancement.
-  void add_tickable(Tickable* device) { tickables_.push_back(device); }
+  void add_tickable(Tickable* device) {
+    tickables_.push_back(device);
+    refresh_deadline();
+  }
 
-  /// True when a device handles reads at `addr`.
+  /// True when a device handles reads at `addr` (single table lookup).
   bool handles_read(std::uint32_t addr) const {
-    return addr < kExtIoEnd && reads_.contains(static_cast<std::uint16_t>(addr));
+    return addr < kExtIoEnd && (dispatch_[addr] & kHandlesRead) != 0;
   }
 
   /// True when a device handles writes at `addr`.
   bool handles_write(std::uint32_t addr) const {
-    return addr < kExtIoEnd && writes_.contains(static_cast<std::uint16_t>(addr));
+    return addr < kExtIoEnd && (dispatch_[addr] & kHandlesWrite) != 0;
   }
 
-  std::uint8_t read(std::uint32_t addr) const {
-    return reads_.at(static_cast<std::uint16_t>(addr))();
-  }
+  /// Dispatches a device read. Precondition: handles_read(addr).
+  std::uint8_t read(std::uint32_t addr) const { return reads_[addr](); }
 
+  /// Dispatches a device write. Precondition: handles_write(addr).
   void write(std::uint32_t addr, std::uint8_t value) const {
-    writes_.at(static_cast<std::uint16_t>(addr))(value);
+    writes_[addr](value);
   }
 
-  /// Advances every registered device to `now_cycles`.
+  /// Per-address dispatch-flag map over [0, kExtIoEnd) — the single
+  /// indexed test DataMemory::load/store consult on the hot path.
+  const std::uint8_t* dispatch_map() const { return dispatch_.data(); }
+
+  // --- Interrupt hint --------------------------------------------------------
+  /// Raised by devices when an interrupt condition goes pending. The CPU
+  /// only walks its interrupt lines (type-erased callbacks) while the hint
+  /// is up, clearing it after a poll finds nothing pending — so quiescent
+  /// stretches cost one byte test per instruction instead of an indirect
+  /// call. step()/run() entry re-raises the hint, so pending state flipped
+  /// from outside the simulation loop is still noticed.
+  void raise_irq() { irq_hint_ = true; }
+  bool irq_hint() const { return irq_hint_; }
+  void clear_irq_hint() { irq_hint_ = false; }
+
+  // --- Simulated clock -------------------------------------------------------
+  /// Publishes the CPU cycle counter after a retired instruction. Devices
+  /// observe this value through now(); it deliberately excludes the cycles
+  /// of an in-flight interrupt dispatch, matching the timing the old
+  /// per-instruction tick() broadcast exposed.
+  void set_now(std::uint64_t now_cycles) { now_ = now_cycles; }
+
+  /// Current simulated time as seen by devices.
+  std::uint64_t now() const { return now_; }
+
+  // --- Event-driven ticking --------------------------------------------------
+  /// Earliest deadline across registered devices; the CPU compares one
+  /// uint64 against this per instruction and dispatches nothing until it
+  /// is crossed.
+  std::uint64_t next_deadline() const { return deadline_; }
+
+  /// Dispatches tick() to every registered device and re-caches the
+  /// earliest deadline. Called by the CPU when now_cycles crosses
+  /// next_deadline(), and usable directly as the legacy "advance all
+  /// devices" entry point.
   void tick(std::uint64_t now_cycles) {
+    now_ = now_cycles;
     for (Tickable* device : tickables_) device->tick(now_cycles);
+    refresh_deadline();
   }
 
  private:
-  std::unordered_map<std::uint16_t, ReadFn> reads_;
-  std::unordered_map<std::uint16_t, WriteFn> writes_;
+  void refresh_deadline() {
+    std::uint64_t min = kNoDeadline;
+    for (const Tickable* device : tickables_) {
+      const std::uint64_t next = device->next_event_cycles();
+      if (next < min) min = next;
+    }
+    deadline_ = min;
+  }
+
+  std::vector<ReadFn> reads_;
+  std::vector<WriteFn> writes_;
+  std::vector<std::uint8_t> dispatch_;
   std::vector<Tickable*> tickables_;
+  std::uint64_t now_ = 0;
+  std::uint64_t deadline_ = kNoDeadline;
+  bool irq_hint_ = true;
 };
 
 }  // namespace mavr::avr

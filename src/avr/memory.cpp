@@ -53,24 +53,6 @@ support::Bytes ProgramMemory::dump() const {
   return out;
 }
 
-DataMemory::DataMemory(const McuSpec& spec, IoBus& io)
-    : bytes_(spec.data_space_bytes(), 0), io_(io) {}
-
-std::uint8_t DataMemory::load(std::uint32_t addr) {
-  addr %= bytes_.size();
-  if (io_.handles_read(addr)) return io_.read(addr);
-  return bytes_[addr];
-}
-
-void DataMemory::store(std::uint32_t addr, std::uint8_t value) {
-  addr %= bytes_.size();
-  if (io_.handles_write(addr)) {
-    io_.write(addr, value);
-    return;
-  }
-  bytes_[addr] = value;
-}
-
 support::Bytes DataMemory::snapshot(std::uint32_t addr,
                                     std::uint32_t count) const {
   support::Bytes out;

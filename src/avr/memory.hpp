@@ -6,10 +6,12 @@
 // into code reuse (paper §III).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "avr/io.hpp"
 #include "avr/mcu.hpp"
 #include "support/bytes.hpp"
 #include "support/error.hpp"
@@ -20,7 +22,10 @@ namespace mavr::avr {
 class ProgramMemory {
  public:
   explicit ProgramMemory(const McuSpec& spec)
-      : words_(spec.flash_words(), 0xFFFF) {}
+      : words_(spec.flash_words(), 0xFFFF),
+        word_mask_(std::has_single_bit(spec.flash_words())
+                       ? spec.flash_words() - 1
+                       : 0) {}
 
   std::uint32_t size_words() const {
     return static_cast<std::uint32_t>(words_.size());
@@ -28,9 +33,11 @@ class ProgramMemory {
   std::uint32_t size_bytes() const { return size_words() * 2; }
 
   /// Fetches the word at `word_addr` (wraps like real hardware so a runaway
-  /// PC keeps "executing garbage" instead of crashing the simulator).
+  /// PC keeps "executing garbage" instead of crashing the simulator). Every
+  /// real part has a power-of-two flash, so the wrap is a mask — the modulo
+  /// is only a fallback for synthetic non-power-of-two specs.
   std::uint16_t word(std::uint32_t word_addr) const {
-    return words_[word_addr % words_.size()];
+    return words_[wrap_word(word_addr)];
   }
 
   /// Byte view used by LPM/ELPM: AVR words are little-endian in byte space.
@@ -59,38 +66,71 @@ class ProgramMemory {
   support::Bytes dump() const;
 
  private:
+  std::uint32_t wrap_word(std::uint32_t word_addr) const {
+    return word_mask_ != 0
+               ? (word_addr & word_mask_)
+               : (word_addr % static_cast<std::uint32_t>(words_.size()));
+  }
+
   std::vector<std::uint16_t> words_;
+  std::uint32_t word_mask_;
   std::uint64_t generation_ = 0;
 };
-
-class IoBus;
 
 /// Single linear data space: registers + I/O + SRAM (paper Fig. 1).
 /// All of it is readable and writable by program stores — including the
 /// register file and the stack-pointer bytes, which is exactly what the
 /// paper's stk_move and write_mem gadgets exploit.
+///
+/// load/store are the interpreter's hottest memory path: after the wrap
+/// check, addresses at or above the I/O region (every SRAM access) go
+/// straight to the backing array, and addresses inside it consult the
+/// bus's dispatch-flag byte map — one indexed test — before falling back
+/// to RAM or making one indirect handler call.
 class DataMemory {
  public:
-  DataMemory(const McuSpec& spec, IoBus& io);
+  DataMemory(const McuSpec& spec, IoBus& io)
+      : bytes_(spec.data_space_bytes(), 0),
+        size_(spec.data_space_bytes()),
+        io_(io) {}
 
-  std::uint32_t size() const {
-    return static_cast<std::uint32_t>(bytes_.size());
-  }
+  std::uint32_t size() const { return size_; }
 
   /// Load with I/O-device dispatch (used by the executing program).
-  std::uint8_t load(std::uint32_t addr);
+  std::uint8_t load(std::uint32_t addr) {
+    addr = wrap(addr);
+    if (addr >= kExtIoEnd) [[likely]] return bytes_[addr];
+    if (io_.dispatch_map()[addr] & IoBus::kHandlesRead) return io_.read(addr);
+    return bytes_[addr];
+  }
 
   /// Store with I/O-device dispatch (used by the executing program).
-  void store(std::uint32_t addr, std::uint8_t value);
+  void store(std::uint32_t addr, std::uint8_t value) {
+    addr = wrap(addr);
+    if (addr >= kExtIoEnd) [[likely]] {
+      bytes_[addr] = value;
+      return;
+    }
+    if (io_.dispatch_map()[addr] & IoBus::kHandlesWrite) {
+      io_.write(addr, value);
+      return;
+    }
+    bytes_[addr] = value;
+  }
 
   /// Raw access without device dispatch (CPU core registers, test peeks,
   /// stack snapshots for the Fig. 6 dumps).
-  std::uint8_t raw(std::uint32_t addr) const {
-    return bytes_[addr % bytes_.size()];
-  }
+  std::uint8_t raw(std::uint32_t addr) const { return bytes_[wrap(addr)]; }
   void set_raw(std::uint32_t addr, std::uint8_t value) {
-    bytes_[addr % bytes_.size()] = value;
+    bytes_[wrap(addr)] = value;
   }
+
+  /// Direct pointer to the backing storage (stable for the lifetime of the
+  /// DataMemory — the vector never reallocates after construction). The
+  /// interpreter keeps this for its register-file/SREG/SP accessors, whose
+  /// addresses are compile-time constants well inside the data space.
+  std::uint8_t* raw_data() { return bytes_.data(); }
+  const std::uint8_t* raw_data() const { return bytes_.data(); }
 
   /// Snapshot `count` bytes starting at `addr` (wraps at data-space end).
   support::Bytes snapshot(std::uint32_t addr, std::uint32_t count) const;
@@ -99,7 +139,17 @@ class DataMemory {
   void clear();
 
  private:
+  /// Data-space wrap. The common case (every architecturally generated
+  /// address) is in range, so this costs one predictable compare; the
+  /// modulo — data spaces are not powers of two, and masking would change
+  /// where wild addresses land — only runs on out-of-range accesses.
+  std::uint32_t wrap(std::uint32_t addr) const {
+    if (addr < size_) [[likely]] return addr;
+    return addr % size_;
+  }
+
   std::vector<std::uint8_t> bytes_;
+  std::uint32_t size_;
   IoBus& io_;
 };
 

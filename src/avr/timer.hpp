@@ -3,7 +3,11 @@
 // strict timetables", §III).
 //
 // Minimal model: fires every `period_cycles`; a single pending flag
-// (unserviced overflows collapse, like a compare-match flag).
+// (unserviced overflows collapse, like a compare-match flag). The timer is
+// the canonical deadline-bearing device of the event-driven I/O bus: it
+// reports its next compare match through next_event_cycles() so the CPU
+// only dispatches tick() on the instruction that crosses it, and catch-up
+// over an arbitrary gap is closed-form rather than a per-period loop.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +19,10 @@ namespace mavr::avr {
 
 class Timer : public Tickable {
  public:
-  /// `period_cycles` must be nonzero: a zero period would make tick()'s
-  /// catch-up loop (`next_ += period_`) spin forever on the first tick.
+  /// `period_cycles` must be nonzero: a zero period would schedule the
+  /// next compare match zero cycles ahead, forever.
   Timer(IoBus& bus, std::uint64_t period_cycles)
-      : period_(period_cycles), next_(period_cycles) {
+      : bus_(bus), period_(period_cycles), next_(period_cycles) {
     MAVR_REQUIRE(period_cycles > 0, "timer period must be nonzero");
     bus.add_tickable(this);
   }
@@ -35,14 +39,20 @@ class Timer : public Tickable {
   std::uint64_t fires() const { return fires_; }
 
   void tick(std::uint64_t now_cycles) override {
-    while (now_cycles >= next_) {
-      pending_ = true;
-      ++fires_;
-      next_ += period_;
-    }
+    if (now_cycles < next_) return;
+    // Closed-form catch-up: identical fires()/pending semantics to the old
+    // `while (now >= next_) next_ += period_` loop, in O(1) for any gap.
+    const std::uint64_t elapsed_fires = (now_cycles - next_) / period_ + 1;
+    fires_ += elapsed_fires;
+    next_ += elapsed_fires * period_;
+    pending_ = true;
+    bus_.raise_irq();
   }
 
+  std::uint64_t next_event_cycles() const override { return next_; }
+
  private:
+  IoBus& bus_;
   std::uint64_t period_;
   std::uint64_t next_;
   bool pending_ = false;

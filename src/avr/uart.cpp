@@ -12,7 +12,7 @@ UartConfig usart0_config(std::uint32_t clock_hz, std::uint32_t baud) {
                     .baud = baud};
 }
 
-Uart::Uart(IoBus& bus, const UartConfig& config) {
+Uart::Uart(IoBus& bus, const UartConfig& config) : bus_(bus) {
   MAVR_REQUIRE(config.baud != 0, "uart baud rate must be non-zero");
   MAVR_REQUIRE(config.clock_hz != 0, "uart clock must be non-zero");
   cycles_per_byte_ =
@@ -23,13 +23,12 @@ Uart::Uart(IoBus& bus, const UartConfig& config) {
   bus.on_read(config.data_addr, [this] { return read_data(); });
   bus.on_write(config.data_addr, [this](std::uint8_t b) {
     tx_.push_back(b);
-    if (tap_ != nullptr) tap_->on_tx(now_, b);
+    if (tap_ != nullptr) tap_->on_tx(now(), b);
   });
-  bus.add_tickable(this);
 }
 
 void Uart::host_send(std::span<const std::uint8_t> bytes) {
-  if (rx_cursor_ < now_) rx_cursor_ = now_;
+  if (rx_cursor_ < now()) rx_cursor_ = now();
   for (std::uint8_t b : bytes) {
     rx_cursor_ += cycles_per_byte_;
     rx_.push_back(Pending{.ready_at = rx_cursor_, .byte = b});
@@ -44,22 +43,22 @@ support::Bytes Uart::host_take_tx() {
 
 std::uint8_t Uart::read_status() const {
   std::uint8_t status = kUartTxReady;  // transmit never blocks the firmware
-  if (!rx_.empty() && rx_.front().ready_at <= now_) status |= kUartRxComplete;
+  if (!rx_.empty() && rx_.front().ready_at <= now()) status |= kUartRxComplete;
   return status;
 }
 
 std::uint8_t Uart::read_data() {
-  if (rx_.empty() || rx_.front().ready_at > now_) {
+  if (rx_.empty() || rx_.front().ready_at > now()) {
     // Underrun: the real part's receive buffer just holds the last byte and
     // an idle line rests at mark, so report 0xFF — never a synthetic 0x00
     // that downstream parsers could mistake for payload.
     ++rx_underruns_;
-    if (tap_ != nullptr) tap_->on_rx_underrun(now_);
+    if (tap_ != nullptr) tap_->on_rx_underrun(now());
     return kUartIdleLine;
   }
   const std::uint8_t byte = rx_.front().byte;
   rx_.pop_front();
-  if (tap_ != nullptr) tap_->on_rx(now_, byte);
+  if (tap_ != nullptr) tap_->on_rx(now(), byte);
   return byte;
 }
 

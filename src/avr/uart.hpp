@@ -54,7 +54,7 @@ class UartTap {
   virtual void on_rx_underrun(std::uint64_t cycle) { (void)cycle; }
 };
 
-class Uart : public Tickable {
+class Uart {
  public:
   /// Throws support::PreconditionError when the config is unusable
   /// (zero baud or clock would make the pacing divide by zero).
@@ -85,19 +85,22 @@ class Uart : public Tickable {
     return count * cycles_per_byte_;
   }
 
-  void tick(std::uint64_t now_cycles) override { now_ = now_cycles; }
-
  private:
   std::uint8_t read_status() const;
   std::uint8_t read_data();
+
+  /// Current simulated time: the pacing no longer needs a per-instruction
+  /// tick — the bus clock carries the same post-retire cycle count the old
+  /// tick() broadcast delivered.
+  std::uint64_t now() const { return bus_.now(); }
 
   struct Pending {
     std::uint64_t ready_at;
     std::uint8_t byte;
   };
 
+  IoBus& bus_;
   std::uint64_t cycles_per_byte_;
-  std::uint64_t now_ = 0;
   std::uint64_t rx_cursor_ = 0;  ///< pacing cursor for arriving bytes
   std::uint64_t rx_underruns_ = 0;
   std::deque<Pending> rx_;

@@ -1,0 +1,243 @@
+// Cycle-exactness oracle for the interpreter performance architecture
+// (DESIGN.md §11). The dense-table I/O dispatch, event-driven peripheral
+// clocking, branchless flag composition and register-resident hot counters
+// are pure optimizations: every value below was captured from the
+// pre-overhaul per-instruction-tick interpreter and must never move. A
+// drift in total cycles, architectural state or timer fires means an
+// optimization changed semantics, not just speed.
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+#include "avr/cpu.hpp"
+#include "avr/gpio.hpp"
+#include "avr/io.hpp"
+#include "avr/timer.hpp"
+#include "firmware/generator.hpp"
+#include "firmware/profile.hpp"
+#include "sim/board.hpp"
+#include "sim/ground.hpp"
+#include "toolchain/encode.hpp"
+
+namespace mavr {
+namespace {
+
+using avr::Cpu;
+using avr::Op;
+
+const firmware::Firmware& testapp_fw() {
+  static firmware::Firmware fw = firmware::generate(
+      firmware::testapp(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+  return fw;
+}
+
+/// Everything the pre-overhaul interpreter pinned down for a run.
+struct OracleState {
+  std::uint64_t cycles;
+  std::uint64_t retired;
+  std::uint64_t irqs;
+  std::uint32_t pc;
+  std::uint16_t sp;
+  std::uint8_t sreg;
+  std::uint64_t fires;
+  std::uint64_t feeds;
+  bool operator==(const OracleState&) const = default;
+};
+
+OracleState capture(sim::Board& board) {
+  const Cpu& cpu = board.cpu();
+  return {cpu.cycles(),
+          cpu.instructions_retired(),
+          cpu.interrupts_taken(),
+          cpu.pc(),
+          cpu.sp(),
+          cpu.sreg(),
+          board.tick_timer().fires(),
+          board.feed_line().write_count()};
+}
+
+TEST(CycleOracle, TestappBootPinsPreOverhaulState) {
+  sim::Board board;
+  board.flash_image(testapp_fw().image.bytes);
+  board.run_cycles(300'000);
+  ASSERT_EQ(board.cpu().state(), avr::CpuState::Running);
+  const OracleState expected{.cycles = 300'009,
+                             .retired = 162'582,
+                             .irqs = 30,
+                             .pc = 0x00022,
+                             .sp = 0x21F9,
+                             .sreg = 0x02,
+                             .fires = 30,
+                             .feeds = 847};
+  EXPECT_EQ(capture(board), expected);
+}
+
+OracleState run_v2_attack(avr::Tracer* tracer, std::uint8_t out_cal[2]) {
+  const attack::AttackPlan plan = attack::analyze(testapp_fw().image);
+  sim::Board board;
+  if (tracer != nullptr) board.cpu().set_tracer(tracer);
+  board.flash_image(testapp_fw().image.bytes);
+  board.run_cycles(300'000);
+  sim::GroundStation gcs(board);
+  const attack::Write3 write{plan.gyro_cal_addr, {0x34, 0x12, 0x00}};
+  gcs.send_raw_param_set(plan.builder().v2_payload({write}));
+  board.run_cycles(4'000'000);
+  EXPECT_EQ(board.cpu().state(), avr::CpuState::Running);
+  out_cal[0] = board.cpu().data().raw(plan.gyro_cal_addr);
+  out_cal[1] = board.cpu().data().raw(plan.gyro_cal_addr + 1);
+  return capture(board);
+}
+
+TEST(CycleOracle, V2AttackEndToEndPinsPreOverhaulState) {
+  // The V2 stealthy chain pivots the stack, runs gadgets interleaved with
+  // timer ISRs and returns to the main loop — the densest mix of stack
+  // traffic, I/O dispatch and interrupt delivery the repo has. Pinning its
+  // cycle count catches any semantic drift the boot oracle is too calm for.
+  std::uint8_t cal[2] = {0, 0};
+  const OracleState got = run_v2_attack(nullptr, cal);
+  const OracleState expected{.cycles = 4'300'010,
+                             .retired = 2'328'034,
+                             .irqs = 430,
+                             .pc = 0x0026D,
+                             .sp = 0x21F6,
+                             .sreg = 0x00,
+                             .fires = 430,
+                             .feeds = 12'325};
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(cal[0], 0x34);  // the chain's write landed
+  EXPECT_EQ(cal[1], 0x12);
+}
+
+TEST(CycleOracle, TracedRunIsBitIdenticalToUntraced) {
+  // The traced instantiation syncs the hot counters around every hook;
+  // both instantiations must execute the identical cycle-exact schedule.
+  avr::Tracer null_tracer;
+  std::uint8_t cal_untraced[2], cal_traced[2];
+  const OracleState untraced = run_v2_attack(nullptr, cal_untraced);
+  const OracleState traced = run_v2_attack(&null_tracer, cal_traced);
+  EXPECT_EQ(untraced, traced);
+  EXPECT_EQ(cal_untraced[0], cal_traced[0]);
+  EXPECT_EQ(cal_untraced[1], cal_traced[1]);
+}
+
+TEST(TimerCatchUp, MultiPeriodGapCollapsesToOnePendingFlag) {
+  // The closed-form catch-up must count every elapsed period in fires()
+  // but collapse them into a single pending flag, exactly like the old
+  // one-period-per-tick loop did when the CPU slept across many periods.
+  avr::IoBus bus;
+  avr::Timer timer(bus, 1000);
+  EXPECT_EQ(bus.next_deadline(), 1000u);
+
+  bus.tick(10'003);  // 10 periods and a bit, in one jump
+  EXPECT_EQ(timer.fires(), 10u);
+  EXPECT_TRUE(timer.pending());
+  EXPECT_TRUE(timer.take_irq());
+  EXPECT_FALSE(timer.take_irq());  // one flag, not ten
+  EXPECT_EQ(timer.next_event_cycles(), 11'000u);
+  EXPECT_EQ(bus.next_deadline(), 11'000u);
+
+  bus.tick(10'999);  // just short of the next match: no change
+  EXPECT_EQ(timer.fires(), 10u);
+  EXPECT_FALSE(timer.pending());
+
+  bus.tick(11'000);  // exact boundary fires
+  EXPECT_EQ(timer.fires(), 11u);
+  EXPECT_TRUE(timer.pending());
+}
+
+TEST(IoBusRegression, DuplicateHandlersRejected) {
+  avr::IoBus bus;
+  bus.on_read(0xC0, [] { return std::uint8_t{0}; });
+  bus.on_write(0xC0, [](std::uint8_t) {});
+  EXPECT_THROW(bus.on_read(0xC0, [] { return std::uint8_t{1}; }),
+               support::PreconditionError);
+  EXPECT_THROW(bus.on_write(0xC0, [](std::uint8_t) {}),
+               support::PreconditionError);
+  // A read handler does not block a second *write* handler elsewhere.
+  bus.on_read(0xC1, [] { return std::uint8_t{0}; });
+  bus.on_write(0xC1, [](std::uint8_t) {});
+}
+
+TEST(IoBusRegression, OutOfRegionHandlersRejected) {
+  // The dense dispatch tables cover [0, kExtIoEnd); a handler above that
+  // would be registered but unreachable through load/store, so it must be
+  // rejected loudly instead.
+  avr::IoBus bus;
+  EXPECT_THROW(bus.on_read(avr::kExtIoEnd, [] { return std::uint8_t{0}; }),
+               support::PreconditionError);
+  EXPECT_THROW(bus.on_write(0xFFFF, [](std::uint8_t) {}),
+               support::PreconditionError);
+}
+
+TEST(IoBusRegression, UnhandledIoAddressesBehaveAsRam) {
+  Cpu cpu(avr::atmega2560());
+  // 0x1F0 is inside the extended I/O region but no device claims it.
+  EXPECT_FALSE(cpu.io().handles_read(0x1F0));
+  EXPECT_FALSE(cpu.io().handles_write(0x1F0));
+  cpu.data().store(0x1F0, 0xA5);
+  EXPECT_EQ(cpu.data().load(0x1F0), 0xA5);
+  EXPECT_EQ(cpu.data().raw(0x1F0), 0xA5);
+}
+
+TEST(IoBusRegression, DeviceDispatchRoutesAroundRam) {
+  avr::IoBus bus;
+  std::uint8_t last_written = 0;
+  bus.on_read(0x88, [] { return std::uint8_t{0x5C}; });
+  bus.on_write(0x88, [&](std::uint8_t v) { last_written = v; });
+  avr::DataMemory mem(avr::atmega2560(), bus);
+  EXPECT_EQ(mem.load(0x88), 0x5C);   // handler, not backing RAM
+  mem.store(0x88, 0x77);
+  EXPECT_EQ(last_written, 0x77);
+  EXPECT_EQ(mem.raw(0x88), 0);       // backing RAM untouched by the device
+}
+
+TEST(IoBusRegression, GpioPortSemanticsUnchanged) {
+  Cpu cpu(avr::atmega2560());
+  avr::OutputPort port(cpu.io(), 0x10A, /*record_history=*/true);
+  avr::InputPort sensor(cpu.io(), 0x10B);
+  sensor.set(0x42);
+  EXPECT_EQ(cpu.data().load(0x10B), 0x42);
+  cpu.data().store(0x10A, 0x81);
+  cpu.data().store(0x10A, 0x18);
+  EXPECT_EQ(port.value(), 0x18);
+  EXPECT_EQ(port.write_count(), 2u);
+  ASSERT_EQ(port.history().size(), 2u);
+  EXPECT_EQ(port.history()[0].value, 0x81);
+  EXPECT_EQ(port.history()[1].value, 0x18);
+}
+
+TEST(StackFastPath, CallRetInsideIoRegionUsesByteExactSlowPath) {
+  // push_pc/pop_pc batch their bytes only when the whole transfer lies in
+  // plain RAM. With SP parked inside the I/O region the byte-at-a-time
+  // path must engage and behave exactly as before: bytes land at SP,
+  // SP-1, SP-2 (big-endian toward ascending addresses) and RET undoes it.
+  Cpu cpu(avr::atmega2560());
+  std::vector<std::uint16_t> words;
+  words.push_back(toolchain::enc_rel_jump(Op::Rcall, 1));  // word 0 -> word 2
+  words.push_back(toolchain::enc_no_operand(Op::Break));   // word 1
+  words.push_back(toolchain::enc_no_operand(Op::Ret));     // word 2
+  support::Bytes image;
+  for (std::uint16_t w : words) {
+    image.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    image.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+  cpu.flash().program(image);
+  cpu.reset();
+  cpu.set_sp(0x150);  // inside [0, kExtIoEnd): no batching allowed
+
+  cpu.step();  // RCALL pushes the 3-byte return address (word 1)
+  EXPECT_EQ(cpu.pc(), 2u);
+  EXPECT_EQ(cpu.sp(), 0x150 - 3);
+  EXPECT_EQ(cpu.data().raw(0x150), 0x01);  // LSB pushed first
+  EXPECT_EQ(cpu.data().raw(0x14F), 0x00);
+  EXPECT_EQ(cpu.data().raw(0x14E), 0x00);
+
+  cpu.step();  // RET pops it back
+  EXPECT_EQ(cpu.pc(), 1u);
+  EXPECT_EQ(cpu.sp(), 0x150);
+  cpu.step();  // BREAK
+  EXPECT_EQ(cpu.state(), avr::CpuState::Stopped);
+}
+
+}  // namespace
+}  // namespace mavr
