@@ -96,23 +96,6 @@ std::optional<DetectAttack> parse_detect_attack(std::string_view name) {
 
 namespace {
 
-/// Work-distribution grain. Fixed (never derived from `jobs`) so the
-/// chunk → trial mapping, and with it every chunk accumulator, is the
-/// same no matter how many workers there are.
-constexpr std::uint64_t kChunkTrials = 64;
-
-struct ChunkAccum {
-  double sum_attempts = 0;
-  double max_attempts = 0;
-  double sum_startup_ms = 0;
-  double sum_ttd_cycles = 0;  ///< over detected trials only
-  std::uint64_t cycles = 0;
-  std::uint64_t successes = 0;
-  std::uint64_t detections = 0;
-  std::uint64_t degradations = 0;
-  std::uint64_t detector_trips = 0;
-};
-
 /// Nearest-rank percentile of a sorted sample.
 double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0;
@@ -121,23 +104,122 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+/// Runs chunk `c` into `out`. Returns false when `abort` became visible
+/// before the chunk's last trial finished; `out` is then partial and must
+/// be discarded.
+bool run_one_chunk(const CampaignConfig& config, const TrialFn& fn,
+                   std::uint64_t c, const std::atomic<bool>* abort,
+                   ChunkResult* out) {
+  // Read-only root: fork() derives child streams from the construction
+  // seed, so concurrent forks are race-free and order-free.
+  const support::Rng root(config.seed);
+  const std::uint64_t begin = c * kChunkTrials;
+  const std::uint64_t end = std::min(begin + kChunkTrials, config.trials);
+  out->index = c;
+  out->accum = ChunkAccum{};
+  out->attempts.assign(end - begin, 0.0);
+  ChunkAccum& acc = out->accum;
+  for (std::uint64_t t = begin; t < end; ++t) {
+    // Per-trial abort check: once another worker fails, in-flight chunks
+    // stop at the next trial boundary instead of running out their full
+    // 64-trial budget. The success path never sets `abort`, so the
+    // determinism contract is untouched.
+    if (abort && abort->load(std::memory_order_relaxed)) return false;
+    support::Rng rng = root.fork(t);
+    const TrialResult r = fn(t, rng);
+    out->attempts[t - begin] = r.attempts;
+    acc.sum_attempts += r.attempts;
+    acc.max_attempts = std::max(acc.max_attempts, r.attempts);
+    acc.sum_startup_ms += r.startup_ms;
+    if (r.detected) acc.sum_ttd_cycles += static_cast<double>(r.ttd_cycles);
+    acc.cycles += r.cycles;
+    acc.successes += r.success ? 1 : 0;
+    acc.detections += r.detected ? 1 : 0;
+    acc.degradations += r.degraded ? 1 : 0;
+    acc.detector_trips += r.detector_fired ? 1 : 0;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::uint64_t num_chunks(std::uint64_t trials) {
+  return (trials + kChunkTrials - 1) / kChunkTrials;
+}
+
+std::vector<ChunkResult> run_chunk_range(const CampaignConfig& config,
+                                         const TrialFn& fn,
+                                         std::uint64_t begin_chunk,
+                                         std::uint64_t end_chunk,
+                                         const std::atomic<bool>* abort) {
+  const std::uint64_t n = num_chunks(config.trials);
+  MAVR_REQUIRE(begin_chunk <= end_chunk && end_chunk <= n,
+               "chunk range out of bounds");
+  std::vector<ChunkResult> out;
+  out.reserve(end_chunk - begin_chunk);
+  for (std::uint64_t c = begin_chunk; c < end_chunk; ++c) {
+    ChunkResult r;
+    if (!run_one_chunk(config, fn, c, abort, &r)) break;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+CampaignStats merge_chunk_results(std::span<const ChunkResult> chunks) {
+  CampaignStats stats;
+  std::uint64_t covered = 0;
+  for (const ChunkResult& chunk : chunks) covered += chunk.attempts.size();
+  stats.trials = covered;
+  if (covered == 0) return stats;
+
+  // Merge per-chunk accumulators in chunk-index order: the floating-point
+  // summation order is fixed regardless of worker scheduling — or of
+  // which process computed the chunk.
+  double sum = 0;
+  double sum_startup = 0;
+  double sum_ttd = 0;
+  std::vector<double> attempts;
+  attempts.reserve(covered);
+  const ChunkResult* prev = nullptr;
+  for (const ChunkResult& chunk : chunks) {
+    MAVR_REQUIRE(prev == nullptr || prev->index < chunk.index,
+                 "chunk results must be sorted by strictly increasing index");
+    prev = &chunk;
+    const ChunkAccum& acc = chunk.accum;
+    sum += acc.sum_attempts;
+    sum_startup += acc.sum_startup_ms;
+    sum_ttd += acc.sum_ttd_cycles;
+    stats.max_attempts = std::max(stats.max_attempts, acc.max_attempts);
+    stats.total_cycles += acc.cycles;
+    stats.successes += acc.successes;
+    stats.detections += acc.detections;
+    stats.degradations += acc.degradations;
+    stats.detector_trips += acc.detector_trips;
+    attempts.insert(attempts.end(), chunk.attempts.begin(),
+                    chunk.attempts.end());
+  }
+  const auto n = static_cast<double>(covered);
+  stats.mean_attempts = sum / n;
+  stats.mean_cycles = static_cast<double>(stats.total_cycles) / n;
+  stats.mean_startup_ms = sum_startup / n;
+  stats.mean_ttd_cycles =
+      stats.detections > 0 ? sum_ttd / static_cast<double>(stats.detections)
+                           : 0;
+
+  std::sort(attempts.begin(), attempts.end());
+  stats.p50_attempts = percentile(attempts, 0.50);
+  stats.p90_attempts = percentile(attempts, 0.90);
+  stats.p99_attempts = percentile(attempts, 0.99);
+  return stats;
+}
 
 CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
   MAVR_REQUIRE(config.jobs >= 1 && config.jobs <= 256,
                "jobs must be in [1, 256]");
-  CampaignStats stats;
-  stats.trials = config.trials;
-  if (config.trials == 0) return stats;
+  if (config.trials == 0) return CampaignStats{};
 
-  const std::uint64_t n_chunks =
-      (config.trials + kChunkTrials - 1) / kChunkTrials;
-  std::vector<ChunkAccum> chunks(n_chunks);
-  std::vector<double> attempts(config.trials);
-
-  // Read-only root: fork() derives child streams from the construction
-  // seed, so concurrent forks are race-free and order-free.
-  const support::Rng root(config.seed);
+  const std::uint64_t n_chunks = num_chunks(config.trials);
+  std::vector<ChunkResult> chunks(n_chunks);
 
   std::atomic<std::uint64_t> next_chunk{0};
   std::atomic<bool> abort{false};
@@ -150,24 +232,9 @@ CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
         const std::uint64_t c =
             next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= n_chunks || abort.load(std::memory_order_relaxed)) return;
-        ChunkAccum& acc = chunks[c];
-        const std::uint64_t begin = c * kChunkTrials;
-        const std::uint64_t end =
-            std::min(begin + kChunkTrials, config.trials);
-        for (std::uint64_t t = begin; t < end; ++t) {
-          support::Rng rng = root.fork(t);
-          const TrialResult r = fn(t, rng);
-          attempts[t] = r.attempts;
-          acc.sum_attempts += r.attempts;
-          acc.max_attempts = std::max(acc.max_attempts, r.attempts);
-          acc.sum_startup_ms += r.startup_ms;
-          if (r.detected) acc.sum_ttd_cycles += static_cast<double>(r.ttd_cycles);
-          acc.cycles += r.cycles;
-          acc.successes += r.success ? 1 : 0;
-          acc.detections += r.detected ? 1 : 0;
-          acc.degradations += r.degraded ? 1 : 0;
-          acc.detector_trips += r.detector_fired ? 1 : 0;
-        }
+        // An aborted chunk leaves a partial accumulator in its slot; the
+        // rethrow below discards everything, so it never reaches a merge.
+        run_one_chunk(config, fn, c, &abort, &chunks[c]);
       }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
@@ -188,35 +255,7 @@ CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn) {
   }
   if (first_error) std::rethrow_exception(first_error);
 
-  // Merge per-chunk accumulators in chunk-index order: the floating-point
-  // summation order is fixed regardless of worker scheduling.
-  double sum = 0;
-  double sum_startup = 0;
-  double sum_ttd = 0;
-  for (const ChunkAccum& acc : chunks) {
-    sum += acc.sum_attempts;
-    sum_startup += acc.sum_startup_ms;
-    sum_ttd += acc.sum_ttd_cycles;
-    stats.max_attempts = std::max(stats.max_attempts, acc.max_attempts);
-    stats.total_cycles += acc.cycles;
-    stats.successes += acc.successes;
-    stats.detections += acc.detections;
-    stats.degradations += acc.degradations;
-    stats.detector_trips += acc.detector_trips;
-  }
-  const auto n = static_cast<double>(config.trials);
-  stats.mean_attempts = sum / n;
-  stats.mean_cycles = static_cast<double>(stats.total_cycles) / n;
-  stats.mean_startup_ms = sum_startup / n;
-  stats.mean_ttd_cycles =
-      stats.detections > 0 ? sum_ttd / static_cast<double>(stats.detections)
-                           : 0;
-
-  std::sort(attempts.begin(), attempts.end());
-  stats.p50_attempts = percentile(attempts, 0.50);
-  stats.p90_attempts = percentile(attempts, 0.90);
-  stats.p99_attempts = percentile(attempts, 0.99);
-  return stats;
+  return merge_chunk_results(chunks);
 }
 
 }  // namespace mavr::campaign

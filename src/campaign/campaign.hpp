@@ -21,11 +21,13 @@
 //    written by trial index and sorted after the join.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "detect/engine.hpp"
 #include "support/rng.hpp"
@@ -128,10 +130,65 @@ struct CampaignStats {
 using TrialFn = std::function<TrialResult(std::uint64_t trial_index,
                                           support::Rng& rng)>;
 
+/// Work-distribution grain. Fixed (never derived from `jobs` or worker
+/// count) so the chunk → trial mapping, and with it every chunk
+/// accumulator, is the same no matter how many workers there are — or
+/// which process they run in (`src/campaignd` ships chunks over a socket
+/// under the same contract).
+inline constexpr std::uint64_t kChunkTrials = 64;
+
+/// Number of chunks a campaign of `trials` trials decomposes into.
+std::uint64_t num_chunks(std::uint64_t trials);
+
+/// Per-chunk floating-point accumulator. Summation happens trial-by-trial
+/// inside the chunk and chunk-by-chunk (in index order) at merge, so the
+/// rounding sequence is a function of the trial mapping alone.
+struct ChunkAccum {
+  double sum_attempts = 0;
+  double max_attempts = 0;
+  double sum_startup_ms = 0;
+  double sum_ttd_cycles = 0;  ///< over detected trials only
+  std::uint64_t cycles = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t detector_trips = 0;
+};
+
+/// One completed chunk: the accumulator plus the per-trial attempts metric
+/// for the chunk's trial slots. Attempts ride along because the campaign's
+/// order statistics (p50/p90/p99) need every trial's value at the final
+/// merge, wherever the chunk was computed.
+struct ChunkResult {
+  std::uint64_t index = 0;  ///< chunk index; covers trials [index*64, ...)
+  ChunkAccum accum;
+  std::vector<double> attempts;  ///< one slot per trial in the chunk
+};
+
+/// Runs chunks [begin_chunk, end_chunk) serially in index order, forking
+/// the same per-trial Rng streams `run_trials` would. `abort`, when
+/// non-null, is checked before every trial; once observed true the
+/// partially-run chunk is discarded and only chunks completed so far are
+/// returned. This is the unit of work `mavr-campaignd` ships to worker
+/// processes.
+std::vector<ChunkResult> run_chunk_range(
+    const CampaignConfig& config, const TrialFn& fn, std::uint64_t begin_chunk,
+    std::uint64_t end_chunk, const std::atomic<bool>* abort = nullptr);
+
+/// Merges chunk results — sorted by strictly increasing index, possibly a
+/// partial subset of the campaign — into aggregate stats. When the set is
+/// complete this is bit-identical to what `run_trials` returns: the same
+/// chunk-order summation, the same sorted-attempts percentiles.
+/// `stats.trials` is the number of trials the merged chunks cover.
+CampaignStats merge_chunk_results(std::span<const ChunkResult> chunks);
+
 /// Core engine: runs `config.trials` evaluations of `fn` across
 /// `config.jobs` worker threads with chunked work distribution.
 /// `fn` must be callable concurrently from multiple threads (trials are
 /// independent; each call gets a distinct index and Rng).
+/// After any trial throws, the first exception is rethrown at the join and
+/// every worker stops at its next per-trial abort check — an error does
+/// not wait out the other workers' full 64-trial chunks.
 CampaignStats run_trials(const CampaignConfig& config, const TrialFn& fn);
 
 }  // namespace mavr::campaign

@@ -14,6 +14,15 @@
 
 namespace mavr::campaign {
 
+/// printf into a std::string of exactly the required length: a first
+/// vsnprintf pass measures, a second formats. No fixed buffer, so a wide
+/// row (long detector list, maximal %.17g doubles, future columns) can
+/// never be silently truncated mid-field; a measurement/format disagreement
+/// throws InvariantError. The exporters below are built on it; exposed so
+/// the no-truncation contract is directly testable.
+std::string format_exact(const char* fmt, ...)
+    __attribute__((__format__(__printf__, 1, 2)));
+
 /// The CSV column list (no trailing newline).
 const char* csv_header();
 

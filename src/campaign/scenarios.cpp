@@ -241,34 +241,47 @@ SimFixture make_sim_fixture(const firmware::AppProfile& profile) {
   return fx;
 }
 
+TrialFn make_trial_fn(const CampaignConfig& config,
+                      const SimFixture* fixture) {
+  if (scenario_uses_board(config.scenario)) {
+    MAVR_REQUIRE(fixture != nullptr, "board scenarios require a SimFixture");
+    const SimFixture* fx = fixture;
+    const CampaignConfig cfg = config;
+    if (config.scenario == Scenario::kFaultSweep) {
+      return [fx, cfg](std::uint64_t, support::Rng& rng) {
+        return run_fault_trial(*fx, cfg, rng);
+      };
+    }
+    if (config.scenario == Scenario::kDetectSweep) {
+      return [fx, cfg](std::uint64_t, support::Rng& rng) {
+        return run_detect_trial(*fx, cfg, rng);
+      };
+    }
+    return [fx, cfg](std::uint64_t, support::Rng& rng) {
+      return run_board_trial(*fx, cfg, rng);
+    };
+  }
+  const Scenario scenario = config.scenario;
+  const std::uint32_t n_functions = config.n_functions;
+  return [scenario, n_functions](std::uint64_t, support::Rng& rng) {
+    return run_bruteforce_trial(scenario, n_functions, rng);
+  };
+}
+
 CampaignStats run_campaign(const CampaignConfig& config,
                            const SimFixture& fixture) {
   MAVR_REQUIRE(scenario_uses_board(config.scenario),
                "fixture overload is for board scenarios");
-  if (config.scenario == Scenario::kFaultSweep) {
-    return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
-      return run_fault_trial(fixture, config, rng);
-    });
-  }
-  if (config.scenario == Scenario::kDetectSweep) {
-    return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
-      return run_detect_trial(fixture, config, rng);
-    });
-  }
-  return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
-    return run_board_trial(fixture, config, rng);
-  });
+  return run_trials(config, make_trial_fn(config, &fixture));
 }
 
 CampaignStats run_campaign(const CampaignConfig& config) {
   if (scenario_uses_board(config.scenario)) {
     const SimFixture fixture =
         make_sim_fixture(firmware::testapp(/*vulnerable=*/true));
-    return run_campaign(config, fixture);
+    return run_trials(config, make_trial_fn(config, &fixture));
   }
-  return run_trials(config, [&](std::uint64_t, support::Rng& rng) {
-    return run_bruteforce_trial(config.scenario, config.n_functions, rng);
-  });
+  return run_trials(config, make_trial_fn(config, nullptr));
 }
 
 }  // namespace mavr::campaign

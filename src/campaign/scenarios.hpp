@@ -30,6 +30,13 @@ struct SimFixture {
 /// the firmware — milliseconds, done once per campaign).
 SimFixture make_sim_fixture(const firmware::AppProfile& profile);
 
+/// Trial body for `config`: the unit a worker — in-process thread pool or
+/// campaignd worker process — evaluates per trial index. Board scenarios
+/// require `fixture` (which must outlive the returned fn); model scenarios
+/// ignore it. The config is captured by value, so the returned fn is
+/// self-contained apart from the fixture.
+TrialFn make_trial_fn(const CampaignConfig& config, const SimFixture* fixture);
+
 /// Runs the configured scenario on a prebuilt fixture (board scenarios) —
 /// use when several campaigns share one firmware build.
 CampaignStats run_campaign(const CampaignConfig& config,

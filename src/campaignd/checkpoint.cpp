@@ -1,0 +1,102 @@
+#include "campaignd/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "campaign/wire.hpp"
+#include "campaignd/protocol.hpp"
+#include "support/bytes.hpp"
+#include "support/crc.hpp"
+#include "support/error.hpp"
+
+namespace mavr::campaignd {
+
+namespace {
+
+namespace wire = campaign::wire;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void CheckpointStore::append(std::uint64_t fingerprint,
+                             const campaign::ChunkResult& result) const {
+  if (!enabled()) return;
+  support::Bytes payload;
+  support::ByteWriter pw(payload);
+  pw.u8(wire::kWireVersion);
+  wire::put_u64(pw, fingerprint);
+  wire::encode_chunk_result(pw, result);
+
+  support::Bytes record;
+  support::ByteWriter rw(record);
+  rw.u32_le(static_cast<std::uint32_t>(payload.size()));
+  rw.u32_le(support::crc32_ieee(payload));
+  rw.bytes(payload);
+
+  const FileHandle f(std::fopen(path_.c_str(), "ab"));
+  MAVR_CHECK(f != nullptr, "cannot open checkpoint store for append");
+  // One fwrite per record: an OS-level kill between appends leaves whole
+  // records; a kill mid-write leaves a torn tail that load() rejects by
+  // CRC. fflush before close bounds the loss window to the libc buffer.
+  MAVR_CHECK(std::fwrite(record.data(), 1, record.size(), f.get()) ==
+                 record.size(),
+             "checkpoint append failed (disk full?)");
+  MAVR_CHECK(std::fflush(f.get()) == 0, "checkpoint flush failed");
+}
+
+std::vector<campaign::ChunkResult> CheckpointStore::load(
+    std::uint64_t fingerprint, std::uint64_t n_chunks) const {
+  std::vector<campaign::ChunkResult> out;
+  if (!enabled()) return out;
+  const FileHandle f(std::fopen(path_.c_str(), "rb"));
+  if (!f) return out;  // no store yet: nothing to resume
+
+  support::Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+
+  std::set<std::uint64_t> seen;
+  std::size_t pos = 0;
+  while (data.size() - pos >= 8) {
+    support::ByteReader hr(
+        std::span<const std::uint8_t>(data.data() + pos, 8));
+    const std::uint32_t length = hr.u32_le();
+    const std::uint32_t crc = hr.u32_le();
+    if (length < 9 || length > kMaxFrameBytes ||
+        data.size() - pos - 8 < length) {
+      break;  // torn tail (coordinator killed mid-append)
+    }
+    const std::span<const std::uint8_t> payload(data.data() + pos + 8,
+                                                length);
+    if (support::crc32_ieee(payload) != crc) break;
+    pos += 8 + length;
+
+    try {
+      support::ByteReader r(payload);
+      if (r.u8() != wire::kWireVersion) continue;  // stale-format record
+      if (wire::get_u64(r) != fingerprint) continue;  // other campaign
+      campaign::ChunkResult result = wire::decode_chunk_result(r);
+      if (!r.done() || result.index >= n_chunks) continue;
+      if (!seen.insert(result.index).second) continue;
+      out.push_back(std::move(result));
+    } catch (const support::Error&) {
+      continue;  // malformed record body: skip, keep scanning
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const campaign::ChunkResult& a, const campaign::ChunkResult& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace mavr::campaignd

@@ -1,0 +1,44 @@
+// Persistent chunk-checkpoint store: an append-only log of completed
+// chunk results, keyed by campaign config fingerprint (DESIGN.md §12).
+//
+// Every record the coordinator merges is first appended here, so a killed
+// coordinator resumes a campaign from its completed chunks: on resubmit of
+// a config with the same fingerprint, matching records are loaded and only
+// the missing chunks are scheduled. Records reuse the protocol's
+// length+CRC framing — a torn tail record (killed mid-append) fails its
+// CRC and is ignored, never half-merged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace mavr::campaignd {
+
+class CheckpointStore {
+ public:
+  /// `path` empty = disabled: append/load become no-ops, nothing persists.
+  explicit CheckpointStore(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends one completed chunk under `fingerprint` and flushes it.
+  void append(std::uint64_t fingerprint,
+              const campaign::ChunkResult& result) const;
+
+  /// Every valid record for `fingerprint` with chunk index < `n_chunks`,
+  /// deduplicated by index (first record wins — chunks are deterministic,
+  /// so duplicates are byte-identical anyway) and sorted ascending.
+  /// Corrupt or torn records end the scan; what was read before them is
+  /// still returned.
+  std::vector<campaign::ChunkResult> load(std::uint64_t fingerprint,
+                                          std::uint64_t n_chunks) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace mavr::campaignd

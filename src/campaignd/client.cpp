@@ -1,0 +1,100 @@
+#include "campaignd/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+namespace mavr::campaignd {
+
+namespace {
+
+constexpr int kReplyTimeoutMs = 10'000;
+
+/// One request/reply exchange on a fresh connection. Returns false (with
+/// `*error` set) on any transport failure.
+bool request(const std::string& path, MsgType type,
+             const support::Bytes& body, Message* reply, std::string* error) {
+  support::Socket sock = support::unix_connect(path, /*attempts=*/5,
+                                               /*backoff_ms=*/20);
+  if (!sock.valid()) {
+    *error = "cannot connect to coordinator at " + path;
+    return false;
+  }
+  if (!send_message(sock, type, body)) {
+    *error = "send to coordinator failed";
+    return false;
+  }
+  if (recv_message(sock, reply, kReplyTimeoutMs) != support::IoStatus::kOk) {
+    *error = "coordinator closed the connection or timed out";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SubmitOutcome submit_campaign(const std::string& path,
+                              const campaign::CampaignConfig& config) {
+  SubmitOutcome out;
+  Message reply;
+  if (!request(path, MsgType::kSubmit, encode_submit(config), &reply,
+               &out.error)) {
+    return out;
+  }
+  try {
+    if (reply.type == MsgType::kSubmitAck) {
+      out.campaign_id = decode_u64_body(reply.body);
+      out.ok = true;
+    } else if (reply.type == MsgType::kReject) {
+      out.error = "rejected: " + decode_string_body(reply.body);
+    } else {
+      out.error = "unexpected reply to submit";
+    }
+  } catch (const support::Error& e) {
+    out.error = std::string("malformed submit reply: ") + e.what();
+  }
+  return out;
+}
+
+PollOutcome poll_campaign(const std::string& path,
+                          std::uint64_t campaign_id) {
+  PollOutcome out;
+  Message reply;
+  if (!request(path, MsgType::kPoll, encode_u64_body(campaign_id), &reply,
+               &out.error)) {
+    return out;
+  }
+  try {
+    if (reply.type == MsgType::kStatus) {
+      out.status = decode_status(reply.body);
+      out.ok = true;
+    } else if (reply.type == MsgType::kReject) {
+      out.error = "rejected: " + decode_string_body(reply.body);
+    } else {
+      out.error = "unexpected reply to poll";
+    }
+  } catch (const support::Error& e) {
+    out.error = std::string("malformed poll reply: ") + e.what();
+  }
+  return out;
+}
+
+PollOutcome wait_campaign(const std::string& path, std::uint64_t campaign_id,
+                          int interval_ms, int timeout_ms) {
+  int waited_ms = 0;
+  for (;;) {
+    PollOutcome out = poll_campaign(path, campaign_id);
+    if (!out.ok || out.status.state == CampaignState::kDone) return out;
+    if (timeout_ms >= 0 && waited_ms >= timeout_ms) {
+      out.ok = false;
+      out.error = "timed out waiting for campaign to finish";
+      return out;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    waited_ms += interval_ms;
+  }
+}
+
+}  // namespace mavr::campaignd

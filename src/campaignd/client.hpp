@@ -1,0 +1,45 @@
+// Client side of the mavr-campaignd protocol: submit a campaign, poll
+// its incremental aggregate, or block until it completes (DESIGN.md §12).
+//
+// Each call is one short-lived connection — the coordinator keeps no
+// per-client state, so a client can submit from one process and poll
+// from another (or poll a campaign resumed by a restarted coordinator,
+// after resubmitting the same config to obtain its new id).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaignd/protocol.hpp"
+
+namespace mavr::campaignd {
+
+struct SubmitOutcome {
+  bool ok = false;
+  std::uint64_t campaign_id = 0;  ///< valid when ok
+  std::string error;              ///< reject reason / transport failure
+};
+
+struct PollOutcome {
+  bool ok = false;
+  StatusBody status;  ///< valid when ok
+  std::string error;
+};
+
+/// Submits `config` to the coordinator at `path`. config.jobs is not
+/// transmitted — sharding is the coordinator's concern.
+SubmitOutcome submit_campaign(const std::string& path,
+                              const campaign::CampaignConfig& config);
+
+/// One status snapshot for `campaign_id`.
+PollOutcome poll_campaign(const std::string& path, std::uint64_t campaign_id);
+
+/// Polls every `interval_ms` until the campaign reports kDone, an error
+/// occurs, or `timeout_ms` elapses (timeout_ms < 0 = wait forever).
+/// On success the returned status carries the final CampaignStats —
+/// bit-identical to what run_trials would produce in-process.
+PollOutcome wait_campaign(const std::string& path, std::uint64_t campaign_id,
+                          int interval_ms = 50, int timeout_ms = -1);
+
+}  // namespace mavr::campaignd

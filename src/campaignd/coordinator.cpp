@@ -1,0 +1,316 @@
+#include "campaignd/coordinator.hpp"
+
+#include <algorithm>
+
+#include <sys/socket.h>
+
+#include "campaign/wire.hpp"
+#include "support/error.hpp"
+
+namespace mavr::campaignd {
+
+namespace {
+
+namespace wire = campaign::wire;
+
+/// recv slice inside connection handlers: short enough that stop() and
+/// the assignment timeout are responsive, long enough to stay off the CPU.
+constexpr int kServeSliceMs = 100;
+
+/// Admission cap on one campaign. Keeps a hostile or typo'd submit from
+/// making the coordinator reserve gigabytes of per-chunk bookkeeping.
+constexpr std::uint64_t kMaxTrialsPerCampaign = 100'000'000;
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)), store_(config_.checkpoint_path) {
+  MAVR_REQUIRE(!config_.listen_path.empty(), "coordinator needs a socket path");
+  MAVR_REQUIRE(config_.assign_chunks >= 1, "assign_chunks must be >= 1");
+  MAVR_REQUIRE(config_.max_queue >= 1, "max_queue must be >= 1");
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  MAVR_REQUIRE(listener_ == nullptr && !stopping_.load(),
+               "coordinator already started");
+  listener_ = std::make_unique<support::UnixListener>(config_.listen_path);
+  accept_thread_ = std::thread(&Coordinator::accept_loop, this);
+}
+
+void Coordinator::stop() {
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Kick every handler out of its blocking recv. The handler unregisters
+    // its fd under conns_mu_ *before* closing it, so these fds are live.
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  if (listener_) {
+    listener_->close();
+    listener_.reset();  // unlinks the socket path
+  }
+}
+
+void Coordinator::accept_loop() {
+  while (!stopping_.load()) {
+    support::Socket sock = listener_->accept(200);
+    if (!sock.valid()) continue;
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) break;  // stop() is about to sweep live fds
+    handlers_.emplace_back(&Coordinator::serve, this, std::move(sock));
+  }
+}
+
+void Coordinator::serve(support::Socket sock) {
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.push_back(sock.fd());
+  }
+  std::vector<HeldChunk> held;
+  int idle_ms = 0;
+  while (!stopping_.load()) {
+    Message msg;
+    const support::IoStatus st = recv_message(sock, &msg, kServeSliceMs);
+    if (st == support::IoStatus::kTimeout) {
+      // Only a connection *holding an assignment* is on a deadline: its
+      // silence past the timeout means the worker died wedged (a live one
+      // streams a result or keeps the conversation going). Idle clients
+      // and between-request workers may sit quiet.
+      if (!held.empty()) {
+        idle_ms += kServeSliceMs;
+        if (idle_ms >= config_.worker_timeout_ms) break;
+      }
+      continue;
+    }
+    if (st == support::IoStatus::kClosed) break;
+    idle_ms = 0;
+    bool keep = false;
+    try {
+      keep = handle_message(sock, msg, &held);
+    } catch (const support::Error&) {
+      keep = false;  // malformed body: protocol violation, drop the peer
+    }
+    if (!keep) break;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.erase(std::find(live_fds_.begin(), live_fds_.end(), sock.fd()));
+  }
+  reclaim(held);
+}
+
+bool Coordinator::handle_message(support::Socket& sock, const Message& msg,
+                                 std::vector<HeldChunk>* held) {
+  switch (msg.type) {
+    case MsgType::kWorkRequest: return handle_work_request(sock, held);
+    case MsgType::kChunkResult: return handle_chunk_result(sock, msg, held);
+    case MsgType::kSubmit: return handle_submit(sock, msg);
+    case MsgType::kPoll: return handle_poll(sock, msg);
+    default: return false;  // a peer speaking coordinator-only messages
+  }
+}
+
+bool Coordinator::handle_work_request(support::Socket& sock,
+                                      std::vector<HeldChunk>* held) {
+  if (stopping_.load()) return send_message(sock, MsgType::kShutdown, {});
+  AssignBody assign;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Fair FIFO: always shard from the oldest incomplete campaign; later
+    // campaigns only feed workers while earlier ones have nothing left to
+    // hand out (their tail chunks in flight elsewhere).
+    for (const std::unique_ptr<Campaign>& c : campaigns_) {
+      if (c->state == CampaignState::kDone || c->pending.empty()) continue;
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(config_.assign_chunks, c->pending.size()));
+      assign.campaign_id = c->id;
+      assign.config = c->config;
+      for (std::uint32_t i = 0; i < take; ++i) {
+        const std::uint64_t idx = c->pending.front();
+        c->pending.pop_front();
+        assign.chunks.push_back(idx);
+        held->emplace_back(c->id, idx);
+      }
+      c->state = CampaignState::kRunning;
+      break;
+    }
+  }
+  if (assign.chunks.empty()) {
+    return send_message(sock, MsgType::kWait,
+                        encode_u32_body(config_.wait_hint_ms));
+  }
+  return send_message(sock, MsgType::kAssign, encode_assign(assign));
+}
+
+bool Coordinator::handle_chunk_result(support::Socket& sock,
+                                      const Message& msg,
+                                      std::vector<HeldChunk>* held) {
+  ChunkResultBody body = decode_chunk_result(msg.body);
+  const std::uint64_t idx = body.result.index;
+  bool accept = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Campaign* c = find_campaign(body.campaign_id);
+    if (c != nullptr && c->state != CampaignState::kDone) {
+      const std::uint64_t begin = idx * campaign::kChunkTrials;
+      const std::uint64_t end = std::min(begin + campaign::kChunkTrials,
+                                         c->config.trials);
+      if (idx >= c->n_chunks || body.result.attempts.size() != end - begin) {
+        return false;  // wrong-shaped chunk: protocol violation
+      }
+      accept = true;
+      if (!c->done[idx]) {
+        store_.append(c->fingerprint, body.result);
+        c->results[idx] = std::move(body.result);
+        c->done[idx] = 1;
+        ++c->n_done;
+        c->trials_done += end - begin;
+        if (c->n_done == c->n_chunks) finalize(c);
+      }
+    }
+  }
+  std::erase(*held, HeldChunk{body.campaign_id, idx});
+  if (!accept) {
+    // Campaign finished or evaporated (e.g. resumed fully from
+    // checkpoint): tell the worker to drop the rest of this range.
+    return send_message(sock, MsgType::kAbortAssign, {});
+  }
+  return send_message(sock, MsgType::kChunkAck, {});
+}
+
+bool Coordinator::handle_submit(support::Socket& sock, const Message& msg) {
+  campaign::CampaignConfig config;
+  try {
+    config = decode_submit(msg.body);
+  } catch (const support::Error&) {
+    return send_message(sock, MsgType::kReject,
+                        encode_string_body("malformed campaign spec"));
+  }
+  if (config.trials == 0 || config.trials > kMaxTrialsPerCampaign) {
+    return send_message(
+        sock, MsgType::kReject,
+        encode_string_body("trials must be in [1, 100000000]"));
+  }
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t incomplete = 0;
+    for (const std::unique_ptr<Campaign>& c : campaigns_) {
+      incomplete += c->state != CampaignState::kDone ? 1 : 0;
+    }
+    if (incomplete >= config_.max_queue) {
+      return send_message(
+          sock, MsgType::kReject,
+          encode_string_body("campaign queue full (backpressure)"));
+    }
+    auto c = std::make_unique<Campaign>();
+    c->id = next_campaign_id_++;
+    c->config = config;
+    c->fingerprint = wire::config_fingerprint(config);
+    c->n_chunks = campaign::num_chunks(config.trials);
+    c->done.assign(c->n_chunks, 0);
+    c->results.resize(c->n_chunks);
+    // Resume: chunks already in the checkpoint store under this config's
+    // fingerprint are merged up front and never rescheduled.
+    for (campaign::ChunkResult& r : store_.load(c->fingerprint, c->n_chunks)) {
+      const std::uint64_t begin = r.index * campaign::kChunkTrials;
+      const std::uint64_t end = std::min(begin + campaign::kChunkTrials,
+                                         config.trials);
+      if (r.attempts.size() != end - begin) continue;  // stale/odd record
+      const std::uint64_t idx = r.index;
+      c->results[idx] = std::move(r);
+      c->done[idx] = 1;
+      ++c->n_done;
+      c->trials_done += end - begin;
+    }
+    for (std::uint64_t i = 0; i < c->n_chunks; ++i) {
+      if (!c->done[i]) c->pending.push_back(i);
+    }
+    if (c->n_done == c->n_chunks) {
+      finalize(c.get());
+    } else if (c->n_done > 0) {
+      c->state = CampaignState::kRunning;
+    }
+    id = c->id;
+    campaigns_.push_back(std::move(c));
+  }
+  return send_message(sock, MsgType::kSubmitAck, encode_u64_body(id));
+}
+
+bool Coordinator::handle_poll(support::Socket& sock, const Message& msg) {
+  const std::uint64_t id = decode_u64_body(msg.body);
+  StatusBody status;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Campaign* c = find_campaign(id);
+    if (c == nullptr) {
+      return send_message(sock, MsgType::kReject,
+                          encode_string_body("unknown campaign id"));
+    }
+    status = status_of(*c);
+  }
+  return send_message(sock, MsgType::kStatus, encode_status(status));
+}
+
+void Coordinator::reclaim(const std::vector<HeldChunk>& held) {
+  if (held.empty()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    Campaign* c = find_campaign(it->first);
+    if (c == nullptr || c->state == CampaignState::kDone) continue;
+    if (!c->done[it->second]) {
+      // Front of the queue (in reverse, preserving ascending order): a
+      // died-with-it chunk is the oldest outstanding work.
+      c->pending.push_front(it->second);
+    }
+  }
+}
+
+void Coordinator::finalize(Campaign* c) {
+  c->final_stats = campaign::merge_chunk_results(c->results);
+  c->state = CampaignState::kDone;
+  c->results.clear();  // the stats are what clients need from here on
+  c->results.shrink_to_fit();
+  c->pending.clear();
+}
+
+Coordinator::Campaign* Coordinator::find_campaign(std::uint64_t id) {
+  for (const std::unique_ptr<Campaign>& c : campaigns_) {
+    if (c->id == id) return c.get();
+  }
+  return nullptr;
+}
+
+StatusBody Coordinator::status_of(const Campaign& c) {
+  StatusBody status;
+  status.state = c.state;
+  status.chunks_done = c.n_done;
+  status.chunks_total = c.n_chunks;
+  status.trials_done = c.trials_done;
+  status.trials_total = c.config.trials;
+  for (const std::unique_ptr<Campaign>& other : campaigns_) {
+    if (other->id == c.id) break;
+    status.queue_position += other->state != CampaignState::kDone ? 1 : 0;
+  }
+  if (c.state == CampaignState::kDone) {
+    status.stats = c.final_stats;
+  } else {
+    // Incremental aggregate: merge what's done so far, in index order.
+    std::vector<campaign::ChunkResult> partial;
+    partial.reserve(c.n_done);
+    for (std::uint64_t i = 0; i < c.n_chunks; ++i) {
+      if (c.done[i]) partial.push_back(c.results[i]);
+    }
+    status.stats = campaign::merge_chunk_results(partial);
+  }
+  return status;
+}
+
+}  // namespace mavr::campaignd

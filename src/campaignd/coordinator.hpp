@@ -1,0 +1,120 @@
+// mavr-campaignd coordinator: admits campaigns from clients, shards their
+// chunk ranges across worker connections, checkpoints every completed
+// chunk, and serves incremental aggregates to polling clients
+// (DESIGN.md §12).
+//
+// Scheduling is fair FIFO: assignments are always drawn from the oldest
+// incomplete campaign, so campaigns complete in admission order.
+// Backpressure is a bound on admitted-but-incomplete campaigns — a submit
+// beyond it is rejected, not queued unboundedly.
+//
+// Fault model: a worker is trusted to be *crash-faulty only* (it may die
+// at any byte boundary; it does not lie — chunks are deterministic, so a
+// duplicate result is byte-identical). Worker death is observed as its
+// connection closing or going silent past the assignment timeout; either
+// way the chunks it held return to the pending pool and the next
+// kWorkRequest re-assigns them. Determinism holds because a chunk's value
+// depends only on (config, chunk index), never on which worker ran it or
+// how many times it was attempted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaignd/checkpoint.hpp"
+#include "campaignd/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace mavr::campaignd {
+
+struct CoordinatorConfig {
+  std::string listen_path;      ///< AF_UNIX socket path
+  std::string checkpoint_path;  ///< empty: no persistence, no resume
+  /// Backpressure bound: admitted-but-incomplete campaigns. A kSubmit
+  /// that would exceed it gets kReject("campaign queue full").
+  std::size_t max_queue = 8;
+  /// Chunks handed out per kAssign. The sharding grain above the fixed
+  /// 64-trial chunk: bigger amortizes round-trips, smaller re-balances
+  /// and reassigns-on-death at finer granularity.
+  std::uint32_t assign_chunks = 4;
+  /// A connection holding an assignment that stays silent this long is
+  /// declared dead and its chunks are reassigned.
+  int worker_timeout_ms = 120'000;
+  /// Idle worker re-poll hint carried in kWait.
+  std::uint32_t wait_hint_ms = 20;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds the listener and starts the accept loop. Throws support::Error
+  /// if the path cannot be bound.
+  void start();
+
+  /// Drains: stops accepting, answers outstanding worker requests with
+  /// kShutdown, unblocks and joins every connection handler. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  const std::string& path() const { return config_.listen_path; }
+
+ private:
+  struct Campaign {
+    std::uint64_t id = 0;
+    campaign::CampaignConfig config;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t n_chunks = 0;
+    CampaignState state = CampaignState::kQueued;
+    std::deque<std::uint64_t> pending;  ///< unassigned chunk indices
+    std::vector<std::uint8_t> done;     ///< by chunk index
+    /// Completed chunks by index (moved out after the final merge).
+    std::vector<campaign::ChunkResult> results;
+    std::uint64_t n_done = 0;
+    std::uint64_t trials_done = 0;
+    campaign::CampaignStats final_stats;
+  };
+
+  /// Chunk held by a live connection: reclaimed if the connection dies.
+  using HeldChunk = std::pair<std::uint64_t, std::uint64_t>;  // id, index
+
+  void accept_loop();
+  void serve(support::Socket sock);
+  bool handle_message(support::Socket& sock, const Message& msg,
+                      std::vector<HeldChunk>* held);
+  bool handle_work_request(support::Socket& sock,
+                           std::vector<HeldChunk>* held);
+  bool handle_chunk_result(support::Socket& sock, const Message& msg,
+                           std::vector<HeldChunk>* held);
+  bool handle_submit(support::Socket& sock, const Message& msg);
+  bool handle_poll(support::Socket& sock, const Message& msg);
+  void reclaim(const std::vector<HeldChunk>& held);
+  void finalize(Campaign* c);
+  Campaign* find_campaign(std::uint64_t id);
+  StatusBody status_of(const Campaign& c);
+
+  CoordinatorConfig config_;
+  CheckpointStore store_;
+  std::unique_ptr<support::UnixListener> listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;  ///< guards campaigns_ and every Campaign within
+  std::vector<std::unique_ptr<Campaign>> campaigns_;  // admission order
+  std::uint64_t next_campaign_id_ = 1;
+
+  std::mutex conns_mu_;  ///< guards handler bookkeeping below
+  std::vector<std::thread> handlers_;
+  std::vector<int> live_fds_;  ///< shutdown() targets for prompt stop()
+};
+
+}  // namespace mavr::campaignd

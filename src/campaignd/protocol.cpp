@@ -1,0 +1,198 @@
+#include "campaignd/protocol.hpp"
+
+#include "support/crc.hpp"
+#include "support/error.hpp"
+
+namespace mavr::campaignd {
+
+namespace {
+
+namespace wire = campaign::wire;
+
+/// Payload read deadline once a header has arrived: generous (the peer
+/// already committed to a frame) but bounded, so a stalled peer cannot
+/// pin a handler thread forever.
+constexpr int kPayloadTimeoutMs = 10'000;
+
+}  // namespace
+
+bool send_message(support::Socket& sock, MsgType type,
+                  std::span<const std::uint8_t> body) {
+  support::Bytes payload;
+  payload.reserve(body.size() + 2);
+  payload.push_back(wire::kWireVersion);
+  payload.push_back(static_cast<std::uint8_t>(type));
+  payload.insert(payload.end(), body.begin(), body.end());
+  if (payload.size() > kMaxFrameBytes) return false;
+
+  support::Bytes frame;
+  support::ByteWriter w(frame);
+  w.u32_le(static_cast<std::uint32_t>(payload.size()));
+  w.u32_le(support::crc32_ieee(payload));
+  w.bytes(payload);
+  return sock.send_all(frame);
+}
+
+support::IoStatus recv_message(support::Socket& sock, Message* out,
+                               int timeout_ms) {
+  std::uint8_t header[8];
+  const support::IoStatus hs = sock.recv_exact(header, sizeof header,
+                                               timeout_ms);
+  if (hs != support::IoStatus::kOk) return hs;
+  support::ByteReader hr(header);
+  const std::uint32_t length = hr.u32_le();
+  const std::uint32_t crc = hr.u32_le();
+  if (length < 2 || length > kMaxFrameBytes) return support::IoStatus::kClosed;
+
+  support::Bytes payload(length);
+  if (sock.recv_exact(payload.data(), length, kPayloadTimeoutMs) !=
+      support::IoStatus::kOk) {
+    return support::IoStatus::kClosed;
+  }
+  if (support::crc32_ieee(payload) != crc) return support::IoStatus::kClosed;
+  if (payload[0] != wire::kWireVersion) return support::IoStatus::kClosed;
+  const std::uint8_t type = payload[1];
+  if (type < static_cast<std::uint8_t>(MsgType::kWorkRequest) ||
+      type > static_cast<std::uint8_t>(MsgType::kStatus)) {
+    return support::IoStatus::kClosed;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->body.assign(payload.begin() + 2, payload.end());
+  return support::IoStatus::kOk;
+}
+
+support::Bytes encode_assign(const AssignBody& body) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  wire::put_u64(w, body.campaign_id);
+  wire::encode_config(w, body.config);
+  w.u32_le(static_cast<std::uint32_t>(body.chunks.size()));
+  for (std::uint64_t c : body.chunks) wire::put_u64(w, c);
+  return out;
+}
+
+AssignBody decode_assign(const support::Bytes& body) {
+  support::ByteReader r(body);
+  AssignBody out;
+  out.campaign_id = wire::get_u64(r);
+  out.config = wire::decode_config(r);
+  const std::uint32_t count = r.u32_le();
+  if (count > campaign::num_chunks(out.config.trials)) {
+    throw support::DataError("assign: more chunks than the campaign has");
+  }
+  out.chunks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.chunks.push_back(wire::get_u64(r));
+  }
+  MAVR_REQUIRE(r.done(), "assign: trailing bytes");
+  return out;
+}
+
+support::Bytes encode_chunk_result(const ChunkResultBody& body) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  wire::put_u64(w, body.campaign_id);
+  wire::encode_chunk_result(w, body.result);
+  return out;
+}
+
+ChunkResultBody decode_chunk_result(const support::Bytes& body) {
+  support::ByteReader r(body);
+  ChunkResultBody out;
+  out.campaign_id = wire::get_u64(r);
+  out.result = wire::decode_chunk_result(r);
+  MAVR_REQUIRE(r.done(), "chunk result: trailing bytes");
+  return out;
+}
+
+const char* campaign_state_name(CampaignState state) {
+  switch (state) {
+    case CampaignState::kQueued: return "queued";
+    case CampaignState::kRunning: return "running";
+    case CampaignState::kDone: return "done";
+  }
+  return "?";
+}
+
+support::Bytes encode_status(const StatusBody& body) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(body.state));
+  wire::put_u64(w, body.chunks_done);
+  wire::put_u64(w, body.chunks_total);
+  wire::put_u64(w, body.trials_done);
+  wire::put_u64(w, body.trials_total);
+  wire::put_u64(w, body.queue_position);
+  wire::encode_stats(w, body.stats);
+  return out;
+}
+
+StatusBody decode_status(const support::Bytes& body) {
+  support::ByteReader r(body);
+  StatusBody out;
+  const std::uint8_t state = r.u8();
+  if (state > static_cast<std::uint8_t>(CampaignState::kDone)) {
+    throw support::DataError("status: unknown campaign state");
+  }
+  out.state = static_cast<CampaignState>(state);
+  out.chunks_done = wire::get_u64(r);
+  out.chunks_total = wire::get_u64(r);
+  out.trials_done = wire::get_u64(r);
+  out.trials_total = wire::get_u64(r);
+  out.queue_position = wire::get_u64(r);
+  out.stats = wire::decode_stats(r);
+  MAVR_REQUIRE(r.done(), "status: trailing bytes");
+  return out;
+}
+
+support::Bytes encode_u64_body(std::uint64_t value) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  wire::put_u64(w, value);
+  return out;
+}
+
+std::uint64_t decode_u64_body(const support::Bytes& body) {
+  support::ByteReader r(body);
+  const std::uint64_t value = wire::get_u64(r);
+  MAVR_REQUIRE(r.done(), "u64 body: trailing bytes");
+  return value;
+}
+
+support::Bytes encode_u32_body(std::uint32_t value) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  w.u32_le(value);
+  return out;
+}
+
+std::uint32_t decode_u32_body(const support::Bytes& body) {
+  support::ByteReader r(body);
+  const std::uint32_t value = r.u32_le();
+  MAVR_REQUIRE(r.done(), "u32 body: trailing bytes");
+  return value;
+}
+
+support::Bytes encode_string_body(const std::string& text) {
+  return support::Bytes(text.begin(), text.end());
+}
+
+std::string decode_string_body(const support::Bytes& body) {
+  return std::string(body.begin(), body.end());
+}
+
+support::Bytes encode_submit(const campaign::CampaignConfig& config) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  wire::encode_config(w, config);
+  return out;
+}
+
+campaign::CampaignConfig decode_submit(const support::Bytes& body) {
+  support::ByteReader r(body);
+  const campaign::CampaignConfig config = wire::decode_config(r);
+  MAVR_REQUIRE(r.done(), "submit: trailing bytes");
+  return config;
+}
+
+}  // namespace mavr::campaignd

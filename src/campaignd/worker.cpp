@@ -1,0 +1,129 @@
+#include "campaignd/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "campaign/scenarios.hpp"
+#include "campaignd/protocol.hpp"
+#include "firmware/profile.hpp"
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+namespace mavr::campaignd {
+
+namespace {
+
+/// How long a worker waits for the coordinator to answer a request
+/// before declaring the connection dead and reconnecting.
+constexpr int kReplyTimeoutMs = 10'000;
+/// recv slice so a raised stop flag is noticed quickly mid-wait.
+constexpr int kRecvSliceMs = 100;
+
+/// recv_message in stop-aware slices. Returns kTimeout early (without
+/// having consumed anything) if `stop` is raised between slices.
+support::IoStatus recv_reply(support::Socket& sock, Message* msg,
+                             const std::atomic<bool>& stop) {
+  int waited = 0;
+  while (waited < kReplyTimeoutMs) {
+    if (stop.load(std::memory_order_relaxed)) {
+      return support::IoStatus::kTimeout;
+    }
+    const support::IoStatus st = recv_message(sock, msg, kRecvSliceMs);
+    if (st != support::IoStatus::kTimeout) return st;
+    waited += kRecvSliceMs;
+  }
+  return support::IoStatus::kTimeout;
+}
+
+}  // namespace
+
+std::uint64_t run_worker(const std::string& path,
+                         const WorkerOptions& options) {
+  std::uint64_t completed = 0;
+  static const std::atomic<bool> kNeverStop{false};
+  const std::atomic<bool>& stop = options.stop ? *options.stop : kNeverStop;
+  // One firmware generate+link, shared across campaigns: every board
+  // scenario attacks the same stock testapp build.
+  std::optional<campaign::SimFixture> fixture;
+
+  while (!stop.load()) {
+    support::Socket sock = support::unix_connect(path, options.connect_attempts,
+                                                 options.backoff_ms);
+    if (!sock.valid()) return completed;  // coordinator is gone for good
+
+    bool conn_ok = true;
+    while (conn_ok && !stop.load()) {
+      if (options.max_chunks != 0 && completed >= options.max_chunks) {
+        return completed;  // "die" here; held chunks get reassigned
+      }
+      if (!send_message(sock, MsgType::kWorkRequest, {})) break;
+      Message msg;
+      if (recv_reply(sock, &msg, stop) != support::IoStatus::kOk) break;
+
+      try {
+      switch (msg.type) {
+        case MsgType::kShutdown:
+          return completed;
+        case MsgType::kWait: {
+          const std::uint32_t hint_ms = decode_u32_body(msg.body);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(std::min<std::uint32_t>(hint_ms, 500)));
+          break;
+        }
+        case MsgType::kAssign: {
+          const AssignBody assign = decode_assign(msg.body);
+          if (scenario_uses_board(assign.config.scenario) && !fixture) {
+            fixture = campaign::make_sim_fixture(
+                firmware::testapp(/*vulnerable=*/true));
+          }
+          const campaign::TrialFn fn = campaign::make_trial_fn(
+              assign.config, fixture ? &*fixture : nullptr);
+          for (std::uint64_t idx : assign.chunks) {
+            if (stop.load()) return completed;
+            std::vector<campaign::ChunkResult> chunk =
+                campaign::run_chunk_range(assign.config, fn, idx, idx + 1,
+                                          &stop);
+            if (chunk.empty()) return completed;  // aborted mid-chunk
+            ChunkResultBody body;
+            body.campaign_id = assign.campaign_id;
+            body.result = std::move(chunk.front());
+            if (!send_message(sock, MsgType::kChunkResult,
+                              encode_chunk_result(body))) {
+              conn_ok = false;
+              break;
+            }
+            Message reply;
+            if (recv_reply(sock, &reply, stop) != support::IoStatus::kOk) {
+              conn_ok = false;
+              break;
+            }
+            if (reply.type == MsgType::kAbortAssign) {
+              break;  // campaign is done/gone; drop the rest of this range
+            }
+            if (reply.type != MsgType::kChunkAck) {
+              conn_ok = false;  // protocol violation
+              break;
+            }
+            ++completed;
+            if (options.max_chunks != 0 && completed >= options.max_chunks) {
+              return completed;
+            }
+          }
+          break;
+        }
+        default:
+          conn_ok = false;  // coordinator spoke a client-only message
+          break;
+      }
+      } catch (const support::Error&) {
+        conn_ok = false;  // malformed reply body: drop the connection
+      }
+    }
+    // Connection died: loop around and try to re-establish it.
+  }
+  return completed;
+}
+
+}  // namespace mavr::campaignd

@@ -1,0 +1,41 @@
+// mavr-campaignd worker: connects to a coordinator, pulls chunk
+// assignments, evaluates them with the same `run_chunk_range` the
+// in-process engine uses, and streams the results back (DESIGN.md §12).
+//
+// The worker is stateless between assignments — everything a chunk needs
+// is (config, chunk index), so a worker can die at any point and the
+// coordinator simply re-assigns. The only cached state is the board
+// SimFixture (one firmware generate+link), shared across campaigns
+// because every board scenario runs the same stock testapp build.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mavr::campaignd {
+
+struct WorkerOptions {
+  /// Connection attempts before giving up (covers both the initial
+  /// connect racing the coordinator's bind, and reconnects after the
+  /// coordinator restarts).
+  int connect_attempts = 40;
+  /// Linear backoff step between attempts (capped at 500ms inside
+  /// support::unix_connect).
+  int backoff_ms = 25;
+  /// Exit after completing this many chunks; 0 = unlimited. Lets tests
+  /// model a worker that dies partway through a campaign.
+  std::uint64_t max_chunks = 0;
+  /// Cooperative stop: checked between trials (aborting the in-flight
+  /// chunk) and between protocol round-trips.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Runs the pull loop against the coordinator at `path` until the
+/// coordinator says kShutdown, the connection cannot be (re)established,
+/// `stop` is raised, or `max_chunks` is reached.
+/// Returns the number of chunks completed and acknowledged.
+std::uint64_t run_worker(const std::string& path,
+                         const WorkerOptions& options = {});
+
+}  // namespace mavr::campaignd

@@ -1,0 +1,177 @@
+#include "support/socket.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace mavr::support {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MAVR_REQUIRE(path.size() < sizeof addr.sun_path,
+               "AF_UNIX path too long (sun_path limit)");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Waits for readability. true = readable (or error pending — the
+/// following read reports it); false = timed out.
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // let read() surface the error
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(std::span<const std::uint8_t> data) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+IoStatus Socket::recv_exact(std::uint8_t* dst, std::size_t n,
+                            int timeout_ms) {
+  if (fd_ < 0) return IoStatus::kClosed;
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeout_ms < 0 ? 0 : timeout_ms);
+  std::size_t got = 0;
+  while (got < n) {
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    }
+    if (!wait_readable(fd_, wait_ms)) {
+      // A partial frame followed by silence means the stream is desynced:
+      // report it as closed, not as a clean timeout.
+      return got == 0 ? IoStatus::kTimeout : IoStatus::kClosed;
+    }
+    const ssize_t r = ::recv(fd_, dst + got, n - got, 0);
+    if (r == 0) return IoStatus::kClosed;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kClosed;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return IoStatus::kOk;
+}
+
+std::pair<Socket, Socket> Socket::make_pair() {
+  int fds[2] = {-1, -1};
+  MAVR_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+             "socketpair failed");
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
+  const sockaddr_un addr = make_addr(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MAVR_CHECK(fd_ >= 0, "socket(AF_UNIX) failed");
+  ::unlink(path_.c_str());  // replace a stale socket from a dead service
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot bind " + path_ + ": " + std::strerror(err));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    throw Error("cannot listen on " + path_ + ": " + std::strerror(err));
+  }
+}
+
+UnixListener::~UnixListener() {
+  close();
+  ::unlink(path_.c_str());
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() (not close) unblocks a concurrent accept() without
+    // racing fd reuse; the fd itself is reclaimed here afterwards.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket UnixListener::accept(int timeout_ms) {
+  if (fd_ < 0) return Socket();
+  if (!wait_readable(fd_, timeout_ms)) return Socket();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  return fd >= 0 ? Socket(fd) : Socket();
+}
+
+Socket unix_connect(const std::string& path, int attempts, int backoff_ms) {
+  const sockaddr_un addr = make_addr(path);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    MAVR_CHECK(fd >= 0, "socket(AF_UNIX) failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return Socket(fd);
+    }
+    ::close(fd);
+    if (attempt < attempts && backoff_ms > 0) {
+      const int delay = std::min(backoff_ms * attempt, 500);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  return Socket();
+}
+
+}  // namespace mavr::support

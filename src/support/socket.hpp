@@ -1,0 +1,88 @@
+// Minimal AF_UNIX stream transport for the campaignd coordinator/worker
+// split (DESIGN.md §12).
+//
+// Deliberately local-machine-only: the service's unit of distribution is a
+// worker *process*, and a filesystem socket gives process isolation, a
+// namable rendezvous point, and kill-driven connection teardown (a dead
+// worker's socket closes, which is the coordinator's reassignment signal)
+// without opening a network listener. The API is three pieces: an RAII fd
+// (`Socket`) with exact-length timed I/O, a bound listener
+// (`UnixListener`), and a retrying connect with linear backoff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace mavr::support {
+
+/// Outcome of a timed read. kTimeout only when *nothing* arrived before
+/// the deadline; bytes followed by silence or EOF is kClosed (the stream
+/// is mid-frame and unusable).
+enum class IoStatus { kOk, kTimeout, kClosed };
+
+/// Owning wrapper over a connected stream-socket fd. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  int release();
+  void close();
+
+  /// Writes all of `data`; false on any error (peer gone). Never raises
+  /// SIGPIPE.
+  bool send_all(std::span<const std::uint8_t> data);
+
+  /// Reads exactly `n` bytes. `timeout_ms < 0` waits forever.
+  IoStatus recv_exact(std::uint8_t* dst, std::size_t n, int timeout_ms);
+
+  /// Connected AF_UNIX socketpair (in-process protocol tests).
+  static std::pair<Socket, Socket> make_pair();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening AF_UNIX socket; unlinks the path on destruction.
+class UnixListener {
+ public:
+  /// Binds and listens on `path` (an existing stale socket file is
+  /// replaced). Throws support::Error on failure.
+  explicit UnixListener(std::string path);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Accepts one connection; invalid Socket on timeout or after close().
+  Socket accept(int timeout_ms);
+
+  /// Stops accepting and releases the fd. Call after the accepting thread
+  /// has stopped (accept() takes a timeout precisely so its loop can poll
+  /// a stop flag instead of blocking forever).
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connects to the listener at `path`, retrying up to `attempts` times
+/// with linear backoff (`backoff_ms`, 2*backoff_ms, ... capped at 500ms)
+/// — the wire-level retry story for workers racing coordinator startup.
+/// Invalid Socket when every attempt fails.
+Socket unix_connect(const std::string& path, int attempts = 1,
+                    int backoff_ms = 0);
+
+}  // namespace mavr::support

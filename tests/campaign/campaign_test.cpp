@@ -3,7 +3,14 @@
 // result export.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <iterator>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "campaign/export.hpp"
 #include "campaign/scenarios.hpp"
@@ -131,6 +138,119 @@ TEST(CampaignEngine, ScenarioNamesRoundTrip) {
     EXPECT_EQ(*parsed, s);
   }
   EXPECT_FALSE(campaign::parse_scenario("v4").has_value());
+}
+
+TEST(CampaignEngine, ChunkRangeMergeMatchesRunTrials) {
+  CampaignConfig config;
+  config.scenario = Scenario::kBruteForceRerand;
+  config.trials = 500;  // 8 chunks, last one partial (500 - 7*64 = 52)
+  config.jobs = 3;
+  config.seed = 0xFEED;
+  const auto fn = campaign::make_trial_fn(config, nullptr);
+  const CampaignStats direct = campaign::run_trials(config, fn);
+
+  const std::uint64_t n_chunks = campaign::num_chunks(config.trials);
+  ASSERT_EQ(n_chunks, 8u);
+  // Compute the same campaign as two disjoint chunk ranges — the unit
+  // campaignd ships to different worker processes — and merge.
+  std::vector<campaign::ChunkResult> chunks =
+      campaign::run_chunk_range(config, fn, 0, 3);
+  std::vector<campaign::ChunkResult> tail =
+      campaign::run_chunk_range(config, fn, 3, n_chunks);
+  EXPECT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail.back().attempts.size(), 52u);
+  // A partial prefix merge covers exactly its trials.
+  EXPECT_EQ(campaign::merge_chunk_results(chunks).trials, 3 * 64u);
+  chunks.insert(chunks.end(), std::make_move_iterator(tail.begin()),
+                std::make_move_iterator(tail.end()));
+  const CampaignStats merged = campaign::merge_chunk_results(chunks);
+  EXPECT_TRUE(bitwise_equal(direct, merged));
+
+  // Out-of-order / overlapping chunk sets are a caller bug.
+  std::swap(chunks[0], chunks[1]);
+  EXPECT_THROW(campaign::merge_chunk_results(chunks),
+               support::PreconditionError);
+}
+
+TEST(CampaignEngine, AbortAfterFailureIsPrompt) {
+  // Regression: the worker loop used to notice the abort flag only
+  // between 64-trial chunks, so one failing trial made every worker
+  // finish its whole chunk (and the pool burn ~jobs*64 doomed trials)
+  // before the rethrow. The abort check is per-trial now; after trial 0
+  // throws, each worker may at most finish the single trial it is in.
+  std::atomic<std::uint64_t> executed{0};
+  CampaignConfig config;
+  config.trials = 2048;
+  config.jobs = 8;
+  EXPECT_THROW(
+      campaign::run_trials(
+          config,
+          [&executed](std::uint64_t t, support::Rng&)
+              -> campaign::TrialResult {
+            executed.fetch_add(1, std::memory_order_relaxed);
+            if (t == 0) throw support::InvariantError("trial 0 failed");
+            // Doomed trials sleep rather than spin: they cost wall time
+            // (running a full chunk of them would dominate the count)
+            // while yielding the core, so the throwing trial gets
+            // scheduled promptly even on a single-CPU machine.
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            return {};
+          }),
+      support::InvariantError);
+  // Pre-fix this sat around jobs*64 = 512 at minimum; per-trial abort
+  // keeps it near jobs (one in-flight trial per worker, plus scheduling
+  // slack).
+  EXPECT_LT(executed.load(), 256u);
+}
+
+TEST(CampaignExport, FormatExactNeverTruncates) {
+  // Regression: format_row used to snprintf into a fixed char[1280] and
+  // ignore the return value, silently truncating long rows. format_exact
+  // sizes the output to the formatted width, whatever it is.
+  const std::string wide(5000, 'x');
+  const std::string out = campaign::format_exact("<%s>", wide.c_str());
+  EXPECT_EQ(out.size(), wide.size() + 2);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+TEST(CampaignExport, MaximalWidthRowSurvivesExport) {
+  // Every numeric field at its widest printf rendering: u64 max (20
+  // digits) and the widest %.17g doubles (denormal min, 23 chars).
+  CampaignConfig config;
+  config.scenario = Scenario::kDetectSweep;
+  config.trials = UINT64_MAX;
+  config.seed = UINT64_MAX;
+  config.n_functions = UINT32_MAX;
+  config.fault_rate = std::numeric_limits<double>::denorm_min();
+  CampaignStats stats;
+  stats.trials = UINT64_MAX;
+  stats.successes = UINT64_MAX;
+  stats.detections = UINT64_MAX;
+  stats.degradations = UINT64_MAX;
+  stats.mean_attempts = -std::numeric_limits<double>::denorm_min();
+  stats.max_attempts = std::numeric_limits<double>::denorm_min();
+  stats.p50_attempts = -2.2250738585072014e-308;
+  stats.p90_attempts = 1.7976931348623157e308;
+  stats.p99_attempts = -1.7976931348623157e308;
+  stats.mean_cycles = std::numeric_limits<double>::denorm_min();
+  stats.total_cycles = UINT64_MAX;
+  stats.mean_startup_ms = std::numeric_limits<double>::denorm_min();
+  stats.detector_trips = UINT64_MAX;
+  stats.mean_ttd_cycles = std::numeric_limits<double>::denorm_min();
+
+  const std::string csv = campaign::csv_row(config, stats);
+  const std::string json = campaign::to_json(config, stats);
+  // Nothing got cut: the rows are complete and the widest field made it
+  // through at full precision.
+  EXPECT_EQ(csv.back(), '\n');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(csv.find("4.9406564584124654e-324"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ttd_cycles\": 4.9406564584124654e-324}"),
+            std::string::npos);
+  const std::string u64max = "18446744073709551615";
+  EXPECT_NE(csv.find(u64max + ","), std::string::npos);
 }
 
 // Board campaign: a fleet of independently randomized boards under the V2

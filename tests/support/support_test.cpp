@@ -7,6 +7,7 @@
 #include "support/crc.hpp"
 #include "support/error.hpp"
 #include "support/hexdump.hpp"
+#include "support/parse.hpp"
 #include "support/rng.hpp"
 
 namespace mavr::support {
@@ -212,6 +213,50 @@ TEST(Error, CheckMacrosThrowTypedExceptions) {
     EXPECT_NE(std::string(e.what()).find("context message"),
               std::string::npos);
   }
+}
+
+TEST(Parse, U64AcceptsOnlyWholeCleanTokens) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("1000000"), 1'000'000u);
+  EXPECT_EQ(parse_u64("0x10"), 16u);            // base-0 keeps hex seeds
+  EXPECT_EQ(parse_u64("18446744073709551615"),  // u64 max
+            18446744073709551615ull);
+  // The strtoull failure modes this replaces: "1e6" parsed as 1, "xyz"
+  // as 0, "-1" wrapped to u64 max — all silently.
+  EXPECT_FALSE(parse_u64("1e6").has_value());
+  EXPECT_FALSE(parse_u64("xyz").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64(" 1").has_value());
+  EXPECT_FALSE(parse_u64("1 ").has_value());
+  EXPECT_FALSE(parse_u64("10k").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(Parse, U64InEnforcesInclusiveRange) {
+  EXPECT_EQ(parse_u64_in("1", 1, 256), 1u);
+  EXPECT_EQ(parse_u64_in("256", 1, 256), 256u);
+  EXPECT_FALSE(parse_u64_in("0", 1, 256).has_value());
+  EXPECT_FALSE(parse_u64_in("257", 1, 256).has_value());
+  EXPECT_FALSE(parse_u64_in("1000", 1, 256).has_value());
+}
+
+TEST(Parse, U32RejectsValuesPastTheType) {
+  EXPECT_EQ(parse_u32("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_u32("4294967296").has_value());
+}
+
+TEST(Parse, F64AcceptsFiniteDecimalsOnly) {
+  EXPECT_EQ(parse_f64("0.25"), 0.25);
+  EXPECT_EQ(parse_f64("1e-3"), 1e-3);
+  EXPECT_EQ(parse_f64("0"), 0.0);
+  EXPECT_FALSE(parse_f64("").has_value());
+  EXPECT_FALSE(parse_f64("0.5x").has_value());
+  EXPECT_FALSE(parse_f64("nan").has_value());
+  EXPECT_FALSE(parse_f64("inf").has_value());
+  EXPECT_FALSE(parse_f64("1e999").has_value());  // overflows to infinity
+  EXPECT_FALSE(parse_f64(" 0.5").has_value());
 }
 
 }  // namespace

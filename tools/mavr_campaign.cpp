@@ -6,6 +6,7 @@
 //                 [--fault-rate X]
 //                 [--detectors LIST] [--attack {clean,v1,v2,v3}]
 //                 [--randomize {on,off}]
+//                 [--connect SOCKET]
 //                 [--out FILE.{csv,json}]
 //   mavr-campaign --list-scenarios
 //
@@ -17,19 +18,25 @@
 // --fault-rate; detect-sweep arms the runtime intrusion detectors
 // (--detectors, a comma list of canary,shadow,sp-bounds,cfi or all/none)
 // against one attack variant or a clean flight (--attack), with MAVR
-// randomization off unless --randomize on. Results are bit-identical for
-// any --jobs value (see DESIGN.md, campaign engine).
+// randomization off unless --randomize on.
+//
+// With --connect the campaign is submitted to a running mavr-campaignd
+// coordinator instead of running in-process; the stats (and any --out
+// file) are bit-identical either way — for any --jobs value and any
+// worker count (see DESIGN.md §12).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "campaign/export.hpp"
 #include "campaign/scenarios.hpp"
+#include "campaignd/client.hpp"
 #include "defense/bruteforce.hpp"
 #include "support/error.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -45,9 +52,14 @@ int usage() {
       "all|none]\n"
       "                     [--attack {clean,v1,v2,v3}] "
       "[--randomize {on,off}]\n"
-      "                     [--out FILE.{csv,json}]\n"
+      "                     [--connect SOCKET] [--out FILE.{csv,json}]\n"
       "       mavr-campaign --list-scenarios\n");
   return 2;
+}
+
+int bad_value(const char* flag, const char* value) {
+  std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, value);
+  return usage();
 }
 
 int list_scenarios() {
@@ -63,6 +75,80 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/// Everything below the header line: per-scenario detail plus the
+/// optional export, shared by the in-process and --connect paths (the
+/// stats are bit-identical, so the output is too).
+int report(const mavr::campaign::CampaignConfig& config,
+           const mavr::campaign::CampaignStats& stats,
+           const std::string& out_path) {
+  using namespace mavr;
+  std::printf("  successes:  %llu (%.2f%%)   detections: %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(stats.successes),
+              100.0 * static_cast<double>(stats.successes) /
+                  static_cast<double>(stats.trials),
+              static_cast<unsigned long long>(stats.detections),
+              100.0 * static_cast<double>(stats.detections) /
+                  static_cast<double>(stats.trials));
+  std::printf("  attempts:   mean %.2f  p50 %.0f  p90 %.0f  p99 %.0f  "
+              "max %.0f\n",
+              stats.mean_attempts, stats.p50_attempts, stats.p90_attempts,
+              stats.p99_attempts, stats.max_attempts);
+  if (config.scenario == campaign::Scenario::kDetectSweep) {
+    std::printf("  attack: %s   detectors: %s   randomize: %s\n",
+                campaign::detect_attack_name(config.detect_attack),
+                detect::detector_set_name(config.detectors).c_str(),
+                config.detect_randomize ? "on" : "off");
+    std::printf("  detector trips: %llu (%.2f%%)   mean time-to-detect: "
+                "%.0f cycles\n",
+                static_cast<unsigned long long>(stats.detector_trips),
+                100.0 * static_cast<double>(stats.detector_trips) /
+                    static_cast<double>(stats.trials),
+                stats.mean_ttd_cycles);
+  }
+  if (config.scenario == campaign::Scenario::kFaultSweep) {
+    std::printf("  fault rate: %g   degradations: %llu (%.2f%%)   "
+                "mean startup: %.2f ms\n",
+                config.fault_rate,
+                static_cast<unsigned long long>(stats.degradations),
+                100.0 * static_cast<double>(stats.degradations) /
+                    static_cast<double>(stats.trials),
+                stats.mean_startup_ms);
+  }
+  if (stats.total_cycles > 0) {
+    std::printf("  board time: mean %.0f cycles/trial, %llu total\n",
+                stats.mean_cycles,
+                static_cast<unsigned long long>(stats.total_cycles));
+  }
+  if (!campaign::scenario_uses_board(config.scenario)) {
+    const double n_perms = defense::permutation_count(config.n_functions);
+    const double expected =
+        config.scenario == campaign::Scenario::kBruteForceFixed
+            ? defense::expected_attempts_fixed(n_perms)
+            : defense::expected_attempts_rerandomized(n_perms);
+    std::printf("  analytic:   n=%u -> N=%.0f permutations, E[attempts] "
+                "= %.2f (measured/analytic = %.4f)\n",
+                config.n_functions, n_perms, expected,
+                stats.mean_attempts / expected);
+  }
+
+  if (!out_path.empty()) {
+    const bool csv = ends_with(out_path, ".csv");
+    if (!csv && !ends_with(out_path, ".json")) {
+      std::fprintf(stderr, "--out must end in .csv or .json\n");
+      return 2;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << (csv ? campaign::to_csv(config, stats)
+                : campaign::to_json(config, stats));
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +158,7 @@ int main(int argc, char** argv) {
   config.jobs = 1;
   bool have_scenario = false;
   std::string out_path;
+  std::string connect_path;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg_value = [&](const char* name) -> const char* {
@@ -91,16 +178,27 @@ int main(int argc, char** argv) {
       config.scenario = *scenario;
       have_scenario = true;
     } else if (const char* v = arg_value("--trials")) {
-      config.trials = std::strtoull(v, nullptr, 0);
+      const auto trials = support::parse_u64_in(v, 1, UINT64_MAX);
+      if (!trials) return bad_value("--trials", v);
+      config.trials = *trials;
     } else if (const char* v = arg_value("--jobs")) {
-      config.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+      const auto jobs = support::parse_u64_in(v, 1, 256);
+      if (!jobs) return bad_value("--jobs", v);
+      config.jobs = static_cast<unsigned>(*jobs);
     } else if (const char* v = arg_value("--seed")) {
-      config.seed = std::strtoull(v, nullptr, 0);
+      const auto seed = support::parse_u64(v);
+      if (!seed) return bad_value("--seed", v);
+      config.seed = *seed;
     } else if (const char* v = arg_value("--functions")) {
-      config.n_functions = static_cast<std::uint32_t>(
-          std::strtoul(v, nullptr, 0));
+      const auto functions = support::parse_u64_in(v, 1, UINT32_MAX);
+      if (!functions) return bad_value("--functions", v);
+      config.n_functions = static_cast<std::uint32_t>(*functions);
     } else if (const char* v = arg_value("--fault-rate")) {
-      config.fault_rate = std::strtod(v, nullptr);
+      const auto rate = support::parse_f64(v);
+      if (!rate || *rate < 0.0 || *rate > 1.0) {
+        return bad_value("--fault-rate", v);
+      }
+      config.fault_rate = *rate;
     } else if (const char* v = arg_value("--detectors")) {
       const auto mask = detect::parse_detector_set(v);
       if (!mask) {
@@ -124,6 +222,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--randomize takes on|off\n");
         return usage();
       }
+    } else if (const char* v = arg_value("--connect")) {
+      connect_path = v;
     } else if (const char* v = arg_value("--out")) {
       out_path = v;
     } else {
@@ -131,90 +231,54 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (!have_scenario || config.trials == 0 || config.jobs == 0) {
-    return usage();
-  }
+  if (!have_scenario) return usage();
 
   try {
     const auto t0 = std::chrono::steady_clock::now();
-    const campaign::CampaignStats stats = campaign::run_campaign(config);
+    campaign::CampaignStats stats;
+    if (connect_path.empty()) {
+      stats = campaign::run_campaign(config);
+    } else {
+      const campaignd::SubmitOutcome submit =
+          campaignd::submit_campaign(connect_path, config);
+      if (!submit.ok) {
+        std::fprintf(stderr, "submit failed: %s\n", submit.error.c_str());
+        return 1;
+      }
+      std::printf("submitted campaign %llu to %s\n",
+                  static_cast<unsigned long long>(submit.campaign_id),
+                  connect_path.c_str());
+      const campaignd::PollOutcome done =
+          campaignd::wait_campaign(connect_path, submit.campaign_id);
+      if (!done.ok) {
+        std::fprintf(stderr, "wait failed: %s\n", done.error.c_str());
+        return 1;
+      }
+      stats = done.status.stats;
+    }
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    std::printf("scenario %s: %llu trials, %u jobs, seed %llu (%.2f s, "
-                "%.0f trials/s)\n",
-                campaign::scenario_name(config.scenario),
-                static_cast<unsigned long long>(stats.trials), config.jobs,
-                static_cast<unsigned long long>(config.seed), wall_s,
-                static_cast<double>(stats.trials) / wall_s);
-    std::printf("  successes:  %llu (%.2f%%)   detections: %llu (%.2f%%)\n",
-                static_cast<unsigned long long>(stats.successes),
-                100.0 * static_cast<double>(stats.successes) /
-                    static_cast<double>(stats.trials),
-                static_cast<unsigned long long>(stats.detections),
-                100.0 * static_cast<double>(stats.detections) /
-                    static_cast<double>(stats.trials));
-    std::printf("  attempts:   mean %.2f  p50 %.0f  p90 %.0f  p99 %.0f  "
-                "max %.0f\n",
-                stats.mean_attempts, stats.p50_attempts, stats.p90_attempts,
-                stats.p99_attempts, stats.max_attempts);
-    if (config.scenario == campaign::Scenario::kDetectSweep) {
-      std::printf("  attack: %s   detectors: %s   randomize: %s\n",
-                  campaign::detect_attack_name(config.detect_attack),
-                  detect::detector_set_name(config.detectors).c_str(),
-                  config.detect_randomize ? "on" : "off");
-      std::printf("  detector trips: %llu (%.2f%%)   mean time-to-detect: "
-                  "%.0f cycles\n",
-                  static_cast<unsigned long long>(stats.detector_trips),
-                  100.0 * static_cast<double>(stats.detector_trips) /
-                      static_cast<double>(stats.trials),
-                  stats.mean_ttd_cycles);
+    if (connect_path.empty()) {
+      std::printf("scenario %s: %llu trials, %u jobs, seed %llu (%.2f s, "
+                  "%.0f trials/s)\n",
+                  campaign::scenario_name(config.scenario),
+                  static_cast<unsigned long long>(stats.trials), config.jobs,
+                  static_cast<unsigned long long>(config.seed), wall_s,
+                  static_cast<double>(stats.trials) / wall_s);
+    } else {
+      std::printf("scenario %s: %llu trials via %s, seed %llu (%.2f s, "
+                  "%.0f trials/s)\n",
+                  campaign::scenario_name(config.scenario),
+                  static_cast<unsigned long long>(stats.trials),
+                  connect_path.c_str(),
+                  static_cast<unsigned long long>(config.seed), wall_s,
+                  static_cast<double>(stats.trials) / wall_s);
     }
-    if (config.scenario == campaign::Scenario::kFaultSweep) {
-      std::printf("  fault rate: %g   degradations: %llu (%.2f%%)   "
-                  "mean startup: %.2f ms\n",
-                  config.fault_rate,
-                  static_cast<unsigned long long>(stats.degradations),
-                  100.0 * static_cast<double>(stats.degradations) /
-                      static_cast<double>(stats.trials),
-                  stats.mean_startup_ms);
-    }
-    if (stats.total_cycles > 0) {
-      std::printf("  board time: mean %.0f cycles/trial, %llu total\n",
-                  stats.mean_cycles,
-                  static_cast<unsigned long long>(stats.total_cycles));
-    }
-    if (!campaign::scenario_uses_board(config.scenario)) {
-      const double n_perms = defense::permutation_count(config.n_functions);
-      const double expected =
-          config.scenario == campaign::Scenario::kBruteForceFixed
-              ? defense::expected_attempts_fixed(n_perms)
-              : defense::expected_attempts_rerandomized(n_perms);
-      std::printf("  analytic:   n=%u -> N=%.0f permutations, E[attempts] "
-                  "= %.2f (measured/analytic = %.4f)\n",
-                  config.n_functions, n_perms, expected,
-                  stats.mean_attempts / expected);
-    }
-
-    if (!out_path.empty()) {
-      const bool csv = ends_with(out_path, ".csv");
-      if (!csv && !ends_with(out_path, ".json")) {
-        std::fprintf(stderr, "--out must end in .csv or .json\n");
-        return 2;
-      }
-      std::ofstream out(out_path, std::ios::binary);
-      if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-        return 1;
-      }
-      out << (csv ? campaign::to_csv(config, stats)
-                  : campaign::to_json(config, stats));
-      std::printf("  wrote %s\n", out_path.c_str());
-    }
+    return report(config, stats, out_path);
   } catch (const support::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  return 0;
 }

@@ -1,0 +1,157 @@
+// mavr-campaignd — sharded, resumable campaign service (DESIGN.md §12).
+//
+//   mavr-campaignd --listen SOCKET [--workers N] [--checkpoint FILE]
+//                  [--max-queue N] [--grain N]
+//   mavr-campaignd --worker --connect SOCKET
+//
+// Daemon mode binds an AF_UNIX coordinator at SOCKET, forks N worker
+// processes that connect back to it, and serves mavr-campaign --connect
+// clients until SIGINT/SIGTERM. With --checkpoint every completed chunk
+// is persisted, so killing the daemon mid-campaign loses nothing: restart
+// it, resubmit the same config, and only the missing chunks run.
+//
+// Worker mode runs a single worker process against an existing
+// coordinator — for spreading workers across terminals/cgroups, or
+// adding capacity to a busy daemon.
+//
+// Campaign results are bit-identical to `mavr-campaign` run in-process,
+// for any worker count and across kill/resume.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaignd/coordinator.hpp"
+#include "campaignd/worker.hpp"
+#include "support/error.hpp"
+#include "support/parse.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mavr-campaignd --listen SOCKET [--workers N] "
+      "[--checkpoint FILE]\n"
+      "                      [--max-queue N] [--grain N]\n"
+      "       mavr-campaignd --worker --connect SOCKET\n");
+  return 2;
+}
+
+int bad_value(const char* flag, const char* value) {
+  std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, value);
+  return usage();
+}
+
+/// Worker child body: generous reconnect budget (it may be forked before
+/// the coordinator binds, and should ride out a coordinator restart).
+int worker_main(const std::string& path) {
+  try {
+    mavr::campaignd::WorkerOptions options;
+    options.connect_attempts = 100;
+    options.backoff_ms = 20;
+    const std::uint64_t chunks = mavr::campaignd::run_worker(path, options);
+    std::fprintf(stderr, "worker %d: %llu chunks completed\n", getpid(),
+                 static_cast<unsigned long long>(chunks));
+    return 0;
+  } catch (const mavr::support::Error& e) {
+    std::fprintf(stderr, "worker %d: error: %s\n", getpid(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mavr;
+  campaignd::CoordinatorConfig config;
+  std::uint64_t workers = 4;
+  bool worker_mode = false;
+  std::string connect_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--worker") == 0) {
+      worker_mode = true;
+    } else if (const char* v = arg_value("--listen")) {
+      config.listen_path = v;
+    } else if (const char* v = arg_value("--connect")) {
+      connect_path = v;
+    } else if (const char* v = arg_value("--checkpoint")) {
+      config.checkpoint_path = v;
+    } else if (const char* v = arg_value("--workers")) {
+      const auto n = support::parse_u64_in(v, 0, 64);
+      if (!n) return bad_value("--workers", v);
+      workers = *n;
+    } else if (const char* v = arg_value("--max-queue")) {
+      const auto n = support::parse_u64_in(v, 1, 1024);
+      if (!n) return bad_value("--max-queue", v);
+      config.max_queue = static_cast<std::size_t>(*n);
+    } else if (const char* v = arg_value("--grain")) {
+      const auto n = support::parse_u64_in(v, 1, 1024);
+      if (!n) return bad_value("--grain", v);
+      config.assign_chunks = static_cast<std::uint32_t>(*n);
+    } else {
+      std::fprintf(stderr, "bad argument: %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  if (worker_mode) {
+    if (connect_path.empty()) {
+      std::fprintf(stderr, "--worker requires --connect SOCKET\n");
+      return usage();
+    }
+    return worker_main(connect_path);
+  }
+  if (config.listen_path.empty()) return usage();
+
+  // Fork the worker pool *before* the coordinator spins up its threads
+  // (fork+threads don't mix). The children connect with retries, so they
+  // tolerate being born before the socket exists.
+  std::vector<pid_t> children;
+  for (std::uint64_t i = 0; i < workers; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      break;
+    }
+    if (pid == 0) _exit(worker_main(config.listen_path));
+    children.push_back(pid);
+  }
+
+  int rc = 0;
+  try {
+    campaignd::Coordinator coordinator(config);
+    coordinator.start();
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::printf("mavr-campaignd: listening on %s (%zu workers%s%s)\n",
+                config.listen_path.c_str(), children.size(),
+                config.checkpoint_path.empty() ? "" : ", checkpoint ",
+                config.checkpoint_path.c_str());
+    while (!g_stop) usleep(200'000);
+    std::printf("mavr-campaignd: shutting down\n");
+    coordinator.stop();
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+
+  for (pid_t pid : children) kill(pid, SIGTERM);
+  for (pid_t pid : children) waitpid(pid, nullptr, 0);
+  return rc;
+}
