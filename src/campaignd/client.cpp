@@ -12,15 +12,33 @@ namespace {
 
 constexpr int kReplyTimeoutMs = 10'000;
 
-/// One request/reply exchange on a fresh connection. Returns false (with
-/// `*error` set) on any transport failure.
-bool request(const std::string& path, MsgType type,
-             const support::Bytes& body, Message* reply, std::string* error) {
-  support::Socket sock = support::unix_connect(path, /*attempts=*/5,
-                                               /*backoff_ms=*/20);
-  if (!sock.valid()) {
-    *error = "cannot connect to coordinator at " + path;
+/// One handshake + request/reply exchange on a fresh connection. Returns
+/// false (with `*error` set) on any transport or authentication failure.
+bool request(const std::string& endpoint, const std::string& auth_token,
+             MsgType type, const support::Bytes& body, Message* reply,
+             std::string* error) {
+  const auto ep = support::parse_endpoint(endpoint);
+  if (!ep) {
+    *error = "malformed endpoint: " + endpoint;
     return false;
+  }
+  support::Socket sock = support::connect_endpoint(*ep, /*attempts=*/5,
+                                                   /*backoff_ms=*/20);
+  if (!sock.valid()) {
+    *error = "cannot connect to coordinator at " + endpoint;
+    return false;
+  }
+  std::string reject_reason;
+  switch (client_handshake(sock, auth_token, kReplyTimeoutMs,
+                           &reject_reason)) {
+    case HandshakeResult::kOk:
+      break;
+    case HandshakeResult::kRejected:
+      *error = "handshake rejected: " + reject_reason;
+      return false;
+    case HandshakeResult::kTransport:
+      *error = "coordinator closed the connection during handshake";
+      return false;
   }
   if (!send_message(sock, type, body)) {
     *error = "send to coordinator failed";
@@ -35,12 +53,13 @@ bool request(const std::string& path, MsgType type,
 
 }  // namespace
 
-SubmitOutcome submit_campaign(const std::string& path,
-                              const campaign::CampaignConfig& config) {
+SubmitOutcome submit_campaign(const std::string& endpoint,
+                              const campaign::CampaignConfig& config,
+                              const std::string& auth_token) {
   SubmitOutcome out;
   Message reply;
-  if (!request(path, MsgType::kSubmit, encode_submit(config), &reply,
-               &out.error)) {
+  if (!request(endpoint, auth_token, MsgType::kSubmit, encode_submit(config),
+               &reply, &out.error)) {
     return out;
   }
   try {
@@ -58,12 +77,13 @@ SubmitOutcome submit_campaign(const std::string& path,
   return out;
 }
 
-PollOutcome poll_campaign(const std::string& path,
-                          std::uint64_t campaign_id) {
+PollOutcome poll_campaign(const std::string& endpoint,
+                          std::uint64_t campaign_id,
+                          const std::string& auth_token) {
   PollOutcome out;
   Message reply;
-  if (!request(path, MsgType::kPoll, encode_u64_body(campaign_id), &reply,
-               &out.error)) {
+  if (!request(endpoint, auth_token, MsgType::kPoll,
+               encode_u64_body(campaign_id), &reply, &out.error)) {
     return out;
   }
   try {
@@ -81,11 +101,12 @@ PollOutcome poll_campaign(const std::string& path,
   return out;
 }
 
-PollOutcome wait_campaign(const std::string& path, std::uint64_t campaign_id,
-                          int interval_ms, int timeout_ms) {
+PollOutcome wait_campaign(const std::string& endpoint,
+                          std::uint64_t campaign_id, int interval_ms,
+                          int timeout_ms, const std::string& auth_token) {
   int waited_ms = 0;
   for (;;) {
-    PollOutcome out = poll_campaign(path, campaign_id);
+    PollOutcome out = poll_campaign(endpoint, campaign_id, auth_token);
     if (!out.ok || out.status.state == CampaignState::kDone) return out;
     if (timeout_ms >= 0 && waited_ms >= timeout_ms) {
       out.ok = false;

@@ -1,10 +1,14 @@
 // Client side of the mavr-campaignd protocol: submit a campaign, poll
-// its incremental aggregate, or block until it completes (DESIGN.md §12).
+// its incremental aggregate, or block until it completes
+// (DESIGN.md §12–§13).
 //
 // Each call is one short-lived connection — the coordinator keeps no
 // per-client state, so a client can submit from one process and poll
 // from another (or poll a campaign resumed by a restarted coordinator,
-// after resubmitting the same config to obtain its new id).
+// after resubmitting the same config to obtain its new id). Endpoints
+// are specs (`unix:/path`, `tcp:host:port`, or a bare AF_UNIX path);
+// every connection runs the handshake, proving `auth_token` (empty by
+// default, matching a coordinator without one).
 #pragma once
 
 #include <cstdint>
@@ -27,19 +31,24 @@ struct PollOutcome {
   std::string error;
 };
 
-/// Submits `config` to the coordinator at `path`. config.jobs is not
+/// Submits `config` to the coordinator at `endpoint`. config.jobs is not
 /// transmitted — sharding is the coordinator's concern.
-SubmitOutcome submit_campaign(const std::string& path,
-                              const campaign::CampaignConfig& config);
+SubmitOutcome submit_campaign(const std::string& endpoint,
+                              const campaign::CampaignConfig& config,
+                              const std::string& auth_token = "");
 
 /// One status snapshot for `campaign_id`.
-PollOutcome poll_campaign(const std::string& path, std::uint64_t campaign_id);
+PollOutcome poll_campaign(const std::string& endpoint,
+                          std::uint64_t campaign_id,
+                          const std::string& auth_token = "");
 
 /// Polls every `interval_ms` until the campaign reports kDone, an error
 /// occurs, or `timeout_ms` elapses (timeout_ms < 0 = wait forever).
 /// On success the returned status carries the final CampaignStats —
 /// bit-identical to what run_trials would produce in-process.
-PollOutcome wait_campaign(const std::string& path, std::uint64_t campaign_id,
-                          int interval_ms = 50, int timeout_ms = -1);
+PollOutcome wait_campaign(const std::string& endpoint,
+                          std::uint64_t campaign_id, int interval_ms = 50,
+                          int timeout_ms = -1,
+                          const std::string& auth_token = "");
 
 }  // namespace mavr::campaignd

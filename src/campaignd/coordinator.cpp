@@ -1,6 +1,7 @@
 #include "campaignd/coordinator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include <sys/socket.h>
 
@@ -17,15 +18,36 @@ namespace wire = campaign::wire;
 /// the assignment timeout are responsive, long enough to stay off the CPU.
 constexpr int kServeSliceMs = 100;
 
+/// Total budget for a peer to complete the handshake. A TCP connection
+/// that never speaks (port scanner, half-open probe) is dropped here
+/// instead of pinning a handler thread on the recv loop.
+constexpr int kHandshakeTimeoutMs = 10'000;
+
 /// Admission cap on one campaign. Keeps a hostile or typo'd submit from
 /// making the coordinator reserve gigabytes of per-chunk bookkeeping.
 constexpr std::uint64_t kMaxTrialsPerCampaign = 100'000'000;
 
+/// EWMA smoothing for per-connection chunk completion rate: ~70% of the
+/// weight inside the last three samples — quick to notice a machine
+/// slowing down, tolerant of one odd chunk.
+constexpr double kRateAlpha = 0.3;
+
 }  // namespace
+
+std::uint32_t scaled_assign_chunks(std::uint32_t grain, double rate,
+                                   double max_rate) {
+  if (grain <= 1 || rate <= 0.0 || max_rate <= 0.0) return grain;
+  if (rate >= max_rate) return grain;
+  const double share = std::ceil(static_cast<double>(grain) *
+                                 (rate / max_rate));
+  return std::clamp<std::uint32_t>(static_cast<std::uint32_t>(share), 1,
+                                   grain);
+}
 
 Coordinator::Coordinator(CoordinatorConfig config)
     : config_(std::move(config)), store_(config_.checkpoint_path) {
-  MAVR_REQUIRE(!config_.listen_path.empty(), "coordinator needs a socket path");
+  MAVR_REQUIRE(!config_.listen_endpoint.empty(),
+               "coordinator needs a listen endpoint");
   MAVR_REQUIRE(config_.assign_chunks >= 1, "assign_chunks must be >= 1");
   MAVR_REQUIRE(config_.max_queue >= 1, "max_queue must be >= 1");
 }
@@ -35,7 +57,13 @@ Coordinator::~Coordinator() { stop(); }
 void Coordinator::start() {
   MAVR_REQUIRE(listener_ == nullptr && !stopping_.load(),
                "coordinator already started");
-  listener_ = std::make_unique<support::UnixListener>(config_.listen_path);
+  const auto ep = support::parse_endpoint(config_.listen_endpoint);
+  if (!ep) {
+    throw support::Error("malformed listen endpoint: " +
+                         config_.listen_endpoint);
+  }
+  listener_ = support::make_listener(*ep);
+  bound_endpoint_ = support::endpoint_name(listener_->endpoint());
   accept_thread_ = std::thread(&Coordinator::accept_loop, this);
 }
 
@@ -48,34 +76,130 @@ void Coordinator::stop() {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : handlers_) {
+  std::unordered_map<std::uint64_t, std::thread> remaining;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    remaining.swap(handlers_);
+    finished_handlers_.clear();
+  }
+  for (auto& [id, t] : remaining) {
     if (t.joinable()) t.join();
   }
-  handlers_.clear();
   if (listener_) {
     listener_->close();
-    listener_.reset();  // unlinks the socket path
+    listener_.reset();  // unlinks an AF_UNIX socket path
   }
 }
 
 void Coordinator::accept_loop() {
   while (!stopping_.load()) {
     support::Socket sock = listener_->accept(200);
+    reap_finished();
     if (!sock.valid()) continue;
     const std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_.load()) break;  // stop() is about to sweep live fds
-    handlers_.emplace_back(&Coordinator::serve, this, std::move(sock));
+    const std::uint64_t id = next_handler_id_++;
+    handlers_.emplace(id,
+                      std::thread(&Coordinator::serve, this, std::move(sock),
+                                  id));
   }
 }
 
-void Coordinator::serve(support::Socket sock) {
+void Coordinator::reap_finished() {
+  // Joining under conns_mu_ would let a slow exit path block accepts, so
+  // the threads are moved out first. A finished id's thread has already
+  // run its last statement; join() returns as soon as it unwinds.
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (std::uint64_t id : finished_handlers_) {
+      auto it = handlers_.find(id);
+      if (it == handlers_.end()) continue;  // stop() already swept it
+      done.push_back(std::move(it->second));
+      handlers_.erase(it);
+    }
+    finished_handlers_.clear();
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t Coordinator::handler_count() {
+  reap_finished();
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  return handlers_.size();
+}
+
+bool Coordinator::serve_handshake(support::Socket& sock) {
+  Message msg;
+  // Sliced recv so stop() stays responsive during a peer's think time.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kHandshakeTimeoutMs);
+  const auto recv_step = [&](Message* out) -> bool {
+    while (!stopping_.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      const support::IoStatus st = recv_message(sock, out, kServeSliceMs);
+      if (st == support::IoStatus::kOk) return true;
+      if (st == support::IoStatus::kClosed) return false;
+    }
+    return false;
+  };
+
+  if (!recv_step(&msg) || msg.type != MsgType::kHello) return false;
+  HelloBody hello;
+  try {
+    hello = decode_hello(msg.body);
+  } catch (const support::Error&) {
+    return false;
+  }
+  if (hello.protocol_version != kProtocolVersion) {
+    send_message(sock, MsgType::kReject,
+                 encode_string_body("protocol version mismatch"));
+    return false;
+  }
+  const std::uint64_t server_nonce = fresh_nonce();
+  if (!send_message(sock, MsgType::kChallenge,
+                    encode_u64_body(server_nonce))) {
+    return false;
+  }
+  if (!recv_step(&msg) || msg.type != MsgType::kAuth) return false;
+  support::Sha256Digest mac;
+  try {
+    mac = decode_mac_body(msg.body);
+  } catch (const support::Error&) {
+    return false;
+  }
+  const support::Sha256Digest expected =
+      auth_mac_peer(config_.auth_token, server_nonce, hello.peer_nonce);
+  if (!support::digest_equal(mac, expected)) {
+    send_message(sock, MsgType::kReject,
+                 encode_string_body("authentication failed"));
+    return false;
+  }
+  return send_message(
+      sock, MsgType::kHelloOk,
+      encode_mac_body(auth_mac_coordinator(config_.auth_token, server_nonce,
+                                           hello.peer_nonce)));
+}
+
+void Coordinator::serve(support::Socket sock, std::uint64_t handler_id) {
+  ConnThroughput rate;
   {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     live_fds_.push_back(sock.fd());
   }
+  // Authentication gates *everything*: no campaign state is read or
+  // written, and no chunk is assigned, until the peer proves the token.
+  const bool authed = serve_handshake(sock);
+  if (authed) {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    rate.last_event = std::chrono::steady_clock::now();
+    conn_rates_.push_back(&rate);
+  }
   std::vector<HeldChunk> held;
   int idle_ms = 0;
-  while (!stopping_.load()) {
+  while (authed && !stopping_.load()) {
     Message msg;
     const support::IoStatus st = recv_message(sock, &msg, kServeSliceMs);
     if (st == support::IoStatus::kTimeout) {
@@ -93,7 +217,7 @@ void Coordinator::serve(support::Socket sock) {
     idle_ms = 0;
     bool keep = false;
     try {
-      keep = handle_message(sock, msg, &held);
+      keep = handle_message(sock, msg, &held, &rate);
     } catch (const support::Error&) {
       keep = false;  // malformed body: protocol violation, drop the peer
     }
@@ -102,24 +226,61 @@ void Coordinator::serve(support::Socket sock) {
   {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     live_fds_.erase(std::find(live_fds_.begin(), live_fds_.end(), sock.fd()));
+    if (authed) std::erase(conn_rates_, &rate);
   }
   reclaim(held);
+  {
+    // Last act: hand this thread to the reaper. serve() must not touch
+    // members after this line — stop() may have already swept the table.
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    finished_handlers_.push_back(handler_id);
+  }
 }
 
 bool Coordinator::handle_message(support::Socket& sock, const Message& msg,
-                                 std::vector<HeldChunk>* held) {
+                                 std::vector<HeldChunk>* held,
+                                 ConnThroughput* rate) {
   switch (msg.type) {
-    case MsgType::kWorkRequest: return handle_work_request(sock, held);
-    case MsgType::kChunkResult: return handle_chunk_result(sock, msg, held);
+    case MsgType::kWorkRequest: return handle_work_request(sock, held, rate);
+    case MsgType::kChunkResult:
+      return handle_chunk_result(sock, msg, held, rate);
     case MsgType::kSubmit: return handle_submit(sock, msg);
     case MsgType::kPoll: return handle_poll(sock, msg);
     default: return false;  // a peer speaking coordinator-only messages
   }
 }
 
+void Coordinator::note_chunk_completed(ConnThroughput* rate) {
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - rate->last_event).count();
+  rate->last_event = now;
+  if (dt <= 0.0) return;  // same-tick completions: keep the old estimate
+  const double sample = 1.0 / dt;
+  rate->ewma_rate = rate->ewma_rate <= 0.0
+                        ? sample
+                        : kRateAlpha * sample +
+                              (1.0 - kRateAlpha) * rate->ewma_rate;
+}
+
+std::uint32_t Coordinator::current_grain(const ConnThroughput* rate) {
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  double max_rate = 0.0;
+  for (const ConnThroughput* r : conn_rates_) {
+    max_rate = std::max(max_rate, r->ewma_rate);
+  }
+  return scaled_assign_chunks(config_.assign_chunks, rate->ewma_rate,
+                              max_rate);
+}
+
 bool Coordinator::handle_work_request(support::Socket& sock,
-                                      std::vector<HeldChunk>* held) {
+                                      std::vector<HeldChunk>* held,
+                                      ConnThroughput* rate) {
   if (stopping_.load()) return send_message(sock, MsgType::kShutdown, {});
+  // Grain first (conns_mu_), then assignment (mu_): the two locks are
+  // never held together.
+  const std::uint32_t grain = current_grain(rate);
   AssignBody assign;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -129,7 +290,7 @@ bool Coordinator::handle_work_request(support::Socket& sock,
     for (const std::unique_ptr<Campaign>& c : campaigns_) {
       if (c->state == CampaignState::kDone || c->pending.empty()) continue;
       const std::uint32_t take = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(config_.assign_chunks, c->pending.size()));
+          std::min<std::uint64_t>(grain, c->pending.size()));
       assign.campaign_id = c->id;
       assign.config = c->config;
       for (std::uint32_t i = 0; i < take; ++i) {
@@ -151,7 +312,8 @@ bool Coordinator::handle_work_request(support::Socket& sock,
 
 bool Coordinator::handle_chunk_result(support::Socket& sock,
                                       const Message& msg,
-                                      std::vector<HeldChunk>* held) {
+                                      std::vector<HeldChunk>* held,
+                                      ConnThroughput* rate) {
   ChunkResultBody body = decode_chunk_result(msg.body);
   const std::uint64_t idx = body.result.index;
   bool accept = false;
@@ -177,6 +339,7 @@ bool Coordinator::handle_chunk_result(support::Socket& sock,
     }
   }
   std::erase(*held, HeldChunk{body.campaign_id, idx});
+  note_chunk_completed(rate);
   if (!accept) {
     // Campaign finished or evaporated (e.g. resumed fully from
     // checkpoint): tell the worker to drop the rest of this range.

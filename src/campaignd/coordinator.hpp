@@ -1,12 +1,24 @@
 // mavr-campaignd coordinator: admits campaigns from clients, shards their
 // chunk ranges across worker connections, checkpoints every completed
 // chunk, and serves incremental aggregates to polling clients
-// (DESIGN.md §12).
+// (DESIGN.md §12–§13).
 //
 // Scheduling is fair FIFO: assignments are always drawn from the oldest
-// incomplete campaign, so campaigns complete in admission order.
-// Backpressure is a bound on admitted-but-incomplete campaigns — a submit
-// beyond it is rejected, not queued unboundedly.
+// incomplete campaign, so campaigns complete in admission order. *How
+// many* chunks one kWorkRequest receives is throughput-aware: the
+// coordinator keeps a per-connection EWMA of chunk completion rate and
+// scales the grain so a slow machine holds fewer chunks (bounding the
+// reclaim cost if it dies) while the fastest stays fully fed. Only the
+// batch size varies — assignment order is deterministic, and chunk values
+// depend on (config, index) alone, so the bit-identical invariant is
+// untouched. Backpressure is a bound on admitted-but-incomplete
+// campaigns — a submit beyond it is rejected, not queued unboundedly.
+//
+// Transport is any `support::Listener` (AF_UNIX or TCP). Every connection
+// starts with the protocol handshake: version check, then HMAC
+// challenge-response over `auth_token` — a TCP listener has no filesystem
+// permissions, so unauthenticated peers are dropped before any campaign
+// state is touched.
 //
 // Fault model: a worker is trusted to be *crash-faulty only* (it may die
 // at any byte boundary; it does not lie — chunks are deterministic, so a
@@ -18,12 +30,15 @@
 // how many times it was attempted.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "campaign/campaign.hpp"
@@ -34,14 +49,22 @@
 namespace mavr::campaignd {
 
 struct CoordinatorConfig {
-  std::string listen_path;      ///< AF_UNIX socket path
+  /// Endpoint spec: `unix:/path`, `tcp:host:port` (port 0 = ephemeral),
+  /// or a bare AF_UNIX path.
+  std::string listen_endpoint;
   std::string checkpoint_path;  ///< empty: no persistence, no resume
+  /// Shared handshake token. Empty (the AF_UNIX default) still runs the
+  /// handshake — version check plus proof of the *empty* token — so a
+  /// peer configured with a token is rejected rather than half-trusted.
+  std::string auth_token;
   /// Backpressure bound: admitted-but-incomplete campaigns. A kSubmit
   /// that would exceed it gets kReject("campaign queue full").
   std::size_t max_queue = 8;
-  /// Chunks handed out per kAssign. The sharding grain above the fixed
-  /// 64-trial chunk: bigger amortizes round-trips, smaller re-balances
-  /// and reassigns-on-death at finer granularity.
+  /// Chunks handed out per kAssign to the fastest connection. The
+  /// sharding grain above the fixed 64-trial chunk: bigger amortizes
+  /// round-trips, smaller re-balances and reassigns-on-death at finer
+  /// granularity. Slower connections receive a proportional share
+  /// (see scaled_assign_chunks), never less than 1.
   std::uint32_t assign_chunks = 4;
   /// A connection holding an assignment that stays silent this long is
   /// declared dead and its chunks are reassigned.
@@ -49,6 +72,14 @@ struct CoordinatorConfig {
   /// Idle worker re-poll hint carried in kWait.
   std::uint32_t wait_hint_ms = 20;
 };
+
+/// Throughput-aware grain scaling (pure; unit-tested): how many chunks a
+/// connection completing `rate` chunks/sec should hold when the fastest
+/// live connection completes `max_rate`. Unknown rates (<= 0, e.g. a
+/// brand-new connection) are treated optimistically as fast — the first
+/// completed chunk starts the estimate. Result is in [1, grain].
+std::uint32_t scaled_assign_chunks(std::uint32_t grain, double rate,
+                                   double max_rate);
 
 class Coordinator {
  public:
@@ -58,7 +89,7 @@ class Coordinator {
   Coordinator& operator=(const Coordinator&) = delete;
 
   /// Binds the listener and starts the accept loop. Throws support::Error
-  /// if the path cannot be bound.
+  /// if the endpoint cannot be parsed or bound.
   void start();
 
   /// Drains: stops accepting, answers outstanding worker requests with
@@ -66,7 +97,14 @@ class Coordinator {
   /// also run by the destructor.
   void stop();
 
-  const std::string& path() const { return config_.listen_path; }
+  /// Canonical spec of the endpoint actually bound (for TCP port 0 this
+  /// carries the kernel-assigned port). Valid after start().
+  const std::string& endpoint() const { return bound_endpoint_; }
+
+  /// Live (unreaped) connection-handler threads; sweeps finished handlers
+  /// first. The reap regression test pins this as bounded across hundreds
+  /// of sequential connections.
+  std::size_t handler_count();
 
  private:
   struct Campaign {
@@ -87,16 +125,29 @@ class Coordinator {
   /// Chunk held by a live connection: reclaimed if the connection dies.
   using HeldChunk = std::pair<std::uint64_t, std::uint64_t>;  // id, index
 
+  /// Per-connection throughput estimate, updated on every accepted chunk
+  /// result and read by the scheduler. Guarded by conns_mu_.
+  struct ConnThroughput {
+    double ewma_rate = 0.0;  ///< chunks/sec; 0 = no estimate yet
+    std::chrono::steady_clock::time_point last_event;
+  };
+
   void accept_loop();
-  void serve(support::Socket sock);
+  void reap_finished();
+  void serve(support::Socket sock, std::uint64_t handler_id);
+  bool serve_handshake(support::Socket& sock);
   bool handle_message(support::Socket& sock, const Message& msg,
-                      std::vector<HeldChunk>* held);
+                      std::vector<HeldChunk>* held, ConnThroughput* rate);
   bool handle_work_request(support::Socket& sock,
-                           std::vector<HeldChunk>* held);
+                           std::vector<HeldChunk>* held,
+                           ConnThroughput* rate);
   bool handle_chunk_result(support::Socket& sock, const Message& msg,
-                           std::vector<HeldChunk>* held);
+                           std::vector<HeldChunk>* held,
+                           ConnThroughput* rate);
   bool handle_submit(support::Socket& sock, const Message& msg);
   bool handle_poll(support::Socket& sock, const Message& msg);
+  void note_chunk_completed(ConnThroughput* rate);
+  std::uint32_t current_grain(const ConnThroughput* rate);
   void reclaim(const std::vector<HeldChunk>& held);
   void finalize(Campaign* c);
   Campaign* find_campaign(std::uint64_t id);
@@ -104,7 +155,8 @@ class Coordinator {
 
   CoordinatorConfig config_;
   CheckpointStore store_;
-  std::unique_ptr<support::UnixListener> listener_;
+  std::unique_ptr<support::Listener> listener_;
+  std::string bound_endpoint_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
@@ -113,8 +165,14 @@ class Coordinator {
   std::uint64_t next_campaign_id_ = 1;
 
   std::mutex conns_mu_;  ///< guards handler bookkeeping below
-  std::vector<std::thread> handlers_;
+  std::unordered_map<std::uint64_t, std::thread> handlers_;
+  std::uint64_t next_handler_id_ = 1;
+  /// Handlers that have run to completion and are ready to join — the
+  /// accept loop (and stop()) sweeps them so the thread table stays
+  /// bounded no matter how many connections come and go.
+  std::vector<std::uint64_t> finished_handlers_;
   std::vector<int> live_fds_;  ///< shutdown() targets for prompt stop()
+  std::vector<ConnThroughput*> conn_rates_;  ///< live connections' estimates
 };
 
 }  // namespace mavr::campaignd

@@ -1,5 +1,10 @@
 #include "campaignd/protocol.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <random>
+
 #include "support/crc.hpp"
 #include "support/error.hpp"
 
@@ -53,7 +58,7 @@ support::IoStatus recv_message(support::Socket& sock, Message* out,
   if (payload[0] != wire::kWireVersion) return support::IoStatus::kClosed;
   const std::uint8_t type = payload[1];
   if (type < static_cast<std::uint8_t>(MsgType::kWorkRequest) ||
-      type > static_cast<std::uint8_t>(MsgType::kStatus)) {
+      type > static_cast<std::uint8_t>(MsgType::kHelloOk)) {
     return support::IoStatus::kClosed;
   }
   out->type = static_cast<MsgType>(type);
@@ -193,6 +198,129 @@ campaign::CampaignConfig decode_submit(const support::Bytes& body) {
   const campaign::CampaignConfig config = wire::decode_config(r);
   MAVR_REQUIRE(r.done(), "submit: trailing bytes");
   return config;
+}
+
+support::Bytes encode_hello(const HelloBody& body) {
+  support::Bytes out;
+  support::ByteWriter w(out);
+  w.u8(body.protocol_version);
+  wire::put_u64(w, body.peer_nonce);
+  return out;
+}
+
+HelloBody decode_hello(const support::Bytes& body) {
+  support::ByteReader r(body);
+  HelloBody out;
+  out.protocol_version = r.u8();
+  out.peer_nonce = wire::get_u64(r);
+  MAVR_REQUIRE(r.done(), "hello: trailing bytes");
+  return out;
+}
+
+support::Bytes encode_mac_body(const support::Sha256Digest& mac) {
+  return support::Bytes(mac.begin(), mac.end());
+}
+
+support::Sha256Digest decode_mac_body(const support::Bytes& body) {
+  support::Sha256Digest mac;
+  if (body.size() != mac.size()) {
+    throw support::DataError("auth mac: wrong length");
+  }
+  std::copy(body.begin(), body.end(), mac.begin());
+  return mac;
+}
+
+namespace {
+
+support::Sha256Digest auth_mac(const char* context, const std::string& token,
+                               std::uint64_t first_nonce,
+                               std::uint64_t second_nonce) {
+  support::Bytes msg;
+  support::ByteWriter w(msg);
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(context), std::strlen(context)));
+  wire::put_u64(w, first_nonce);
+  wire::put_u64(w, second_nonce);
+  return support::hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(token.data()), token.size()),
+      msg);
+}
+
+}  // namespace
+
+support::Sha256Digest auth_mac_peer(const std::string& token,
+                                    std::uint64_t server_nonce,
+                                    std::uint64_t peer_nonce) {
+  return auth_mac("mavr-campaignd/peer/v2", token, server_nonce, peer_nonce);
+}
+
+support::Sha256Digest auth_mac_coordinator(const std::string& token,
+                                           std::uint64_t server_nonce,
+                                           std::uint64_t peer_nonce) {
+  return auth_mac("mavr-campaignd/coord/v2", token, peer_nonce, server_nonce);
+}
+
+std::uint64_t fresh_nonce() {
+  // random_device twice: one call may be only 32 bits of entropy.
+  std::random_device rd;
+  std::uint64_t hi = rd();
+  std::uint64_t lo = rd();
+  return (hi << 32) ^ lo ^
+         static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+HandshakeResult client_handshake(support::Socket& sock,
+                                 const std::string& token, int timeout_ms,
+                                 std::string* reject_reason) {
+  HelloBody hello;
+  hello.peer_nonce = fresh_nonce();
+  if (!send_message(sock, MsgType::kHello, encode_hello(hello))) {
+    return HandshakeResult::kTransport;
+  }
+  Message msg;
+  if (recv_message(sock, &msg, timeout_ms) != support::IoStatus::kOk) {
+    return HandshakeResult::kTransport;
+  }
+  try {
+    if (msg.type == MsgType::kReject) {
+      if (reject_reason != nullptr) {
+        *reject_reason = decode_string_body(msg.body);
+      }
+      return HandshakeResult::kRejected;
+    }
+    if (msg.type != MsgType::kChallenge) return HandshakeResult::kTransport;
+    const std::uint64_t server_nonce = decode_u64_body(msg.body);
+    const support::Sha256Digest mac =
+        auth_mac_peer(token, server_nonce, hello.peer_nonce);
+    if (!send_message(sock, MsgType::kAuth, encode_mac_body(mac))) {
+      return HandshakeResult::kTransport;
+    }
+    if (recv_message(sock, &msg, timeout_ms) != support::IoStatus::kOk) {
+      return HandshakeResult::kTransport;
+    }
+    if (msg.type == MsgType::kReject) {
+      if (reject_reason != nullptr) {
+        *reject_reason = decode_string_body(msg.body);
+      }
+      return HandshakeResult::kRejected;
+    }
+    if (msg.type != MsgType::kHelloOk) return HandshakeResult::kTransport;
+    // Mutual: the coordinator must prove the token over *our* nonce, or a
+    // rogue listener could hand this worker garbage assignments.
+    const support::Sha256Digest expected =
+        auth_mac_coordinator(token, server_nonce, hello.peer_nonce);
+    if (!support::digest_equal(decode_mac_body(msg.body), expected)) {
+      if (reject_reason != nullptr) {
+        *reject_reason = "coordinator failed token proof";
+      }
+      return HandshakeResult::kRejected;
+    }
+  } catch (const support::Error&) {
+    return HandshakeResult::kTransport;  // malformed reply body
+  }
+  return HandshakeResult::kOk;
 }
 
 }  // namespace mavr::campaignd

@@ -12,10 +12,23 @@
 //
 // Conversation shapes (one request, one reply; the coordinator never sends
 // unsolicited frames):
+//   handshake (first, on every connection):
+//            kHello       → kChallenge | kReject
+//            kAuth        → kHelloOk   | kReject
 //   worker:  kWorkRequest → kAssign | kWait | kShutdown
 //            kChunkResult → kChunkAck | kAbortAssign
 //   client:  kSubmit      → kSubmitAck | kReject
 //            kPoll        → kStatus    | kReject
+//
+// The handshake exists because the TCP transport (DESIGN.md §13) has no
+// filesystem permissions guarding the listener: the peer proves knowledge
+// of the coordinator's shared token by answering a fresh nonce with
+// HMAC-SHA-256(token, context || nonces) before any campaign state is
+// touched, and the coordinator proves the same over the peer's nonce in
+// kHelloOk (a rogue listener cannot feed workers bogus work). Distinct
+// context strings on the two directions prevent reflection. With an empty
+// token (the AF_UNIX default) the exchange still runs — it carries the
+// protocol version check — and any peer presenting a token is rejected.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +38,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/wire.hpp"
 #include "support/bytes.hpp"
+#include "support/sha256.hpp"
 #include "support/socket.hpp"
 
 namespace mavr::campaignd {
@@ -48,7 +62,18 @@ enum class MsgType : std::uint8_t {
   kReject = 10,    ///< coordinator: refused (backpressure, bad spec, ...)
   kPoll = 11,      ///< client: status of campaign id
   kStatus = 12,    ///< coordinator: state + incremental aggregates
+  // handshake (either peer kind ↔ coordinator)
+  kHello = 13,      ///< peer: protocol version + its nonce
+  kChallenge = 14,  ///< coordinator: the nonce the peer must answer
+  kAuth = 15,       ///< peer: HMAC over the coordinator's nonce
+  kHelloOk = 16,    ///< coordinator: accepted + HMAC over the peer's nonce
 };
+
+/// Version of the *conversation* (handshake shape, message set). Distinct
+/// from campaign::wire::kWireVersion, which versions the typed encodings;
+/// both are checked — the wire version on every frame, the protocol
+/// version once in kHello.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 struct Message {
   MsgType type = MsgType::kWorkRequest;
@@ -117,5 +142,46 @@ std::string decode_string_body(const support::Bytes& body);
 
 support::Bytes encode_submit(const campaign::CampaignConfig& config);
 campaign::CampaignConfig decode_submit(const support::Bytes& body);
+
+// --- handshake ----------------------------------------------------------
+
+struct HelloBody {
+  std::uint8_t protocol_version = kProtocolVersion;
+  std::uint64_t peer_nonce = 0;  ///< the peer's freshness for kHelloOk
+};
+support::Bytes encode_hello(const HelloBody& body);
+HelloBody decode_hello(const support::Bytes& body);
+
+/// kAuth / kHelloOk bodies: a raw 32-byte HMAC-SHA-256.
+support::Bytes encode_mac_body(const support::Sha256Digest& mac);
+support::Sha256Digest decode_mac_body(const support::Bytes& body);
+
+/// The MAC a peer sends in kAuth: HMAC(token, "peer" ctx || server nonce
+/// || peer nonce).
+support::Sha256Digest auth_mac_peer(const std::string& token,
+                                    std::uint64_t server_nonce,
+                                    std::uint64_t peer_nonce);
+/// The MAC the coordinator sends in kHelloOk: HMAC(token, "coord" ctx ||
+/// peer nonce || server nonce).
+support::Sha256Digest auth_mac_coordinator(const std::string& token,
+                                           std::uint64_t server_nonce,
+                                           std::uint64_t peer_nonce);
+
+/// A nonce for the challenge: non-deterministic by design (handshake
+/// freshness must not repeat across runs, unlike campaign results).
+std::uint64_t fresh_nonce();
+
+enum class HandshakeResult {
+  kOk,        ///< authenticated; the conversation may proceed
+  kRejected,  ///< coordinator said kReject — wrong token/version; permanent
+  kTransport, ///< connection died mid-handshake; retrying may help
+};
+
+/// Runs the peer side of the handshake (kHello → kChallenge → kAuth →
+/// kHelloOk) on a fresh connection, verifying the coordinator's kHelloOk
+/// proof. `reject_reason` (optional) receives the kReject text.
+HandshakeResult client_handshake(support::Socket& sock,
+                                 const std::string& token, int timeout_ms,
+                                 std::string* reject_reason = nullptr);
 
 }  // namespace mavr::campaignd

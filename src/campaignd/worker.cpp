@@ -37,21 +37,49 @@ support::IoStatus recv_reply(support::Socket& sock, Message* msg,
   return support::IoStatus::kTimeout;
 }
 
+/// Sleeps up to `total_ms`, waking within ~kRecvSliceMs of `stop` being
+/// raised — an idle worker must honor the responsiveness contract
+/// recv_reply gives a busy one.
+void interruptible_sleep(std::uint32_t total_ms,
+                         const std::atomic<bool>& stop) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(total_ms);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto left = deadline - Clock::now();
+    if (left <= std::chrono::milliseconds::zero()) return;
+    std::this_thread::sleep_for(
+        std::min<Clock::duration>(left, std::chrono::milliseconds(
+                                            kRecvSliceMs)));
+  }
+}
+
 }  // namespace
 
-std::uint64_t run_worker(const std::string& path,
+std::uint64_t run_worker(const std::string& endpoint,
                          const WorkerOptions& options) {
   std::uint64_t completed = 0;
   static const std::atomic<bool> kNeverStop{false};
   const std::atomic<bool>& stop = options.stop ? *options.stop : kNeverStop;
+  const auto ep = support::parse_endpoint(endpoint);
+  if (!ep) return completed;  // malformed spec: nothing to connect to
   // One firmware generate+link, shared across campaigns: every board
   // scenario attacks the same stock testapp build.
   std::optional<campaign::SimFixture> fixture;
 
   while (!stop.load()) {
-    support::Socket sock = support::unix_connect(path, options.connect_attempts,
-                                                 options.backoff_ms);
+    support::Socket sock = support::connect_endpoint(
+        *ep, options.connect_attempts, options.backoff_ms);
     if (!sock.valid()) return completed;  // coordinator is gone for good
+
+    switch (client_handshake(sock, options.auth_token, kReplyTimeoutMs)) {
+      case HandshakeResult::kOk:
+        break;
+      case HandshakeResult::kRejected:
+        // Wrong token or version: reconnecting cannot fix it.
+        return completed;
+      case HandshakeResult::kTransport:
+        continue;  // connection died mid-handshake: retry from connect
+    }
 
     bool conn_ok = true;
     while (conn_ok && !stop.load()) {
@@ -68,8 +96,7 @@ std::uint64_t run_worker(const std::string& path,
           return completed;
         case MsgType::kWait: {
           const std::uint32_t hint_ms = decode_u32_body(msg.body);
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(std::min<std::uint32_t>(hint_ms, 500)));
+          interruptible_sleep(std::min<std::uint32_t>(hint_ms, 500), stop);
           break;
         }
         case MsgType::kAssign: {

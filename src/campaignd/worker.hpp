@@ -1,6 +1,7 @@
-// mavr-campaignd worker: connects to a coordinator, pulls chunk
-// assignments, evaluates them with the same `run_chunk_range` the
-// in-process engine uses, and streams the results back (DESIGN.md §12).
+// mavr-campaignd worker: connects to a coordinator (AF_UNIX or TCP),
+// authenticates, pulls chunk assignments, evaluates them with the same
+// `run_chunk_range` the in-process engine uses, and streams the results
+// back (DESIGN.md §12–§13).
 //
 // The worker is stateless between assignments — everything a chunk needs
 // is (config, chunk index), so a worker can die at any point and the
@@ -20,22 +21,28 @@ struct WorkerOptions {
   /// connect racing the coordinator's bind, and reconnects after the
   /// coordinator restarts).
   int connect_attempts = 40;
-  /// Linear backoff step between attempts (capped at 500ms inside
-  /// support::unix_connect).
+  /// Linear backoff step between attempts (capped at 500ms inside the
+  /// transport's retrying connect).
   int backoff_ms = 25;
   /// Exit after completing this many chunks; 0 = unlimited. Lets tests
   /// model a worker that dies partway through a campaign.
   std::uint64_t max_chunks = 0;
+  /// Shared handshake token; must match the coordinator's. Empty matches
+  /// a coordinator configured without one (the AF_UNIX default).
+  std::string auth_token;
   /// Cooperative stop: checked between trials (aborting the in-flight
-  /// chunk) and between protocol round-trips.
+  /// chunk), between protocol round-trips, and within ~100ms inside a
+  /// kWait sleep.
   const std::atomic<bool>* stop = nullptr;
 };
 
-/// Runs the pull loop against the coordinator at `path` until the
+/// Runs the pull loop against the coordinator at `endpoint`
+/// (`unix:/path`, `tcp:host:port`, or a bare AF_UNIX path) until the
 /// coordinator says kShutdown, the connection cannot be (re)established,
+/// the handshake is rejected (wrong token — permanent, no retry),
 /// `stop` is raised, or `max_chunks` is reached.
 /// Returns the number of chunks completed and acknowledged.
-std::uint64_t run_worker(const std::string& path,
+std::uint64_t run_worker(const std::string& endpoint,
                          const WorkerOptions& options = {});
 
 }  // namespace mavr::campaignd

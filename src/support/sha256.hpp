@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA-256 (RFC 2104), dependency-free.
+//
+// Exists for the campaignd TCP handshake (DESIGN.md §13): a TCP listener
+// — unlike an AF_UNIX path — has no filesystem permissions guarding it,
+// so workers and clients prove knowledge of a shared token via an HMAC
+// challenge-response before any work is assigned. CRC-32 (the framing
+// checksum) is linear and trivially forgeable, hence a real hash here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mavr::support {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 accumulator.
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::span<const std::uint8_t> data);
+  /// Finalizes and returns the digest. The accumulator is consumed:
+  /// further update() calls are a programmer error (MAVR_REQUIRE).
+  Sha256Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot SHA-256.
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+
+/// HMAC-SHA-256 over `msg` with `key` (any length; keys longer than the
+/// 64-byte block are pre-hashed per RFC 2104).
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> msg);
+
+/// Constant-time digest comparison — an authentication check must not
+/// leak how many leading bytes matched through its timing.
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace mavr::support

@@ -6,12 +6,16 @@
 #include <cstring>
 #include <thread>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "support/error.hpp"
+#include "support/parse.hpp"
 
 namespace mavr::support {
 
@@ -28,14 +32,71 @@ sockaddr_un make_addr(const std::string& path) {
 
 /// Waits for readability. true = readable (or error pending — the
 /// following read reports it); false = timed out.
+///
+/// EINTR restarts the poll with the time *remaining to the original
+/// deadline*, not the full timeout: under a signal storm a bounded wait
+/// must stay bounded (a per-signal restart of the full slice would extend
+/// it without limit).
 bool wait_readable(int fd, int timeout_ms) {
   pollfd pfd{fd, POLLIN, 0};
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeout_ms < 0 ? 0 : timeout_ms);
+  int remaining = timeout_ms;
   for (;;) {
-    const int rc = ::poll(&pfd, 1, timeout_ms);
+    const int rc = ::poll(&pfd, 1, remaining);
     if (rc > 0) return true;
     if (rc == 0) return false;
     if (errno != EINTR) return true;  // let read() surface the error
+    if (timeout_ms < 0) continue;     // infinite wait: just restart
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    remaining = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    if (remaining == 0) return false;
   }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: frames are small request/reply pairs, so Nagle only adds
+  // latency. A failure here degrades latency, never correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// getaddrinfo wrapper; throws support::Error on resolution failure.
+/// Caller owns the returned list (freeaddrinfo).
+addrinfo* resolve_tcp(const std::string& host, std::uint16_t port,
+                      bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_str.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw Error("cannot resolve tcp:" + host + ":" + port_str + ": " +
+                ::gai_strerror(rc));
+  }
+  return result;
+}
+
+/// Reads back the locally bound port (resolves port 0 to the kernel's
+/// ephemeral choice).
+std::uint16_t bound_port(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  MAVR_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) == 0,
+             "getsockname failed");
+  if (ss.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in&>(ss).sin_port);
+  }
+  if (ss.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6&>(ss).sin6_port);
+  }
+  throw Error("bound socket has unexpected address family");
 }
 
 }  // namespace
@@ -113,30 +174,77 @@ std::pair<Socket, Socket> Socket::make_pair() {
   return {Socket(fds[0]), Socket(fds[1])};
 }
 
-UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
-  const sockaddr_un addr = make_addr(path_);
+std::optional<Endpoint> parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) return std::nullopt;
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    std::string rest = spec.substr(4);
+    std::string port_str;
+    if (!rest.empty() && rest.front() == '[') {
+      // Bracketed IPv6 literal: tcp:[::1]:9000
+      const std::size_t close = rest.find("]:");
+      if (close == std::string::npos) return std::nullopt;
+      ep.host = rest.substr(1, close - 1);
+      port_str = rest.substr(close + 2);
+    } else {
+      const std::size_t colon = rest.rfind(':');
+      if (colon == std::string::npos) return std::nullopt;
+      ep.host = rest.substr(0, colon);
+      port_str = rest.substr(colon + 1);
+    }
+    if (ep.host.empty()) return std::nullopt;
+    const auto port = parse_u64_in(port_str.c_str(), 0, 65535);
+    if (!port) return std::nullopt;
+    ep.port = static_cast<std::uint16_t>(*port);
+    return ep;
+  }
+  // Bare path: AF_UNIX, the pre-endpoint spelling.
+  if (spec.empty()) return std::nullopt;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = spec;
+  return ep;
+}
+
+std::string endpoint_name(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) return "unix:" + ep.path;
+  const bool v6 = ep.host.find(':') != std::string::npos;
+  return "tcp:" + (v6 ? "[" + ep.host + "]" : ep.host) + ":" +
+         std::to_string(ep.port);
+}
+
+UnixListener::UnixListener(std::string path) {
+  endpoint_.kind = Endpoint::Kind::kUnix;
+  endpoint_.path = std::move(path);
+  const sockaddr_un addr = make_addr(endpoint_.path);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   MAVR_CHECK(fd_ >= 0, "socket(AF_UNIX) failed");
-  ::unlink(path_.c_str());  // replace a stale socket from a dead service
+  ::unlink(endpoint_.path.c_str());  // replace a stale socket file
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw Error("cannot bind " + path_ + ": " + std::strerror(err));
+    throw Error("cannot bind " + endpoint_.path + ": " + std::strerror(err));
   }
   if (::listen(fd_, 64) != 0) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    ::unlink(path_.c_str());
-    throw Error("cannot listen on " + path_ + ": " + std::strerror(err));
+    ::unlink(endpoint_.path.c_str());
+    throw Error("cannot listen on " + endpoint_.path + ": " +
+                std::strerror(err));
   }
 }
 
 UnixListener::~UnixListener() {
   close();
-  ::unlink(path_.c_str());
+  ::unlink(endpoint_.path.c_str());
 }
 
 void UnixListener::close() {
@@ -156,6 +264,63 @@ Socket UnixListener::accept(int timeout_ms) {
   return fd >= 0 ? Socket(fd) : Socket();
 }
 
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  endpoint_.kind = Endpoint::Kind::kTcp;
+  endpoint_.host = host;
+  endpoint_.port = port;
+  addrinfo* list = resolve_tcp(host, port, /*passive=*/true);
+  std::string last_error = "no addresses resolved";
+  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 64) != 0) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    fd_ = fd;
+    break;
+  }
+  ::freeaddrinfo(list);
+  if (fd_ < 0) {
+    throw Error("cannot listen on tcp:" + host + ":" + std::to_string(port) +
+                ": " + last_error);
+  }
+  endpoint_.port = bound_port(fd_);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0) return Socket();
+  if (!wait_readable(fd_, timeout_ms)) return Socket();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Socket();
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+std::unique_ptr<Listener> make_listener(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    return std::make_unique<UnixListener>(ep.path);
+  }
+  return std::make_unique<TcpListener>(ep.host, ep.port);
+}
+
 Socket unix_connect(const std::string& path, int attempts, int backoff_ms) {
   const sockaddr_un addr = make_addr(path);
   for (int attempt = 1; attempt <= attempts; ++attempt) {
@@ -172,6 +337,44 @@ Socket unix_connect(const std::string& path, int attempts, int backoff_ms) {
     }
   }
   return Socket();
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port, int attempts,
+                   int backoff_ms) {
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    addrinfo* list = nullptr;
+    try {
+      list = resolve_tcp(host, port, /*passive=*/false);
+    } catch (const Error&) {
+      // Transient resolution failure behaves like a refused connect:
+      // retry within the attempt budget.
+      list = nullptr;
+    }
+    for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                              ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        set_nodelay(fd);
+        ::freeaddrinfo(list);
+        return Socket(fd);
+      }
+      ::close(fd);
+    }
+    if (list != nullptr) ::freeaddrinfo(list);
+    if (attempt < attempts && backoff_ms > 0) {
+      const int delay = std::min(backoff_ms * attempt, 500);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  return Socket();
+}
+
+Socket connect_endpoint(const Endpoint& ep, int attempts, int backoff_ms) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    return unix_connect(ep.path, attempts, backoff_ms);
+  }
+  return tcp_connect(ep.host, ep.port, attempts, backoff_ms);
 }
 
 }  // namespace mavr::support

@@ -1,17 +1,32 @@
-// Minimal AF_UNIX stream transport for the campaignd coordinator/worker
-// split (DESIGN.md §12).
+// Stream-socket transport for the campaignd coordinator/worker split
+// (DESIGN.md §12–§13).
 //
-// Deliberately local-machine-only: the service's unit of distribution is a
-// worker *process*, and a filesystem socket gives process isolation, a
-// namable rendezvous point, and kill-driven connection teardown (a dead
-// worker's socket closes, which is the coordinator's reassignment signal)
-// without opening a network listener. The API is three pieces: an RAII fd
-// (`Socket`) with exact-length timed I/O, a bound listener
-// (`UnixListener`), and a retrying connect with linear backoff.
+// Two interchangeable transports behind one `Listener` interface:
+//
+//  * AF_UNIX (`UnixListener`/`unix_connect`) — the single-machine default.
+//    A filesystem socket gives process isolation, a namable rendezvous
+//    point, kill-driven connection teardown, and filesystem-permission
+//    access control for free.
+//  * TCP (`TcpListener`/`tcp_connect`) — the multi-machine transport.
+//    Same byte-stream semantics, so the framed protocol above is
+//    unchanged; what TCP does *not* give is filesystem access control,
+//    which is why the campaignd protocol layers a challenge-response
+//    handshake on top (protocol.hpp).
+//
+// Endpoints are named by a spec string — `unix:/path`, `tcp:host:port`
+// (IPv6 hosts in brackets: `tcp:[::1]:9000`), or a bare filesystem path
+// which reads as AF_UNIX for backward compatibility — parsed once by
+// `parse_endpoint` and dispatched by `make_listener`/`connect_endpoint`.
+//
+// The API is otherwise three pieces: an RAII fd (`Socket`) with
+// exact-length timed I/O, a bound listener, and a retrying connect with
+// linear backoff.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -53,30 +68,88 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Bound + listening AF_UNIX socket; unlinks the path on destruction.
-class UnixListener {
+/// A parsed transport address: where a coordinator listens / a peer
+/// connects.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;        ///< kUnix: filesystem socket path
+  std::string host;        ///< kTcp: hostname or numeric address
+  std::uint16_t port = 0;  ///< kTcp: port (0 = ephemeral, listeners only)
+};
+
+/// Parses `unix:PATH`, `tcp:HOST:PORT`, `tcp:[V6HOST]:PORT`, or a bare
+/// path (AF_UNIX). nullopt on malformed specs (empty host/path, bad or
+/// out-of-range port).
+std::optional<Endpoint> parse_endpoint(const std::string& spec);
+
+/// Canonical spec string for `ep` — parseable back by parse_endpoint.
+std::string endpoint_name(const Endpoint& ep);
+
+/// Bound + listening stream socket, transport-agnostic.
+class Listener {
  public:
-  /// Binds and listens on `path` (an existing stale socket file is
-  /// replaced). Throws support::Error on failure.
-  explicit UnixListener(std::string path);
-  ~UnixListener();
-  UnixListener(const UnixListener&) = delete;
-  UnixListener& operator=(const UnixListener&) = delete;
+  virtual ~Listener() = default;
 
   /// Accepts one connection; invalid Socket on timeout or after close().
-  Socket accept(int timeout_ms);
+  virtual Socket accept(int timeout_ms) = 0;
 
   /// Stops accepting and releases the fd. Call after the accepting thread
   /// has stopped (accept() takes a timeout precisely so its loop can poll
   /// a stop flag instead of blocking forever).
-  void close();
+  virtual void close() = 0;
 
-  const std::string& path() const { return path_; }
+  /// The endpoint actually bound — for TCP with port 0 this carries the
+  /// kernel-assigned ephemeral port, so peers can be pointed at it.
+  virtual const Endpoint& endpoint() const = 0;
+};
+
+/// Bound + listening AF_UNIX socket; unlinks the path on destruction.
+class UnixListener : public Listener {
+ public:
+  /// Binds and listens on `path` (an existing stale socket file is
+  /// replaced). Throws support::Error on failure.
+  explicit UnixListener(std::string path);
+  ~UnixListener() override;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  Socket accept(int timeout_ms) override;
+  void close() override;
+  const Endpoint& endpoint() const override { return endpoint_; }
+
+  const std::string& path() const { return endpoint_.path; }
 
  private:
-  std::string path_;
+  Endpoint endpoint_;
   int fd_ = -1;
 };
+
+/// Bound + listening TCP socket (SO_REUSEADDR; accepted connections get
+/// TCP_NODELAY — frames are small and latency-sensitive).
+class TcpListener : public Listener {
+ public:
+  /// Binds and listens on host:port. `port == 0` asks the kernel for an
+  /// ephemeral port; endpoint().port reports the one actually bound.
+  /// Throws support::Error on resolution or bind failure.
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener() override;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  Socket accept(int timeout_ms) override;
+  void close() override;
+  const Endpoint& endpoint() const override { return endpoint_; }
+
+  std::uint16_t port() const { return endpoint_.port; }
+
+ private:
+  Endpoint endpoint_;
+  int fd_ = -1;
+};
+
+/// Binds a listener for `ep`, whatever its transport.
+std::unique_ptr<Listener> make_listener(const Endpoint& ep);
 
 /// Connects to the listener at `path`, retrying up to `attempts` times
 /// with linear backoff (`backoff_ms`, 2*backoff_ms, ... capped at 500ms)
@@ -84,5 +157,14 @@ class UnixListener {
 /// Invalid Socket when every attempt fails.
 Socket unix_connect(const std::string& path, int attempts = 1,
                     int backoff_ms = 0);
+
+/// TCP sibling of unix_connect: resolves host:port and retries with the
+/// same linear backoff. TCP_NODELAY is set on the connected socket.
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   int attempts = 1, int backoff_ms = 0);
+
+/// Connects to `ep`, whatever its transport.
+Socket connect_endpoint(const Endpoint& ep, int attempts = 1,
+                        int backoff_ms = 0);
 
 }  // namespace mavr::support

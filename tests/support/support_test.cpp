@@ -1,7 +1,9 @@
-// Unit tests for the support layer: byte codecs, CRC, RNG, hexdump, errors.
+// Unit tests for the support layer: byte codecs, CRC, RNG, hexdump,
+// errors, SHA-256/HMAC.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string_view>
 
 #include "support/bytes.hpp"
 #include "support/crc.hpp"
@@ -9,6 +11,7 @@
 #include "support/hexdump.hpp"
 #include "support/parse.hpp"
 #include "support/rng.hpp"
+#include "support/sha256.hpp"
 
 namespace mavr::support {
 namespace {
@@ -257,6 +260,82 @@ TEST(Parse, F64AcceptsFiniteDecimalsOnly) {
   EXPECT_FALSE(parse_f64("inf").has_value());
   EXPECT_FALSE(parse_f64("1e999").has_value());  // overflows to infinity
   EXPECT_FALSE(parse_f64(" 0.5").has_value());
+}
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::string hex(const Sha256Digest& d) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : d) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+TEST(Sha256, Fips180KnownAnswers) {
+  // FIPS 180-4 example vectors.
+  EXPECT_EQ(
+      hex(sha256(as_bytes(""))),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      hex(sha256(as_bytes("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex(sha256(as_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnom"
+                          "nopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShotAcrossBlockBoundaries) {
+  // 200 bytes crosses the 64-byte block boundary at every split point.
+  Bytes data(200);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const Sha256Digest whole = sha256(data);
+  for (std::size_t split : {0u, 1u, 63u, 64u, 65u, 128u, 199u, 200u}) {
+    Sha256 h;
+    h.update(std::span(data).first(split));
+    h.update(std::span(data).subspan(split));
+    EXPECT_EQ(h.finish(), whole) << "split at " << split;
+  }
+}
+
+TEST(Sha256, Rfc4231HmacKnownAnswers) {
+  // RFC 4231 test case 2: short key, short message.
+  EXPECT_EQ(
+      hex(hmac_sha256(as_bytes("Jefe"),
+                      as_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // RFC 4231 test case 3: 20 × 0xaa key, 50 × 0xdd message.
+  const Bytes key3(20, 0xAA);
+  const Bytes msg3(50, 0xDD);
+  EXPECT_EQ(
+      hex(hmac_sha256(key3, msg3)),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+  // RFC 4231 test case 6: 131-byte key — exercises the hash-long-keys
+  // path (> one SHA-256 block).
+  const Bytes key6(131, 0xAA);
+  EXPECT_EQ(
+      hex(hmac_sha256(
+          key6, as_bytes("Test Using Larger Than Block-Size Key - Hash "
+                         "Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Sha256, DigestEqualDiscriminates) {
+  const Sha256Digest a = sha256(as_bytes("abc"));
+  Sha256Digest b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b = a;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(digest_equal(a, b));
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 //                 [--fault-rate X]
 //                 [--detectors LIST] [--attack {clean,v1,v2,v3}]
 //                 [--randomize {on,off}]
-//                 [--connect SOCKET]
+//                 [--connect ENDPOINT] [--auth-token-file FILE]
 //                 [--out FILE.{csv,json}]
 //   mavr-campaign --list-scenarios
 //
@@ -21,9 +21,12 @@
 // randomization off unless --randomize on.
 //
 // With --connect the campaign is submitted to a running mavr-campaignd
-// coordinator instead of running in-process; the stats (and any --out
-// file) are bit-identical either way — for any --jobs value and any
-// worker count (see DESIGN.md §12).
+// coordinator instead of running in-process; ENDPOINT is `unix:/path`,
+// `tcp:host:port`, or a bare AF_UNIX path, and --auth-token-file supplies
+// the coordinator's shared handshake token (required over TCP when the
+// daemon has one). The stats (and any --out file) are bit-identical
+// either way — for any --jobs value, any worker count, and any transport
+// (see DESIGN.md §12–§13).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -52,7 +55,8 @@ int usage() {
       "all|none]\n"
       "                     [--attack {clean,v1,v2,v3}] "
       "[--randomize {on,off}]\n"
-      "                     [--connect SOCKET] [--out FILE.{csv,json}]\n"
+      "                     [--connect ENDPOINT] [--auth-token-file FILE]\n"
+      "                     [--out FILE.{csv,json}]\n"
       "       mavr-campaign --list-scenarios\n");
   return 2;
 }
@@ -159,6 +163,7 @@ int main(int argc, char** argv) {
   bool have_scenario = false;
   std::string out_path;
   std::string connect_path;
+  std::string token_file;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg_value = [&](const char* name) -> const char* {
@@ -224,6 +229,8 @@ int main(int argc, char** argv) {
       }
     } else if (const char* v = arg_value("--connect")) {
       connect_path = v;
+    } else if (const char* v = arg_value("--auth-token-file")) {
+      token_file = v;
     } else if (const char* v = arg_value("--out")) {
       out_path = v;
     } else {
@@ -233,6 +240,21 @@ int main(int argc, char** argv) {
   }
   if (!have_scenario) return usage();
 
+  std::string auth_token;
+  if (!token_file.empty()) {
+    std::ifstream token_in(token_file, std::ios::binary);
+    if (!token_in) {
+      std::fprintf(stderr, "cannot read --auth-token-file %s\n",
+                   token_file.c_str());
+      return 1;
+    }
+    std::getline(token_in, auth_token);
+    while (!auth_token.empty() && (auth_token.back() == '\r' ||
+                                   auth_token.back() == '\n')) {
+      auth_token.pop_back();
+    }
+  }
+
   try {
     const auto t0 = std::chrono::steady_clock::now();
     campaign::CampaignStats stats;
@@ -240,7 +262,7 @@ int main(int argc, char** argv) {
       stats = campaign::run_campaign(config);
     } else {
       const campaignd::SubmitOutcome submit =
-          campaignd::submit_campaign(connect_path, config);
+          campaignd::submit_campaign(connect_path, config, auth_token);
       if (!submit.ok) {
         std::fprintf(stderr, "submit failed: %s\n", submit.error.c_str());
         return 1;
@@ -248,8 +270,9 @@ int main(int argc, char** argv) {
       std::printf("submitted campaign %llu to %s\n",
                   static_cast<unsigned long long>(submit.campaign_id),
                   connect_path.c_str());
-      const campaignd::PollOutcome done =
-          campaignd::wait_campaign(connect_path, submit.campaign_id);
+      const campaignd::PollOutcome done = campaignd::wait_campaign(
+          connect_path, submit.campaign_id, /*interval_ms=*/50,
+          /*timeout_ms=*/-1, auth_token);
       if (!done.ok) {
         std::fprintf(stderr, "wait failed: %s\n", done.error.c_str());
         return 1;

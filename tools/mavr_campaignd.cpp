@@ -1,25 +1,32 @@
-// mavr-campaignd — sharded, resumable campaign service (DESIGN.md §12).
+// mavr-campaignd — sharded, resumable campaign service (DESIGN.md §12–§13).
 //
-//   mavr-campaignd --listen SOCKET [--workers N] [--checkpoint FILE]
-//                  [--max-queue N] [--grain N]
-//   mavr-campaignd --worker --connect SOCKET
+//   mavr-campaignd --listen ENDPOINT [--workers N] [--checkpoint FILE]
+//                  [--max-queue N] [--grain N] [--auth-token-file FILE]
+//   mavr-campaignd --worker --connect ENDPOINT [--auth-token-file FILE]
 //
-// Daemon mode binds an AF_UNIX coordinator at SOCKET, forks N worker
-// processes that connect back to it, and serves mavr-campaign --connect
-// clients until SIGINT/SIGTERM. With --checkpoint every completed chunk
-// is persisted, so killing the daemon mid-campaign loses nothing: restart
+// ENDPOINT is `unix:/path` (single machine, filesystem-permission access
+// control), `tcp:host:port` (multi-machine; port 0 picks an ephemeral
+// port and prints it), or a bare path (AF_UNIX shorthand).
+//
+// Daemon mode binds a coordinator at ENDPOINT, forks N worker processes
+// that connect back to it, and serves mavr-campaign --connect clients
+// until SIGINT/SIGTERM. With --checkpoint every completed chunk is
+// persisted, so killing the daemon mid-campaign loses nothing: restart
 // it, resubmit the same config, and only the missing chunks run.
 //
 // Worker mode runs a single worker process against an existing
-// coordinator — for spreading workers across terminals/cgroups, or
-// adding capacity to a busy daemon.
+// coordinator — add capacity from other terminals, cgroups, or *other
+// machines* over TCP. On TCP, set --auth-token-file on both sides: every
+// connection must answer an HMAC challenge over the shared token before
+// any chunk is assigned.
 //
 // Campaign results are bit-identical to `mavr-campaign` run in-process,
-// for any worker count and across kill/resume.
+// for any worker count, any transport, and across kill/resume.
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -40,10 +47,13 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mavr-campaignd --listen SOCKET [--workers N] "
+      "usage: mavr-campaignd --listen ENDPOINT [--workers N] "
       "[--checkpoint FILE]\n"
-      "                      [--max-queue N] [--grain N]\n"
-      "       mavr-campaignd --worker --connect SOCKET\n");
+      "                      [--max-queue N] [--grain N] "
+      "[--auth-token-file FILE]\n"
+      "       mavr-campaignd --worker --connect ENDPOINT "
+      "[--auth-token-file FILE]\n"
+      "ENDPOINT: unix:/path | tcp:host:port | /bare/path (AF_UNIX)\n");
   return 2;
 }
 
@@ -52,14 +62,29 @@ int bad_value(const char* flag, const char* value) {
   return usage();
 }
 
+/// Reads the shared handshake token: the file's first line, sans trailing
+/// newline/CR. false on unreadable file.
+bool read_token_file(const std::string& path, std::string* token) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::getline(in, *token);
+  while (!token->empty() &&
+         (token->back() == '\r' || token->back() == '\n')) {
+    token->pop_back();
+  }
+  return true;
+}
+
 /// Worker child body: generous reconnect budget (it may be forked before
 /// the coordinator binds, and should ride out a coordinator restart).
-int worker_main(const std::string& path) {
+int worker_main(const std::string& endpoint, const std::string& token) {
   try {
     mavr::campaignd::WorkerOptions options;
     options.connect_attempts = 100;
     options.backoff_ms = 20;
-    const std::uint64_t chunks = mavr::campaignd::run_worker(path, options);
+    options.auth_token = token;
+    const std::uint64_t chunks = mavr::campaignd::run_worker(endpoint,
+                                                             options);
     std::fprintf(stderr, "worker %d: %llu chunks completed\n", getpid(),
                  static_cast<unsigned long long>(chunks));
     return 0;
@@ -76,7 +101,8 @@ int main(int argc, char** argv) {
   campaignd::CoordinatorConfig config;
   std::uint64_t workers = 4;
   bool worker_mode = false;
-  std::string connect_path;
+  std::string connect_endpoint;
+  std::string token_file;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg_value = [&](const char* name) -> const char* {
@@ -87,11 +113,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--worker") == 0) {
       worker_mode = true;
     } else if (const char* v = arg_value("--listen")) {
-      config.listen_path = v;
+      config.listen_endpoint = v;
     } else if (const char* v = arg_value("--connect")) {
-      connect_path = v;
+      connect_endpoint = v;
     } else if (const char* v = arg_value("--checkpoint")) {
       config.checkpoint_path = v;
+    } else if (const char* v = arg_value("--auth-token-file")) {
+      token_file = v;
     } else if (const char* v = arg_value("--workers")) {
       const auto n = support::parse_u64_in(v, 0, 64);
       if (!n) return bad_value("--workers", v);
@@ -110,39 +138,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::string token;
+  if (!token_file.empty() && !read_token_file(token_file, &token)) {
+    std::fprintf(stderr, "cannot read --auth-token-file %s\n",
+                 token_file.c_str());
+    return 1;
+  }
+  config.auth_token = token;
+
   if (worker_mode) {
-    if (connect_path.empty()) {
-      std::fprintf(stderr, "--worker requires --connect SOCKET\n");
+    if (connect_endpoint.empty()) {
+      std::fprintf(stderr, "--worker requires --connect ENDPOINT\n");
       return usage();
     }
-    return worker_main(connect_path);
+    return worker_main(connect_endpoint, token);
   }
-  if (config.listen_path.empty()) return usage();
-
-  // Fork the worker pool *before* the coordinator spins up its threads
-  // (fork+threads don't mix). The children connect with retries, so they
-  // tolerate being born before the socket exists.
-  std::vector<pid_t> children;
-  for (std::uint64_t i = 0; i < workers; ++i) {
-    const pid_t pid = fork();
-    if (pid < 0) {
-      std::perror("fork");
-      break;
-    }
-    if (pid == 0) _exit(worker_main(config.listen_path));
-    children.push_back(pid);
-  }
+  if (config.listen_endpoint.empty()) return usage();
 
   int rc = 0;
+  std::vector<pid_t> children;
   try {
     campaignd::Coordinator coordinator(config);
     coordinator.start();
+    // Fork the worker pool after the endpoint is bound: over TCP with
+    // port 0 the children must be told the *resolved* port. The accept
+    // thread already exists at fork time; the children never touch the
+    // parent's coordinator state (glibc's atfork handlers keep malloc
+    // usable in the child), and they connect with retries.
+    for (std::uint64_t i = 0; i < workers; ++i) {
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("fork");
+        break;
+      }
+      if (pid == 0) _exit(worker_main(coordinator.endpoint(), token));
+      children.push_back(pid);
+    }
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
-    std::printf("mavr-campaignd: listening on %s (%zu workers%s%s)\n",
-                config.listen_path.c_str(), children.size(),
+    std::printf("mavr-campaignd: listening on %s (%zu workers%s%s%s)\n",
+                coordinator.endpoint().c_str(), children.size(),
                 config.checkpoint_path.empty() ? "" : ", checkpoint ",
-                config.checkpoint_path.c_str());
+                config.checkpoint_path.c_str(),
+                token.empty() ? "" : ", token auth");
     while (!g_stop) usleep(200'000);
     std::printf("mavr-campaignd: shutting down\n");
     coordinator.stop();
