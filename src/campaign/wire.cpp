@@ -176,11 +176,16 @@ CampaignStats decode_stats(support::ByteReader& r) {
   return stats;
 }
 
-std::uint64_t config_fingerprint(const CampaignConfig& config) {
+support::Bytes canonical_config(const CampaignConfig& config) {
   support::Bytes blob;
   support::ByteWriter w(blob);
   w.u8(kWireVersion);
   encode_config(w, config);
+  return blob;
+}
+
+std::uint64_t config_fingerprint(const CampaignConfig& config) {
+  const support::Bytes blob = canonical_config(config);
   std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
   for (std::uint8_t byte : blob) {
     hash ^= byte;

@@ -48,9 +48,15 @@ ChunkResult decode_chunk_result(support::ByteReader& r);
 void encode_stats(support::ByteWriter& w, const CampaignStats& stats);
 CampaignStats decode_stats(support::ByteReader& r);
 
-/// 64-bit FNV-1a over the canonical config encoding (version-prefixed,
-/// jobs excluded): the identity of a campaign for checkpoint matching.
-/// Two configs fingerprint equal iff every result-affecting field matches.
+/// Canonical byte identity of a config: version-prefixed encoding with
+/// jobs excluded. Two configs produce the same bytes iff every
+/// result-affecting field matches — the coordinator compares these
+/// directly when deduplicating retried submits (a fingerprint match alone
+/// could, in principle, collide).
+support::Bytes canonical_config(const CampaignConfig& config);
+
+/// 64-bit FNV-1a over canonical_config: the identity of a campaign for
+/// checkpoint matching.
 std::uint64_t config_fingerprint(const CampaignConfig& config);
 
 }  // namespace mavr::campaign::wire

@@ -1,9 +1,10 @@
 #include "campaignd/checkpoint.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <memory>
 #include <set>
+
+#include <unistd.h>
 
 #include "campaign/wire.hpp"
 #include "campaignd/protocol.hpp"
@@ -24,8 +25,16 @@ using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
+CheckpointStore::~CheckpointStore() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    if (dirty_) ::fsync(::fileno(file_));
+    std::fclose(file_);
+  }
+}
+
 void CheckpointStore::append(std::uint64_t fingerprint,
-                             const campaign::ChunkResult& result) const {
+                             const campaign::ChunkResult& result) {
   if (!enabled()) return;
   support::Bytes payload;
   support::ByteWriter pw(payload);
@@ -39,15 +48,28 @@ void CheckpointStore::append(std::uint64_t fingerprint,
   rw.u32_le(support::crc32_ieee(payload));
   rw.bytes(payload);
 
-  const FileHandle f(std::fopen(path_.c_str(), "ab"));
-  MAVR_CHECK(f != nullptr, "cannot open checkpoint store for append");
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "ab");
+    MAVR_CHECK(file_ != nullptr, "cannot open checkpoint store for append");
+  }
   // One fwrite per record: an OS-level kill between appends leaves whole
   // records; a kill mid-write leaves a torn tail that load() rejects by
-  // CRC. fflush before close bounds the loss window to the libc buffer.
-  MAVR_CHECK(std::fwrite(record.data(), 1, record.size(), f.get()) ==
+  // CRC. fflush pushes the record to the kernel, so only a host power cut
+  // (not a process kill) can lose it before the next sync().
+  MAVR_CHECK(std::fwrite(record.data(), 1, record.size(), file_) ==
                  record.size(),
              "checkpoint append failed (disk full?)");
-  MAVR_CHECK(std::fflush(f.get()) == 0, "checkpoint flush failed");
+  MAVR_CHECK(std::fflush(file_) == 0, "checkpoint flush failed");
+  dirty_ = true;
+}
+
+void CheckpointStore::sync() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || !dirty_) return;
+  MAVR_CHECK(std::fflush(file_) == 0, "checkpoint flush failed");
+  MAVR_CHECK(::fsync(::fileno(file_)) == 0, "checkpoint fsync failed");
+  dirty_ = false;
 }
 
 std::vector<campaign::ChunkResult> CheckpointStore::load(

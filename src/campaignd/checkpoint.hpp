@@ -7,9 +7,19 @@
 // the missing chunks are scheduled. Records reuse the protocol's
 // length+CRC framing — a torn tail record (killed mid-append) fails its
 // CRC and is ignored, never half-merged.
+//
+// Durability ladder (DESIGN.md §14): append() pushes each record through
+// the libc buffer to the kernel (fflush), which survives a coordinator
+// crash; sync() adds fsync, which survives a host power cut. The
+// coordinator batches sync() at client poll boundaries and on drain rather
+// than per append — a chunk lost to a power cut is merely recomputed, so
+// per-record fsync would buy microseconds of durability at a large
+// throughput cost.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,15 +29,23 @@ namespace mavr::campaignd {
 
 class CheckpointStore {
  public:
-  /// `path` empty = disabled: append/load become no-ops, nothing persists.
+  /// `path` empty = disabled: append/load/sync become no-ops.
   explicit CheckpointStore(std::string path) : path_(std::move(path)) {}
+  ~CheckpointStore();
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
 
   bool enabled() const { return !path_.empty(); }
   const std::string& path() const { return path_; }
 
-  /// Appends one completed chunk under `fingerprint` and flushes it.
-  void append(std::uint64_t fingerprint,
-              const campaign::ChunkResult& result) const;
+  /// Appends one completed chunk under `fingerprint` and flushes it to the
+  /// kernel. The append handle is opened lazily and kept — the store is
+  /// written on every completed chunk, so fopen-per-record would dominate.
+  void append(std::uint64_t fingerprint, const campaign::ChunkResult& result);
+
+  /// fsyncs everything appended so far (no-op when nothing is dirty).
+  /// Crash-safe batching point: call at poll boundaries and on drain.
+  void sync();
 
   /// Every valid record for `fingerprint` with chunk index < `n_chunks`,
   /// deduplicated by index (first record wins — chunks are deterministic,
@@ -39,6 +57,9 @@ class CheckpointStore {
 
  private:
   std::string path_;
+  std::mutex mu_;  ///< appends come from handler threads, sync from polls
+  std::FILE* file_ = nullptr;
+  bool dirty_ = false;  ///< bytes appended since the last sync()
 };
 
 }  // namespace mavr::campaignd

@@ -45,11 +45,15 @@ std::uint32_t scaled_assign_chunks(std::uint32_t grain, double rate,
 }
 
 Coordinator::Coordinator(CoordinatorConfig config)
-    : config_(std::move(config)), store_(config_.checkpoint_path) {
+    : config_(std::move(config)),
+      store_(config_.checkpoint_path),
+      net_plane_(config_.net_faults, support::Rng(config_.net_fault_seed)) {
   MAVR_REQUIRE(!config_.listen_endpoint.empty(),
                "coordinator needs a listen endpoint");
   MAVR_REQUIRE(config_.assign_chunks >= 1, "assign_chunks must be >= 1");
   MAVR_REQUIRE(config_.max_queue >= 1, "max_queue must be >= 1");
+  MAVR_REQUIRE(config_.speculation_max_copies >= 1,
+               "speculation_max_copies must be >= 1");
 }
 
 Coordinator::~Coordinator() { stop(); }
@@ -63,6 +67,13 @@ void Coordinator::start() {
                          config_.listen_endpoint);
   }
   listener_ = support::make_listener(*ep);
+  if (net_plane_.armed()) {
+    // Chaos plane: every accepted connection's sends/recvs on *this* side
+    // go through a per-connection fault stream. The listener decorator is
+    // the single interposition point — handlers stay fault-oblivious.
+    listener_ = std::make_unique<support::FaultyListener>(std::move(listener_),
+                                                          &net_plane_);
+  }
   bound_endpoint_ = support::endpoint_name(listener_->endpoint());
   accept_thread_ = std::thread(&Coordinator::accept_loop, this);
 }
@@ -89,6 +100,48 @@ void Coordinator::stop() {
     listener_->close();
     listener_.reset();  // unlinks an AF_UNIX socket path
   }
+  store_.sync();  // whatever the last drain/poll didn't cover
+}
+
+void Coordinator::begin_drain() { draining_.store(true); }
+
+bool Coordinator::drain(int timeout_ms) {
+  begin_drain();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  // Every in-flight chunk resolves on its own: the holder either delivers
+  // the result (accepted and checkpointed even while draining) or its
+  // connection dies and reclaim() re-pends the chunk. Polling is enough.
+  while (queue_depth().inflight_chunks > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      store_.sync();
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  store_.sync();
+  return true;
+}
+
+CoordinatorCounters Coordinator::counters() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+QueueDepth Coordinator::queue_depth() {
+  QueueDepth depth;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Campaign>& c : campaigns_) {
+    if (c->state == CampaignState::kDone) continue;
+    ++depth.incomplete_campaigns;
+    depth.pending_chunks += c->pending.size();
+    depth.inflight_chunks += c->inflight.size();
+  }
+  return depth;
+}
+
+support::NetFaultStats Coordinator::net_fault_stats() const {
+  return net_plane_.stats();
 }
 
 void Coordinator::accept_loop() {
@@ -246,6 +299,10 @@ bool Coordinator::handle_message(support::Socket& sock, const Message& msg,
       return handle_chunk_result(sock, msg, held, rate);
     case MsgType::kSubmit: return handle_submit(sock, msg);
     case MsgType::kPoll: return handle_poll(sock, msg);
+    case MsgType::kPing:
+      // Liveness probe: echo the sequence number back. Also answered by
+      // the supervisor on its control channel; a worker talks to both.
+      return send_message(sock, MsgType::kPong, msg.body);
     default: return false;  // a peer speaking coordinator-only messages
   }
 }
@@ -277,10 +334,13 @@ std::uint32_t Coordinator::current_grain(const ConnThroughput* rate) {
 bool Coordinator::handle_work_request(support::Socket& sock,
                                       std::vector<HeldChunk>* held,
                                       ConnThroughput* rate) {
-  if (stopping_.load()) return send_message(sock, MsgType::kShutdown, {});
+  if (stopping_.load() || draining_.load()) {
+    return send_message(sock, MsgType::kShutdown, {});
+  }
   // Grain first (conns_mu_), then assignment (mu_): the two locks are
   // never held together.
   const std::uint32_t grain = current_grain(rate);
+  const auto now = std::chrono::steady_clock::now();
   AssignBody assign;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -298,16 +358,65 @@ bool Coordinator::handle_work_request(support::Socket& sock,
         c->pending.pop_front();
         assign.chunks.push_back(idx);
         held->emplace_back(c->id, idx);
+        c->inflight[idx] = Inflight{now, 1};
       }
       c->state = CampaignState::kRunning;
       break;
     }
+    if (assign.chunks.empty() && config_.speculate) {
+      speculate_overdue(now, grain, held, &assign);
+    }
+    counters_.chunks_assigned += assign.chunks.size();
   }
   if (assign.chunks.empty()) {
     return send_message(sock, MsgType::kWait,
                         encode_u32_body(config_.wait_hint_ms));
   }
   return send_message(sock, MsgType::kAssign, encode_assign(assign));
+}
+
+// Straggler recovery (requires mu_): with nothing pending anywhere, an
+// idle worker is offered duplicate copies of the oldest campaign's
+// overdue in-flight chunks. "Overdue" is an age test against a deadline
+// derived from that campaign's EWMA service time, floored by
+// speculation_min_ms so cold estimates cannot fire; the copy ceiling
+// bounds wasted compute. Chosen chunks restart their age clock (the new
+// copy is the one now racing the deadline).
+void Coordinator::speculate_overdue(std::chrono::steady_clock::time_point now,
+                                    std::uint32_t grain,
+                                    std::vector<HeldChunk>* held,
+                                    AssignBody* assign) {
+  for (const std::unique_ptr<Campaign>& c : campaigns_) {
+    if (c->state == CampaignState::kDone || c->inflight.empty()) continue;
+    const double ewma_ms = c->ewma_service_s * 1000.0;
+    const double deadline_ms =
+        std::max(static_cast<double>(config_.speculation_min_ms),
+                 config_.speculation_factor * ewma_ms);
+    std::vector<std::uint64_t> overdue;
+    for (const auto& [idx, flight] : c->inflight) {
+      if (flight.copies >= config_.speculation_max_copies) continue;
+      const double age_ms =
+          std::chrono::duration<double, std::milli>(now - flight.last_assign)
+              .count();
+      if (age_ms >= deadline_ms) overdue.push_back(idx);
+    }
+    if (overdue.empty()) continue;
+    // Ascending index: deterministic choice order and oldest-work-first
+    // (assignment order is ascending, so lower index ≈ longer in flight).
+    std::sort(overdue.begin(), overdue.end());
+    if (overdue.size() > grain) overdue.resize(grain);
+    assign->campaign_id = c->id;
+    assign->config = c->config;
+    for (std::uint64_t idx : overdue) {
+      Inflight& flight = c->inflight[idx];
+      ++flight.copies;
+      flight.last_assign = now;
+      assign->chunks.push_back(idx);
+      held->emplace_back(c->id, idx);
+      ++counters_.speculative_assigns;
+    }
+    return;
+  }
 }
 
 bool Coordinator::handle_chunk_result(support::Socket& sock,
@@ -329,12 +438,34 @@ bool Coordinator::handle_chunk_result(support::Socket& sock,
       }
       accept = true;
       if (!c->done[idx]) {
+        // First copy home wins; feed its assignment→merge latency into
+        // the EWMA that prices the speculation deadline, then retire the
+        // in-flight entry — a losing copy arrives as a duplicate below.
+        const auto it = c->inflight.find(idx);
+        if (it != c->inflight.end()) {
+          const double service_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            it->second.last_assign)
+                  .count();
+          if (service_s > 0.0) {
+            c->ewma_service_s =
+                c->ewma_service_s <= 0.0
+                    ? service_s
+                    : kRateAlpha * service_s +
+                          (1.0 - kRateAlpha) * c->ewma_service_s;
+          }
+          c->inflight.erase(it);
+        }
         store_.append(c->fingerprint, body.result);
         c->results[idx] = std::move(body.result);
         c->done[idx] = 1;
         ++c->n_done;
         c->trials_done += end - begin;
         if (c->n_done == c->n_chunks) finalize(c);
+      } else {
+        // Byte-identical by the determinism contract: acknowledge, don't
+        // re-merge.
+        ++counters_.duplicate_results;
       }
     }
   }
@@ -361,9 +492,29 @@ bool Coordinator::handle_submit(support::Socket& sock, const Message& msg) {
         sock, MsgType::kReject,
         encode_string_body("trials must be in [1, 100000000]"));
   }
+  if (draining_.load()) {
+    return send_message(sock, MsgType::kReject,
+                        encode_string_body("coordinator draining"));
+  }
+  const support::Bytes canonical = wire::canonical_config(config);
+  const std::uint64_t fingerprint = wire::config_fingerprint(config);
   std::uint64_t id = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    // Submit is idempotent over live campaigns: a client retrying after a
+    // lost kSubmitAck must land on the campaign its first attempt
+    // admitted, not enqueue a sibling. Identity is the exact canonical
+    // encoding (the fingerprint is only a prefilter). Completed campaigns
+    // are exempt — resubmitting a finished config deliberately runs it
+    // again (resumed instantly from checkpoints when enabled).
+    for (const std::unique_ptr<Campaign>& c : campaigns_) {
+      if (c->state == CampaignState::kDone ||
+          c->fingerprint != fingerprint || c->canonical != canonical) {
+        continue;
+      }
+      ++counters_.submits_deduped;
+      return send_message(sock, MsgType::kSubmitAck, encode_u64_body(c->id));
+    }
     std::size_t incomplete = 0;
     for (const std::unique_ptr<Campaign>& c : campaigns_) {
       incomplete += c->state != CampaignState::kDone ? 1 : 0;
@@ -376,7 +527,8 @@ bool Coordinator::handle_submit(support::Socket& sock, const Message& msg) {
     auto c = std::make_unique<Campaign>();
     c->id = next_campaign_id_++;
     c->config = config;
-    c->fingerprint = wire::config_fingerprint(config);
+    c->fingerprint = fingerprint;
+    c->canonical = canonical;
     c->n_chunks = campaign::num_chunks(config.trials);
     c->done.assign(c->n_chunks, 0);
     c->results.resize(c->n_chunks);
@@ -419,6 +571,11 @@ bool Coordinator::handle_poll(support::Socket& sock, const Message& msg) {
     }
     status = status_of(*c);
   }
+  // Durability batching point (DESIGN.md §14): everything appended since
+  // the last poll reaches the platter before the client sees this status —
+  // a client that observed progress N can rely on ≥ N surviving a power
+  // cut. Outside mu_ so an fsync stall never blocks chunk results.
+  store_.sync();
   return send_message(sock, MsgType::kStatus, encode_status(status));
 }
 
@@ -428,11 +585,20 @@ void Coordinator::reclaim(const std::vector<HeldChunk>& held) {
   for (auto it = held.rbegin(); it != held.rend(); ++it) {
     Campaign* c = find_campaign(it->first);
     if (c == nullptr || c->state == CampaignState::kDone) continue;
-    if (!c->done[it->second]) {
-      // Front of the queue (in reverse, preserving ascending order): a
-      // died-with-it chunk is the oldest outstanding work.
-      c->pending.push_front(it->second);
+    if (c->done[it->second]) continue;
+    // One live copy (this connection's) is gone. Only when it was the
+    // *last* does the chunk re-enter the pending pool — a surviving
+    // speculative copy is still racing to deliver it.
+    const auto flight = c->inflight.find(it->second);
+    if (flight != c->inflight.end() && flight->second.copies > 1) {
+      --flight->second.copies;
+      continue;
     }
+    c->inflight.erase(it->second);
+    // Front of the queue (in reverse, preserving ascending order): a
+    // died-with-it chunk is the oldest outstanding work.
+    c->pending.push_front(it->second);
+    ++counters_.chunks_reclaimed;
   }
 }
 
@@ -442,6 +608,7 @@ void Coordinator::finalize(Campaign* c) {
   c->results.clear();  // the stats are what clients need from here on
   c->results.shrink_to_fit();
   c->pending.clear();
+  c->inflight.clear();
 }
 
 Coordinator::Campaign* Coordinator::find_campaign(std::uint64_t id) {

@@ -28,6 +28,14 @@
 // kWorkRequest re-assigns them. Determinism holds because a chunk's value
 // depends only on (config, chunk index), never on which worker ran it or
 // how many times it was attempted.
+//
+// Straggler recovery (DESIGN.md §14) extends the same argument to *slow*
+// workers: when no pending work remains, an idle worker may be handed a
+// second copy of a chunk whose assignment age exceeds a deadline derived
+// from the campaign's EWMA chunk service time. Whichever copy lands first
+// is merged; the loser is a byte-identical duplicate and is acknowledged
+// but not re-merged. Speculation therefore trades bounded duplicate
+// compute for tail latency without ever touching result bits.
 #pragma once
 
 #include <atomic>
@@ -44,6 +52,7 @@
 #include "campaign/campaign.hpp"
 #include "campaignd/checkpoint.hpp"
 #include "campaignd/protocol.hpp"
+#include "support/netfault.hpp"
 #include "support/socket.hpp"
 
 namespace mavr::campaignd {
@@ -71,6 +80,47 @@ struct CoordinatorConfig {
   int worker_timeout_ms = 120'000;
   /// Idle worker re-poll hint carried in kWait.
   std::uint32_t wait_hint_ms = 20;
+
+  // --- straggler speculation (DESIGN.md §14) ----------------------------
+  /// Hand idle workers duplicate copies of overdue in-flight chunks once
+  /// no pending work remains. Safe at any setting: duplicates are
+  /// byte-identical and deduplicated at merge.
+  bool speculate = true;
+  /// A chunk is never declared overdue before this age — the floor keeps
+  /// a cold EWMA (first chunks of a campaign) from triggering copies.
+  int speculation_min_ms = 2'000;
+  /// Overdue deadline as a multiple of the campaign's EWMA chunk service
+  /// time (assignment → accepted result, transit included).
+  double speculation_factor = 3.0;
+  /// Ceiling on simultaneous copies of one chunk, the original included.
+  std::uint32_t speculation_max_copies = 2;
+
+  // --- chaos plane (support/netfault) -----------------------------------
+  /// When any rate is nonzero, every accepted connection is armed with a
+  /// fault stream forked from `net_fault_seed`: the coordinator's own
+  /// sends/recvs are then dropped/corrupted/delayed per the config. Used
+  /// by the chaos suite; disarmed (all-zero) in production.
+  support::NetFaultConfig net_faults;
+  std::uint64_t net_fault_seed = 0;
+};
+
+/// Scheduler event tally — monotonic over a coordinator's life, readable
+/// at any point (Coordinator::counters()). The chaos and speculation
+/// tests pin behavior on these rather than on timing.
+struct CoordinatorCounters {
+  std::uint64_t chunks_assigned = 0;     ///< chunks handed out, copies incl.
+  std::uint64_t speculative_assigns = 0; ///< duplicate copies handed out
+  std::uint64_t duplicate_results = 0;   ///< results for already-done chunks
+  std::uint64_t chunks_reclaimed = 0;    ///< re-pended after a holder died
+  std::uint64_t submits_deduped = 0;     ///< kSubmit matched a live campaign
+};
+
+/// Instantaneous scheduler load (Coordinator::queue_depth()) — the signal
+/// the worker-pool autoscaler consumes.
+struct QueueDepth {
+  std::uint64_t pending_chunks = 0;      ///< unassigned, over all campaigns
+  std::uint64_t inflight_chunks = 0;     ///< assigned, result not yet merged
+  std::uint64_t incomplete_campaigns = 0;
 };
 
 /// Throughput-aware grain scaling (pure; unit-tested): how many chunks a
@@ -97,6 +147,22 @@ class Coordinator {
   /// also run by the destructor.
   void stop();
 
+  /// Graceful-shutdown phase 1 (SIGTERM path): stop admitting campaigns
+  /// (kSubmit → kReject) and stop handing out work (kWorkRequest →
+  /// kShutdown), but keep accepting the chunk results workers already
+  /// hold, checkpointing each. Connections stay serviceable for polls.
+  void begin_drain();
+
+  /// Graceful-shutdown phase 2: waits until no assigned chunk remains
+  /// in flight (each either completed or reclaimed from a dead holder),
+  /// then fsyncs the checkpoint store. False if `timeout_ms` elapsed
+  /// first — callers should stop() regardless; reclaim-on-disconnect and
+  /// the checkpoint log make a hard cutoff safe, just slower to resume.
+  bool drain(int timeout_ms);
+
+  /// True between begin_drain()/stop().
+  bool draining() const { return draining_.load(); }
+
   /// Canonical spec of the endpoint actually bound (for TCP port 0 this
   /// carries the kernel-assigned port). Valid after start().
   const std::string& endpoint() const { return bound_endpoint_; }
@@ -106,17 +172,40 @@ class Coordinator {
   /// of sequential connections.
   std::size_t handler_count();
 
+  /// Snapshot of the scheduler event tally.
+  CoordinatorCounters counters();
+
+  /// Snapshot of instantaneous scheduler load (autoscaler signal).
+  QueueDepth queue_depth();
+
+  /// Injected-fault tally of the chaos plane (all-zero when disarmed).
+  support::NetFaultStats net_fault_stats() const;
+
  private:
+  /// An assigned-but-unmerged chunk: when it was (last) handed out and how
+  /// many live copies exist. Guarded by mu_.
+  struct Inflight {
+    std::chrono::steady_clock::time_point last_assign;
+    std::uint32_t copies = 0;
+  };
+
   struct Campaign {
     std::uint64_t id = 0;
     campaign::CampaignConfig config;
     std::uint64_t fingerprint = 0;
+    /// Exact canonical encoding — retried-submit dedup compares this, not
+    /// just the fingerprint, so a hash collision cannot alias campaigns.
+    std::vector<std::uint8_t> canonical;
     std::uint64_t n_chunks = 0;
     CampaignState state = CampaignState::kQueued;
     std::deque<std::uint64_t> pending;  ///< unassigned chunk indices
     std::vector<std::uint8_t> done;     ///< by chunk index
     /// Completed chunks by index (moved out after the final merge).
     std::vector<campaign::ChunkResult> results;
+    std::unordered_map<std::uint64_t, Inflight> inflight;  ///< by chunk index
+    /// EWMA of assignment→merge service time (seconds); 0 = no sample yet.
+    /// Feeds the speculation deadline.
+    double ewma_service_s = 0.0;
     std::uint64_t n_done = 0;
     std::uint64_t trials_done = 0;
     campaign::CampaignStats final_stats;
@@ -141,6 +230,9 @@ class Coordinator {
   bool handle_work_request(support::Socket& sock,
                            std::vector<HeldChunk>* held,
                            ConnThroughput* rate);
+  void speculate_overdue(std::chrono::steady_clock::time_point now,
+                         std::uint32_t grain, std::vector<HeldChunk>* held,
+                         AssignBody* assign);
   bool handle_chunk_result(support::Socket& sock, const Message& msg,
                            std::vector<HeldChunk>* held,
                            ConnThroughput* rate);
@@ -155,13 +247,16 @@ class Coordinator {
 
   CoordinatorConfig config_;
   CheckpointStore store_;
+  support::NetFaultPlane net_plane_;
   std::unique_ptr<support::Listener> listener_;
   std::string bound_endpoint_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
 
-  std::mutex mu_;  ///< guards campaigns_ and every Campaign within
+  std::mutex mu_;  ///< guards campaigns_, counters_, every Campaign within
   std::vector<std::unique_ptr<Campaign>> campaigns_;  // admission order
+  CoordinatorCounters counters_;
   std::uint64_t next_campaign_id_ = 1;
 
   std::mutex conns_mu_;  ///< guards handler bookkeeping below

@@ -58,7 +58,7 @@ support::IoStatus recv_message(support::Socket& sock, Message* out,
   if (payload[0] != wire::kWireVersion) return support::IoStatus::kClosed;
   const std::uint8_t type = payload[1];
   if (type < static_cast<std::uint8_t>(MsgType::kWorkRequest) ||
-      type > static_cast<std::uint8_t>(MsgType::kHelloOk)) {
+      type > static_cast<std::uint8_t>(MsgType::kPong)) {
     return support::IoStatus::kClosed;
   }
   out->type = static_cast<MsgType>(type);

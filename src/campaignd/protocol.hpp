@@ -67,6 +67,9 @@ enum class MsgType : std::uint8_t {
   kChallenge = 14,  ///< coordinator: the nonce the peer must answer
   kAuth = 15,       ///< peer: HMAC over the coordinator's nonce
   kHelloOk = 16,    ///< coordinator: accepted + HMAC over the peer's nonce
+  // liveness (worker ↔ supervisor / coordinator)
+  kPing = 17,  ///< peer: liveness probe (u64 sequence number)
+  kPong = 18,  ///< supervisor/coordinator: echo of the probe's sequence
 };
 
 /// Version of the *conversation* (handshake shape, message set). Distinct

@@ -1,0 +1,242 @@
+#include "campaignd/supervisor.hpp"
+
+#include <algorithm>
+
+#include "campaignd/protocol.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mavr::campaignd {
+
+Supervisor::Supervisor(SupervisorConfig config, WorkerFactory factory,
+                       QueueDepthFn queue_depth)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      queue_depth_(std::move(queue_depth)) {
+  MAVR_REQUIRE(config_.min_workers >= 1, "min_workers must be >= 1");
+  MAVR_REQUIRE(config_.max_workers >= config_.min_workers,
+               "max_workers must be >= min_workers");
+  MAVR_REQUIRE(config_.tick_ms >= 1, "tick_ms must be >= 1");
+  MAVR_REQUIRE(static_cast<bool>(factory_), "supervisor needs a factory");
+  slots_.resize(config_.max_workers);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].backoff = std::make_unique<support::Backoff>(
+        config_.restart_backoff_ms, config_.restart_backoff_max_ms,
+        support::Rng::derive_seed(config_.seed, i));
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  MAVR_REQUIRE(!started_, "supervisor already started");
+  started_ = true;
+  {
+    // Initial pool before the thread runs: callers can rely on
+    // min_workers (or max, with no depth signal) existing on return.
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t initial =
+        queue_depth_ ? config_.min_workers : config_.max_workers;
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < initial; ++i) spawn_into(&slots_[i], now);
+  }
+  thread_ = std::thread(&Supervisor::run, this);
+}
+
+void Supervisor::stop() {
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& s : slots_) {
+    if (s.handle) s.handle->terminate();
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.stop_grace_ms);
+  for (Slot& s : slots_) {
+    if (!s.handle) continue;
+    while (s.handle->alive() && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (s.handle->alive()) s.handle->kill_now();
+    while (s.handle->alive()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    s.handle.reset();
+  }
+}
+
+SupervisorStats Supervisor::stats() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SupervisorStats out = stats_;
+  out.live = live_locked();
+  return out;
+}
+
+std::size_t Supervisor::live_locked() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) n += s.handle != nullptr ? 1 : 0;
+  return n;
+}
+
+void Supervisor::run() {
+  while (!stopping_.load()) {
+    tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.tick_ms));
+  }
+}
+
+void Supervisor::pump_heartbeats(Slot* slot) {
+  support::Socket* ctl = slot->handle->control();
+  if (ctl == nullptr || !ctl->valid()) return;
+  Message msg;
+  // Zero timeout = non-blocking drain of whatever pings queued up since
+  // the last tick. Control frames are tiny, so a started frame is whole.
+  while (recv_message(*ctl, &msg, 0) == support::IoStatus::kOk) {
+    if (msg.type != MsgType::kPing) continue;  // tolerate, don't kill
+    slot->last_heard = Clock::now();
+    send_message(*ctl, MsgType::kPong, msg.body);
+  }
+}
+
+void Supervisor::on_death(Slot* slot, Clock::time_point now) {
+  slot->handle.reset();
+  if (slot->retiring) {
+    // Scale-down, not a crash: no backoff, no crash history.
+    slot->retiring = false;
+    ++stats_.retired;
+    return;
+  }
+  slot->respawn_is_restart = true;
+  slot->deaths.push_back(now);
+  const auto window = std::chrono::milliseconds(config_.crash_loop_window_ms);
+  while (!slot->deaths.empty() && now - slot->deaths.front() > window) {
+    slot->deaths.pop_front();
+  }
+  if (static_cast<int>(slot->deaths.size()) >= config_.crash_loop_failures) {
+    // Crash loop: bench the slot. History resets so the post-quarantine
+    // worker gets a clean window (its backoff ladder resets only on a
+    // successful run surviving a full window — see spawn_into).
+    slot->quarantined_until =
+        now + std::chrono::milliseconds(config_.quarantine_ms);
+    slot->deaths.clear();
+    ++stats_.quarantines;
+    return;
+  }
+  slot->next_restart =
+      now + std::chrono::milliseconds(slot->backoff->next_delay_ms());
+}
+
+void Supervisor::spawn_into(Slot* slot, Clock::time_point now) {
+  slot->handle = factory_(next_seq_++);
+  if (!slot->handle) {
+    // Spawn itself failed (fork exhaustion, ...): retry on the ladder.
+    slot->next_restart =
+        now + std::chrono::milliseconds(slot->backoff->next_delay_ms());
+    return;
+  }
+  slot->last_heard = now;
+  slot->retiring = false;
+  ++stats_.spawned;
+  if (slot->respawn_is_restart) {
+    ++stats_.restarts;
+    slot->respawn_is_restart = false;
+  }
+}
+
+void Supervisor::tick() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto now = Clock::now();
+
+  // 1. Liveness: pump heartbeats, reap deaths, kill wedges.
+  for (Slot& s : slots_) {
+    if (!s.handle) continue;
+    pump_heartbeats(&s);
+    if (!s.handle->alive()) {
+      on_death(&s, now);
+      continue;
+    }
+    if (config_.heartbeat_timeout_ms > 0 && s.handle->control() != nullptr &&
+        now - s.last_heard >
+            std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
+      // Running but silent: wedged (deadlocked, livelocked, or its
+      // heartbeat thread died). The process is unrecoverable in-band —
+      // replace it. Its held chunks reclaim via the coordinator.
+      s.handle->kill_now();
+      ++stats_.wedge_kills;
+      on_death(&s, now);
+    }
+  }
+
+  // 2. Sizing signal.
+  std::size_t target = config_.max_workers;
+  if (queue_depth_) {
+    const std::uint64_t depth = queue_depth_();
+    target = static_cast<std::size_t>(
+        std::clamp<std::uint64_t>(depth, config_.min_workers,
+                                  config_.max_workers));
+    idle_ticks_ = depth == 0 ? idle_ticks_ + 1 : 0;
+  }
+
+  // 3. Scale down: one retirement per sustained idle window, politely,
+  //    never below min. A worker above `target` that *crashes* while the
+  //    pool drains is simply not respawned (step 4 stops at target).
+  if (idle_ticks_ >= config_.idle_ticks_before_retire &&
+      live_locked() > config_.min_workers) {
+    for (std::size_t i = slots_.size(); i-- > 0;) {
+      if (slots_[i].handle && !slots_[i].retiring) {
+        slots_[i].retiring = true;
+        slots_[i].handle->terminate();
+        break;
+      }
+    }
+    idle_ticks_ = 0;
+  }
+
+  // 4. Scale up / respawn, respecting per-slot backoff and quarantine.
+  //    Slots fill lowest-first so crash history sticks to an identity.
+  now = Clock::now();
+  std::size_t running = live_locked();
+  for (std::size_t i = 0; i < slots_.size() && running < target; ++i) {
+    Slot& s = slots_[i];
+    if (s.handle || now < s.quarantined_until || now < s.next_restart) {
+      continue;
+    }
+    spawn_into(&s, now);
+    ++running;
+  }
+}
+
+void heartbeat_client(support::Socket& control, int interval_ms,
+                      const std::atomic<bool>& stop, int missed_limit) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t seq = 0;
+  int missed = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (!send_message(control, MsgType::kPing, encode_u64_body(seq))) {
+      return;  // channel broken: supervisor is gone
+    }
+    ++seq;
+    // Wait out the interval collecting replies. Pong sequence numbers are
+    // not matched — any pong proves the supervisor is alive, which is all
+    // the worker needs (the supervisor likewise only needs any ping).
+    bool heard = false;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(interval_ms);
+    while (Clock::now() < deadline && !stop.load(std::memory_order_relaxed)) {
+      Message msg;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      const int slice = static_cast<int>(
+          std::clamp<std::int64_t>(left.count(), 1, 100));
+      const support::IoStatus st = recv_message(control, &msg, slice);
+      if (st == support::IoStatus::kClosed) return;  // supervisor is gone
+      if (st == support::IoStatus::kOk && msg.type == MsgType::kPong) {
+        heard = true;
+      }
+    }
+    missed = heard ? 0 : missed + 1;
+    if (missed >= missed_limit) return;  // supervisor silent too long
+  }
+}
+
+}  // namespace mavr::campaignd

@@ -1,0 +1,184 @@
+// Supervised worker pool for mavr-campaignd (DESIGN.md §14).
+//
+// The daemon's forked workers were previously fire-and-forget: a crashed
+// worker silently shrank the pool and a wedged one held its slot forever.
+// The Supervisor closes both holes and adds load-driven sizing:
+//
+//  * liveness      — each worker holds a control channel to its
+//                    supervisor and sends kPing on an interval
+//                    (heartbeat_client); the supervisor answers kPong and
+//                    treats prolonged silence from a still-running worker
+//                    as a wedge, killing and replacing it. Process exit
+//                    is detected directly via WorkerHandle::alive().
+//  * restart       — a dead worker's slot respawns after a full-jitter
+//                    exponential backoff (support::Backoff), so a
+//                    fast-crashing worker cannot burn CPU in a tight
+//                    fork loop.
+//  * crash-loop    — N deaths of one slot inside a sliding window put the
+//                    slot in quarantine for a cool-down; capacity drops
+//                    rather than thrash. (A worker that dies instantly at
+//                    startup — bad config, missing fixture — would
+//                    otherwise defeat any per-restart backoff.)
+//  * autoscale     — the pool tracks the coordinator's queue depth
+//                    between min_workers and max_workers: scale-up is
+//                    immediate when chunks are pending, scale-down waits
+//                    for a sustained idle window before retiring one
+//                    worker at a time.
+//
+// The pool is *mechanism-agnostic*: workers are reached only through the
+// WorkerHandle interface, so unit tests drive the supervisor with
+// thread-backed handles (fast, sanitizer-friendly) while the daemon
+// provides fork-backed ones. Slots have identity — slot i's backoff and
+// crash history survive its worker's death, so a crash-looper cannot
+// launder its history by respawning "fresh".
+//
+// Safety: supervision only ever destroys and recreates workers, and the
+// campaign layer is already indifferent to worker death (chunks reclaim
+// and reassign; results are bit-identical at any worker count), so no
+// supervisor action can change campaign output — only its latency.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/backoff.hpp"
+#include "support/socket.hpp"
+
+namespace mavr::campaignd {
+
+/// One supervised worker, by whatever mechanism runs it (thread in tests,
+/// fork in the daemon). Called only from the supervisor thread.
+class WorkerHandle {
+ public:
+  virtual ~WorkerHandle() = default;
+  /// Still running? Implementations must also reap here (waitpid for
+  /// processes) so a dead worker does not linger as a zombie.
+  virtual bool alive() = 0;
+  /// Polite stop (SIGTERM / stop flag): finish the in-flight trial, exit.
+  virtual void terminate() = 0;
+  /// Hard stop (SIGKILL / abandon): for wedged workers that ignore
+  /// terminate(). Must make alive() turn false promptly.
+  virtual void kill_now() = 0;
+  /// Heartbeat channel (supervisor end), or nullptr for a worker without
+  /// one — such workers get no wedge detection, only alive() monitoring.
+  virtual support::Socket* control() = 0;
+};
+
+/// Spawns worker number `seq` (monotonic across the pool's life).
+using WorkerFactory =
+    std::function<std::unique_ptr<WorkerHandle>(std::uint64_t seq)>;
+
+/// Pending chunk count from the coordinator (Coordinator::queue_depth());
+/// nullptr = no signal, pool pins at max_workers.
+using QueueDepthFn = std::function<std::uint64_t()>;
+
+struct SupervisorConfig {
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 4;
+  /// A running worker silent on its control channel this long is wedged:
+  /// kill_now() + restart. 0 disables wedge detection. Must comfortably
+  /// exceed the worker's ping interval plus its longest single-trial
+  /// compute (pings ride a dedicated thread, so compute does not normally
+  /// suppress them — but a stopped clock must not look like a wedge).
+  int heartbeat_timeout_ms = 5'000;
+  /// Full-jitter exponential restart backoff per slot.
+  int restart_backoff_ms = 50;
+  int restart_backoff_max_ms = 5'000;
+  /// Crash-loop rule: this many deaths inside the window quarantines the
+  /// slot for quarantine_ms (its crash history resets after).
+  int crash_loop_failures = 5;
+  int crash_loop_window_ms = 10'000;
+  int quarantine_ms = 30'000;
+  /// Supervision loop cadence.
+  int tick_ms = 50;
+  /// Scale-down patience: consecutive idle (zero-depth) ticks before one
+  /// worker above min_workers is retired.
+  int idle_ticks_before_retire = 40;
+  /// Grace between terminate() and kill_now() during stop().
+  int stop_grace_ms = 2'000;
+  /// Jitter seed; slot i's backoff stream is fork(i).
+  std::uint64_t seed = 1;
+};
+
+/// Monotonic event counts plus a live-worker snapshot.
+struct SupervisorStats {
+  std::uint64_t spawned = 0;      ///< every worker ever started
+  std::uint64_t restarts = 0;     ///< spawns replacing a crashed worker
+  std::uint64_t wedge_kills = 0;  ///< heartbeat-silent workers killed
+  std::uint64_t quarantines = 0;  ///< slots benched by the crash-loop rule
+  std::uint64_t retired = 0;      ///< workers scaled down while idle
+  std::size_t live = 0;           ///< running right now
+};
+
+class Supervisor {
+ public:
+  Supervisor(SupervisorConfig config, WorkerFactory factory,
+             QueueDepthFn queue_depth = nullptr);
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns the initial pool and starts the supervision thread.
+  void start();
+
+  /// Stops supervising, terminates every worker (escalating to
+  /// kill_now() after stop_grace_ms), reaps them. Idempotent; also run
+  /// by the destructor.
+  void stop();
+
+  SupervisorStats stats();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Slot {
+    std::unique_ptr<WorkerHandle> handle;
+    std::unique_ptr<support::Backoff> backoff;
+    Clock::time_point last_heard;
+    Clock::time_point next_restart;  ///< earliest respawn (epoch = now)
+    Clock::time_point quarantined_until;
+    std::deque<Clock::time_point> deaths;  ///< within the sliding window
+    bool respawn_is_restart = false;  ///< next spawn replaces a crash
+    bool retiring = false;  ///< terminate()d by scale-down, not a crash
+  };
+
+  void run();
+  void tick();
+  void pump_heartbeats(Slot* slot);
+  void on_death(Slot* slot, Clock::time_point now);
+  void spawn_into(Slot* slot, Clock::time_point now);
+  std::size_t live_locked() const;
+
+  SupervisorConfig config_;
+  WorkerFactory factory_;
+  QueueDepthFn queue_depth_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex mu_;  ///< guards slots_, stats_, idle_ticks_
+  std::vector<Slot> slots_;  ///< fixed size max_workers; slot = identity
+  SupervisorStats stats_;
+  std::uint64_t next_seq_ = 0;
+  int idle_ticks_ = 0;
+};
+
+/// Worker-process side of the liveness protocol: sends kPing every
+/// `interval_ms` on `control` and expects kPong within the next interval.
+/// Returns when `stop` is raised, or when the supervisor stops answering
+/// (send failure, or `missed_limit` consecutive intervals without a pong)
+/// — the caller should treat a return with `stop` unraised as "supervisor
+/// is gone" and shut down. Runs on its own thread so pings keep flowing
+/// while the main thread computes a long chunk.
+void heartbeat_client(support::Socket& control, int interval_ms,
+                      const std::atomic<bool>& stop, int missed_limit = 3);
+
+}  // namespace mavr::campaignd

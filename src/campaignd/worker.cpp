@@ -8,6 +8,7 @@
 #include "campaign/scenarios.hpp"
 #include "campaignd/protocol.hpp"
 #include "firmware/profile.hpp"
+#include "support/backoff.hpp"
 #include "support/error.hpp"
 #include "support/socket.hpp"
 
@@ -15,22 +16,21 @@ namespace mavr::campaignd {
 
 namespace {
 
-/// How long a worker waits for the coordinator to answer a request
-/// before declaring the connection dead and reconnecting.
-constexpr int kReplyTimeoutMs = 10'000;
 /// recv slice so a raised stop flag is noticed quickly mid-wait.
 constexpr int kRecvSliceMs = 100;
 
 /// recv_message in stop-aware slices. Returns kTimeout early (without
 /// having consumed anything) if `stop` is raised between slices.
 support::IoStatus recv_reply(support::Socket& sock, Message* msg,
-                             const std::atomic<bool>& stop) {
+                             const std::atomic<bool>& stop,
+                             int reply_timeout_ms) {
   int waited = 0;
-  while (waited < kReplyTimeoutMs) {
+  while (waited < reply_timeout_ms) {
     if (stop.load(std::memory_order_relaxed)) {
       return support::IoStatus::kTimeout;
     }
-    const support::IoStatus st = recv_message(sock, msg, kRecvSliceMs);
+    const support::IoStatus st = recv_message(
+        sock, msg, std::min(kRecvSliceMs, reply_timeout_ms));
     if (st != support::IoStatus::kTimeout) return st;
     waited += kRecvSliceMs;
   }
@@ -65,20 +65,33 @@ std::uint64_t run_worker(const std::string& endpoint,
   // One firmware generate+link, shared across campaigns: every board
   // scenario attacks the same stock testapp build.
   std::optional<campaign::SimFixture> fixture;
+  // Paces reconnects after a connection breaks: full-jitter exponential
+  // ladder, climbed on every broken connection, reset by a completed
+  // handshake. The connect call's own linear retry only covers racing
+  // the coordinator's initial bind.
+  support::Backoff reconnect(options.reconnect_backoff_ms,
+                             options.reconnect_backoff_max_ms,
+                             options.backoff_seed);
 
   while (!stop.load()) {
     support::Socket sock = support::connect_endpoint(
         *ep, options.connect_attempts, options.backoff_ms);
     if (!sock.valid()) return completed;  // coordinator is gone for good
+    if (options.fault_plane != nullptr) options.fault_plane->arm(sock);
 
-    switch (client_handshake(sock, options.auth_token, kReplyTimeoutMs)) {
+    switch (client_handshake(sock, options.auth_token,
+                             options.reply_timeout_ms)) {
       case HandshakeResult::kOk:
+        reconnect.reset();
         break;
       case HandshakeResult::kRejected:
         // Wrong token or version: reconnecting cannot fix it.
         return completed;
       case HandshakeResult::kTransport:
-        continue;  // connection died mid-handshake: retry from connect
+        // Connection died mid-handshake: back off, retry from connect.
+        interruptible_sleep(
+            static_cast<std::uint32_t>(reconnect.next_delay_ms()), stop);
+        continue;
     }
 
     bool conn_ok = true;
@@ -86,9 +99,20 @@ std::uint64_t run_worker(const std::string& endpoint,
       if (options.max_chunks != 0 && completed >= options.max_chunks) {
         return completed;  // "die" here; held chunks get reassigned
       }
+      if (options.stall_after_chunks != 0 &&
+          completed >= options.stall_after_chunks) {
+        // Straggler model: wedge with the connection open — the chunk it
+        // would have run next must come back via speculation or the
+        // coordinator's assignment timeout, not via reclaim-on-close.
+        while (!stop.load()) interruptible_sleep(1'000, stop);
+        return completed;
+      }
       if (!send_message(sock, MsgType::kWorkRequest, {})) break;
       Message msg;
-      if (recv_reply(sock, &msg, stop) != support::IoStatus::kOk) break;
+      if (recv_reply(sock, &msg, stop, options.reply_timeout_ms) !=
+          support::IoStatus::kOk) {
+        break;
+      }
 
       try {
       switch (msg.type) {
@@ -109,6 +133,14 @@ std::uint64_t run_worker(const std::string& endpoint,
               assign.config, fixture ? &*fixture : nullptr);
           for (std::uint64_t idx : assign.chunks) {
             if (stop.load()) return completed;
+            if (options.stall_after_chunks != 0 &&
+                completed >= options.stall_after_chunks) {
+              // Wedge *holding the rest of this range*: these chunks are
+              // in flight at the coordinator and only speculation or the
+              // assignment timeout can recover them while we sit here.
+              while (!stop.load()) interruptible_sleep(1'000, stop);
+              return completed;
+            }
             std::vector<campaign::ChunkResult> chunk =
                 campaign::run_chunk_range(assign.config, fn, idx, idx + 1,
                                           &stop);
@@ -122,7 +154,8 @@ std::uint64_t run_worker(const std::string& endpoint,
               break;
             }
             Message reply;
-            if (recv_reply(sock, &reply, stop) != support::IoStatus::kOk) {
+            if (recv_reply(sock, &reply, stop, options.reply_timeout_ms) !=
+                support::IoStatus::kOk) {
               conn_ok = false;
               break;
             }
@@ -148,7 +181,10 @@ std::uint64_t run_worker(const std::string& endpoint,
         conn_ok = false;  // malformed reply body: drop the connection
       }
     }
-    // Connection died: loop around and try to re-establish it.
+    // Connection died: back off (jittered, exponential in consecutive
+    // breaks) and try to re-establish it.
+    interruptible_sleep(static_cast<std::uint32_t>(reconnect.next_delay_ms()),
+                        stop);
   }
   return completed;
 }

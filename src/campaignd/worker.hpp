@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/netfault.hpp"
+
 namespace mavr::campaignd {
 
 struct WorkerOptions {
@@ -27,6 +29,11 @@ struct WorkerOptions {
   /// Exit after completing this many chunks; 0 = unlimited. Lets tests
   /// model a worker that dies partway through a campaign.
   std::uint64_t max_chunks = 0;
+  /// After completing this many chunks, wedge: hold the connection (and
+  /// any remaining assignment) while making no progress until `stop`.
+  /// 0 = never. Models the straggler the coordinator's speculative
+  /// re-assignment exists to route around.
+  std::uint64_t stall_after_chunks = 0;
   /// Shared handshake token; must match the coordinator's. Empty matches
   /// a coordinator configured without one (the AF_UNIX default).
   std::string auth_token;
@@ -34,6 +41,20 @@ struct WorkerOptions {
   /// chunk), between protocol round-trips, and within ~100ms inside a
   /// kWait sleep.
   const std::atomic<bool>* stop = nullptr;
+  /// Reply deadline per request before the connection is declared dead
+  /// and re-established. Chaos tests shrink this so a dropped frame
+  /// costs milliseconds, not the production-sized timeout.
+  int reply_timeout_ms = 10'000;
+  /// Full-jitter exponential backoff between reconnects after a live
+  /// connection breaks (support::Backoff) — distinct seeds keep a fleet
+  /// that lost one coordinator from reconnecting in lockstep.
+  int reconnect_backoff_ms = 25;
+  int reconnect_backoff_max_ms = 2'000;
+  std::uint64_t backoff_seed = 1;
+  /// Chaos plane: when set, every connection this worker opens is armed
+  /// with a fault stream (worker-side injection; the coordinator arms
+  /// its own side via CoordinatorConfig::net_faults).
+  support::NetFaultPlane* fault_plane = nullptr;
 };
 
 /// Runs the pull loop against the coordinator at `endpoint`

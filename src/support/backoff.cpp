@@ -1,0 +1,22 @@
+#include "support/backoff.hpp"
+
+#include <algorithm>
+
+namespace mavr::support {
+
+int Backoff::next_delay_ms() {
+  // Ceiling grows 2x per failure until it pins at max_ms_. The shift is
+  // clamped so a long outage cannot overflow the doubling.
+  const int n = std::min(failures_, 20);
+  ++failures_;
+  const std::int64_t ceiling =
+      std::min<std::int64_t>(static_cast<std::int64_t>(base_ms_) << n,
+                             max_ms_);
+  const std::int64_t floor = std::max<std::int64_t>(1, base_ms_ / 2);
+  if (ceiling <= floor) return static_cast<int>(ceiling);
+  return static_cast<int>(
+      rng_.range(static_cast<std::uint64_t>(floor),
+                 static_cast<std::uint64_t>(ceiling)));
+}
+
+}  // namespace mavr::support

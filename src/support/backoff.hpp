@@ -1,0 +1,49 @@
+// Exponential backoff with deterministic jitter — the shared retry pacing
+// for every reconnect/restart loop in the campaign service (DESIGN.md §14).
+//
+// Three call sites share this policy: a client re-polling a coordinator
+// across transient connection failures, a worker re-establishing its
+// coordinator connection, and the supervisor respawning crashed worker
+// processes. All three have the same failure mode if they retry naively:
+// N peers that lost the same coordinator at the same instant reconnect at
+// the same instant, forever ("thundering herd"). Full jitter breaks the
+// synchronization: the nth delay is drawn uniformly from
+// [base/2, base * 2^n], capped at `max_ms` — the deterministic Rng means a
+// test can pin the exact schedule while distinct seeds (one per peer)
+// de-correlate real fleets.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace mavr::support {
+
+class Backoff {
+ public:
+  /// `base_ms` seeds the first delay's range, `max_ms` caps the growth,
+  /// `seed` fixes the jitter stream (peers should use distinct seeds).
+  Backoff(int base_ms, int max_ms, std::uint64_t seed)
+      : base_ms_(base_ms < 1 ? 1 : base_ms),
+        max_ms_(max_ms < base_ms_ ? base_ms_ : max_ms),
+        rng_(seed) {}
+
+  /// Delay before the next retry, in ms: uniform in [base/2, base * 2^n]
+  /// where n is the number of consecutive failures so far, capped at
+  /// max_ms. Advances the failure count.
+  int next_delay_ms();
+
+  /// Consecutive failures recorded since the last reset().
+  int failures() const { return failures_; }
+
+  /// Call after a success: the next failure starts the ladder over.
+  void reset() { failures_ = 0; }
+
+ private:
+  int base_ms_;
+  int max_ms_;
+  int failures_ = 0;
+  Rng rng_;
+};
+
+}  // namespace mavr::support

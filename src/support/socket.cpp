@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include <netdb.h>
 #include <netinet/in.h>
@@ -105,6 +106,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.release();
+    fault_ = std::move(other.fault_);
   }
   return *this;
 }
@@ -124,6 +126,42 @@ void Socket::close() {
 
 bool Socket::send_all(std::span<const std::uint8_t> data) {
   if (fd_ < 0) return false;
+  std::vector<std::uint8_t> mutated;  // only allocated when corrupting
+  if (fault_ != nullptr) {
+    const SocketFaultHook::SendPlan plan = fault_->plan_send(data.size());
+    if (plan.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+    }
+    // A half-open connection or a dropped frame both *succeed* from the
+    // caller's view — exactly the lie a real network tells. The peer's
+    // silence (and the caller's reply timeout) is what surfaces it.
+    if (plan.half_open || plan.drop) return true;
+    if (plan.corrupt_at < data.size()) {
+      mutated.assign(data.begin(), data.end());
+      mutated[plan.corrupt_at] =
+          static_cast<std::uint8_t>(mutated[plan.corrupt_at] ^
+                                    plan.corrupt_mask);
+      data = mutated;
+    }
+    if (plan.truncate_to < data.size()) {
+      // Deliver the prefix, then slam the write side: the peer reads a
+      // torn frame followed by EOF — indistinguishable from a sender
+      // dying mid-write.
+      data = data.first(plan.truncate_to);
+      std::size_t sent = 0;
+      while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      ::shutdown(fd_, SHUT_WR);
+      return false;
+    }
+  }
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
@@ -140,6 +178,21 @@ bool Socket::send_all(std::span<const std::uint8_t> data) {
 IoStatus Socket::recv_exact(std::uint8_t* dst, std::size_t n,
                             int timeout_ms) {
   if (fd_ < 0) return IoStatus::kClosed;
+  if (fault_ != nullptr) {
+    if (fault_->recv_hung()) {
+      // Half-open: the peer's bytes never arrive. Burn the caller's own
+      // timeout budget so the hang is observed the way a real one is —
+      // as silence, not as an error. An infinite wait would livelock the
+      // harness, so it degrades to kClosed after a bounded stall.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(timeout_ms >= 0 ? timeout_ms : 1'000));
+      return timeout_ms >= 0 ? IoStatus::kTimeout : IoStatus::kClosed;
+    }
+    const std::uint32_t delay = fault_->plan_recv_delay();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + std::chrono::milliseconds(
                                            timeout_ms < 0 ? 0 : timeout_ms);

@@ -38,13 +38,47 @@ namespace mavr::support {
 /// is mid-frame and unusable).
 enum class IoStatus { kOk, kTimeout, kClosed };
 
+/// Injection hook a Socket consults on every send/recv when armed — the
+/// seam the chaos plane (support/netfault) decorates transport through.
+/// A hook serves exactly one Socket (per-connection state such as a
+/// half-open hang lives here), so implementations need no locking of
+/// their own beyond any shared tally they report into.
+class SocketFaultHook {
+ public:
+  virtual ~SocketFaultHook() = default;
+
+  /// What one send_all should do to its buffer. Defaults are "deliver
+  /// intact".
+  struct SendPlan {
+    bool drop = false;       ///< swallow silently; caller still sees success
+    bool half_open = false;  ///< go permanently silent (this send and on)
+    /// Flip `corrupt_mask` into byte `corrupt_at` (when < len) — must be
+    /// caught by the receiver's CRC framing, never silently merged.
+    std::size_t corrupt_at = SIZE_MAX;
+    std::uint8_t corrupt_mask = 0;
+    /// Short write: deliver only this prefix, then shut the write side
+    /// down (the peer sees a torn frame followed by EOF).
+    std::size_t truncate_to = SIZE_MAX;
+    std::uint32_t delay_ms = 0;  ///< stall before transmitting
+  };
+  virtual SendPlan plan_send(std::size_t len) = 0;
+
+  /// Stall (ms) injected before the next read; 0 = none.
+  virtual std::uint32_t plan_recv_delay() = 0;
+
+  /// True once the connection has gone half-open: reads yield nothing
+  /// until the caller's own timeout declares the peer dead.
+  virtual bool recv_hung() = 0;
+};
+
 /// Owning wrapper over a connected stream-socket fd. Move-only.
 class Socket {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { close(); }
-  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket(Socket&& other) noexcept
+      : fd_(other.release()), fault_(std::move(other.fault_)) {}
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -53,6 +87,14 @@ class Socket {
   int fd() const { return fd_; }
   int release();
   void close();
+
+  /// Arms fault injection on this socket. The hook rides along on move
+  /// (a FaultyListener attaches it before handing the accepted socket
+  /// out by value). Null disarms.
+  void set_fault_hook(std::shared_ptr<SocketFaultHook> hook) {
+    fault_ = std::move(hook);
+  }
+  bool fault_armed() const { return fault_ != nullptr; }
 
   /// Writes all of `data`; false on any error (peer gone). Never raises
   /// SIGPIPE.
@@ -66,6 +108,7 @@ class Socket {
 
  private:
   int fd_ = -1;
+  std::shared_ptr<SocketFaultHook> fault_;
 };
 
 /// A parsed transport address: where a coordinator listens / a peer

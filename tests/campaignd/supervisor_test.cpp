@@ -1,0 +1,301 @@
+// Supervisor unit tests over thread-backed WorkerHandles (DESIGN.md §14).
+//
+// The supervisor is mechanism-agnostic: it only sees the WorkerHandle
+// interface, so these tests model the daemon's forked workers with
+// threads — fast, sanitizer-friendly, and able to act out every failure
+// mode on demand: clean exits, crashes (thread returns), crash loops
+// (instant death on spawn), and wedges (alive but heartbeat-silent,
+// immune to terminate()).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "campaignd/protocol.hpp"
+#include "campaignd/supervisor.hpp"
+#include "support/socket.hpp"
+
+namespace {
+
+using namespace mavr;
+using Clock = std::chrono::steady_clock;
+
+/// Polls `pred` until true or `budget_ms` elapses.
+template <typename Pred>
+bool eventually(Pred pred, int budget_ms = 5'000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// A worker that is really a thread. Heartbeats (or pointedly doesn't)
+/// over a real socketpair, dies on cue, and can play dead to terminate().
+class ThreadWorker : public campaignd::WorkerHandle {
+ public:
+  struct Behavior {
+    bool heartbeat = true;      ///< false: silent — looks wedged
+    int crash_after_ms = 0;     ///< >0: exit uninvited after this long
+    bool ignore_terminate = false;  ///< wedge: only kill_now() works
+  };
+
+  explicit ThreadWorker(Behavior behavior) {
+    auto ends = support::Socket::make_pair();
+    control_ = std::move(ends.first);
+    worker_end_ = std::move(ends.second);
+    thread_ = std::thread([this, behavior] { body(behavior); });
+  }
+  ~ThreadWorker() override {
+    killed_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool alive() override { return !done_.load(); }
+  void terminate() override { stop_.store(true); }
+  void kill_now() override { killed_.store(true); }
+  support::Socket* control() override { return &control_; }
+
+ private:
+  void body(Behavior behavior) {
+    const auto born = Clock::now();
+    std::uint64_t seq = 0;
+    while (!killed_.load()) {
+      if (!behavior.ignore_terminate && stop_.load()) break;
+      if (behavior.crash_after_ms > 0 &&
+          Clock::now() - born >
+              std::chrono::milliseconds(behavior.crash_after_ms)) {
+        break;  // "crash": exit without being asked
+      }
+      if (behavior.heartbeat) {
+        if (!campaignd::send_message(worker_end_, campaignd::MsgType::kPing,
+                                     campaignd::encode_u64_body(seq++))) {
+          break;  // supervisor hung up
+        }
+        campaignd::Message msg;  // drain pongs; liveness only needs flow
+        while (campaignd::recv_message(worker_end_, &msg, 0) ==
+               support::IoStatus::kOk) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    done_.store(true);
+  }
+
+  support::Socket control_;     ///< supervisor's end
+  support::Socket worker_end_;  ///< this thread's end
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> killed_{false};
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+campaignd::SupervisorConfig fast_config() {
+  campaignd::SupervisorConfig config;
+  config.tick_ms = 10;
+  config.restart_backoff_ms = 5;
+  config.restart_backoff_max_ms = 50;
+  config.heartbeat_timeout_ms = 0;  // wedge detection off unless a test
+                                    // opts in — crashes don't need it
+  config.stop_grace_ms = 500;
+  return config;
+}
+
+TEST(SupervisorTest, SpawnsMinWithDepthSignalMaxWithout) {
+  for (const bool with_depth : {true, false}) {
+    auto config = fast_config();
+    config.min_workers = 2;
+    config.max_workers = 4;
+    std::atomic<int> spawned{0};
+    campaignd::Supervisor supervisor(
+        config,
+        [&spawned](std::uint64_t) {
+          ++spawned;
+          return std::make_unique<ThreadWorker>(ThreadWorker::Behavior{});
+        },
+        with_depth ? campaignd::QueueDepthFn([] { return std::uint64_t{0}; })
+                   : campaignd::QueueDepthFn(nullptr));
+    supervisor.start();
+    // The initial pool exists before start() returns.
+    EXPECT_EQ(supervisor.stats().live, with_depth ? 2u : 4u);
+    supervisor.stop();
+    EXPECT_EQ(supervisor.stats().live, 0u);
+    EXPECT_EQ(spawned.load(), with_depth ? 2 : 4);
+    EXPECT_EQ(supervisor.stats().restarts, 0u);
+  }
+}
+
+TEST(SupervisorTest, RestartsACrashedWorker) {
+  auto config = fast_config();
+  config.min_workers = 1;
+  config.max_workers = 1;
+  config.crash_loop_failures = 100;  // don't quarantine in this test
+  std::atomic<int> spawned{0};
+  campaignd::Supervisor supervisor(
+      config,
+      [&spawned](std::uint64_t) {
+        // First worker crashes 30 ms in; replacements are healthy.
+        ThreadWorker::Behavior b;
+        b.crash_after_ms = spawned++ == 0 ? 30 : 0;
+        return std::make_unique<ThreadWorker>(b);
+      },
+      [] { return std::uint64_t{0}; });
+  supervisor.start();
+  EXPECT_TRUE(eventually(
+      [&supervisor] { return supervisor.stats().restarts >= 1; }));
+  EXPECT_TRUE(
+      eventually([&supervisor] { return supervisor.stats().live == 1; }));
+  supervisor.stop();
+  EXPECT_GE(supervisor.stats().spawned, 2u);
+}
+
+TEST(SupervisorTest, CrashLoopQuarantinesTheSlot) {
+  auto config = fast_config();
+  config.min_workers = 1;
+  config.max_workers = 1;
+  config.crash_loop_failures = 3;
+  config.crash_loop_window_ms = 10'000;
+  config.quarantine_ms = 60'000;  // benched for the rest of the test
+  std::atomic<int> spawned{0};
+  campaignd::Supervisor supervisor(
+      config,
+      [&spawned](std::uint64_t) {
+        ++spawned;
+        ThreadWorker::Behavior b;
+        b.crash_after_ms = 1;  // dies on arrival, every time
+        return std::make_unique<ThreadWorker>(b);
+      },
+      [] { return std::uint64_t{0}; });
+  supervisor.start();
+  EXPECT_TRUE(eventually(
+      [&supervisor] { return supervisor.stats().quarantines >= 1; }));
+  // Quarantine stops the thrash: spawn count freezes while benched.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const int frozen = spawned.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(spawned.load(), frozen);
+  EXPECT_EQ(supervisor.stats().live, 0u);  // capacity dropped, no loop
+  supervisor.stop();
+}
+
+TEST(SupervisorTest, WedgedWorkerIsKilledAndReplaced) {
+  auto config = fast_config();
+  config.min_workers = 1;
+  config.max_workers = 1;
+  config.heartbeat_timeout_ms = 100;  // >> tick, << test budget
+  config.crash_loop_failures = 100;
+  std::atomic<int> spawned{0};
+  campaignd::Supervisor supervisor(
+      config,
+      [&spawned](std::uint64_t) {
+        // First worker runs but never heartbeats and shrugs off
+        // terminate() — only kill_now() can clear it.
+        ThreadWorker::Behavior b;
+        b.heartbeat = spawned++ != 0;
+        b.ignore_terminate = spawned == 1;
+        return std::make_unique<ThreadWorker>(b);
+      },
+      [] { return std::uint64_t{0}; });
+  supervisor.start();
+  EXPECT_TRUE(eventually(
+      [&supervisor] { return supervisor.stats().wedge_kills >= 1; }));
+  // The healthy replacement heartbeats, so it is NOT wedge-killed.
+  EXPECT_TRUE(
+      eventually([&supervisor] { return supervisor.stats().live == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(supervisor.stats().wedge_kills, 1u);
+  supervisor.stop();
+}
+
+TEST(SupervisorTest, AutoscalesWithQueueDepth) {
+  auto config = fast_config();
+  config.min_workers = 1;
+  config.max_workers = 3;
+  config.idle_ticks_before_retire = 5;  // impatient scale-down for tests
+  std::atomic<std::uint64_t> depth{0};
+  campaignd::Supervisor supervisor(
+      config,
+      [](std::uint64_t) {
+        return std::make_unique<ThreadWorker>(ThreadWorker::Behavior{});
+      },
+      [&depth] { return depth.load(); });
+  supervisor.start();
+  EXPECT_EQ(supervisor.stats().live, 1u);  // starts (and idles) at min
+  // Pending work appears: scale-up is immediate (next tick), capped at
+  // max.
+  depth.store(10);
+  EXPECT_TRUE(
+      eventually([&supervisor] { return supervisor.stats().live == 3; }));
+  // Queue drains: scale-down retires one worker per idle window, back
+  // to min and no further.
+  depth.store(0);
+  EXPECT_TRUE(
+      eventually([&supervisor] { return supervisor.stats().live == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(supervisor.stats().live, 1u);
+  EXPECT_EQ(supervisor.stats().retired, 2u);
+  EXPECT_EQ(supervisor.stats().restarts, 0u);  // retirement is not a crash
+  supervisor.stop();
+}
+
+TEST(HeartbeatClientTest, PingsFlowAndStopReturnsPromptly) {
+  auto ends = support::Socket::make_pair();
+  support::Socket supervisor_end = std::move(ends.first);
+  support::Socket worker_end = std::move(ends.second);
+  std::atomic<bool> stop{false};
+  std::thread client([&worker_end, &stop] {
+    campaignd::heartbeat_client(worker_end, /*interval_ms=*/20, stop,
+                                /*missed_limit=*/1'000);
+  });
+  // Supervisor side: answer pings for a while, proving the loop runs.
+  int pings = 0;
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (pings < 3 && Clock::now() < deadline) {
+    campaignd::Message msg;
+    if (campaignd::recv_message(supervisor_end, &msg, 50) ==
+            support::IoStatus::kOk &&
+        msg.type == campaignd::MsgType::kPing) {
+      ++pings;
+      campaignd::send_message(supervisor_end, campaignd::MsgType::kPong,
+                              msg.body);
+    }
+  }
+  EXPECT_GE(pings, 3);
+  stop.store(true);
+  client.join();  // returns within an interval of stop being raised
+}
+
+TEST(HeartbeatClientTest, ReturnsWhenSupervisorVanishes) {
+  auto ends = support::Socket::make_pair();
+  support::Socket supervisor_end = std::move(ends.first);
+  support::Socket worker_end = std::move(ends.second);
+  std::atomic<bool> stop{false};
+  std::thread client([&worker_end, &stop] {
+    campaignd::heartbeat_client(worker_end, /*interval_ms=*/20, stop,
+                                /*missed_limit=*/3);
+  });
+  supervisor_end.close();  // the supervisor process is gone
+  client.join();           // kClosed → immediate return, stop unraised
+  EXPECT_FALSE(stop.load());
+}
+
+TEST(HeartbeatClientTest, GivesUpAfterConsecutiveSilentIntervals) {
+  auto ends = support::Socket::make_pair();
+  support::Socket supervisor_end = std::move(ends.first);
+  support::Socket worker_end = std::move(ends.second);
+  std::atomic<bool> stop{false};
+  const auto t0 = Clock::now();
+  // Supervisor end open but mute: no pongs ever. The client must give
+  // up after missed_limit intervals rather than ping forever.
+  campaignd::heartbeat_client(worker_end, /*interval_ms=*/20, stop,
+                              /*missed_limit=*/2);
+  const auto elapsed = Clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+}  // namespace

@@ -338,7 +338,7 @@ class CheckpointTest : public ::testing::Test {
 };
 
 TEST_F(CheckpointTest, AppendLoadRoundTrip) {
-  const campaignd::CheckpointStore store(path_);
+  campaignd::CheckpointStore store(path_);
   store.append(0x1111, sample_chunk(2, 64));
   store.append(0x1111, sample_chunk(0, 64));
   store.append(0x2222, sample_chunk(5, 64));  // other campaign
@@ -354,7 +354,7 @@ TEST_F(CheckpointTest, AppendLoadRoundTrip) {
 }
 
 TEST_F(CheckpointTest, TornTailIsIgnored) {
-  const campaignd::CheckpointStore store(path_);
+  campaignd::CheckpointStore store(path_);
   store.append(0x3333, sample_chunk(0, 64));
   store.append(0x3333, sample_chunk(1, 64));
   {
@@ -374,7 +374,7 @@ TEST_F(CheckpointTest, TornTailIsIgnored) {
 }
 
 TEST_F(CheckpointTest, DisabledStoreIsInert) {
-  const campaignd::CheckpointStore store("");
+  campaignd::CheckpointStore store("");
   EXPECT_FALSE(store.enabled());
   store.append(1, sample_chunk(0, 64));  // no-op, must not create a file
   EXPECT_TRUE(store.load(1, 10).empty());

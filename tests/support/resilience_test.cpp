@@ -1,0 +1,182 @@
+// Units under the chaos plane (DESIGN.md §14): the shared Backoff retry
+// pacing, and the NetFaultPlane schedule — deterministic per seed,
+// per-connection forked streams, and a live tally of what it injected.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/backoff.hpp"
+#include "support/netfault.hpp"
+#include "support/rng.hpp"
+#include "support/socket.hpp"
+
+namespace {
+
+using namespace mavr;
+
+TEST(BackoffTest, DelaysStayInsideTheJitterEnvelope) {
+  support::Backoff backoff(/*base_ms=*/50, /*max_ms=*/2'000, /*seed=*/7);
+  for (int n = 0; n < 12; ++n) {
+    EXPECT_EQ(backoff.failures(), n);
+    const int delay = backoff.next_delay_ms();
+    // Full jitter: nth delay uniform in [base/2, base * 2^n], capped.
+    EXPECT_GE(delay, 25);
+    const std::int64_t envelope =
+        std::min<std::int64_t>(50ll << std::min(n, 20), 2'000);
+    EXPECT_LE(delay, envelope) << "failure " << n;
+  }
+  EXPECT_EQ(backoff.failures(), 12);
+}
+
+TEST(BackoffTest, ScheduleIsDeterministicPerSeed) {
+  support::Backoff a(20, 5'000, /*seed=*/42);
+  support::Backoff b(20, 5'000, /*seed=*/42);
+  support::Backoff c(20, 5'000, /*seed=*/43);
+  std::vector<int> sa, sb, sc;
+  for (int i = 0; i < 16; ++i) {
+    sa.push_back(a.next_delay_ms());
+    sb.push_back(b.next_delay_ms());
+    sc.push_back(c.next_delay_ms());
+  }
+  EXPECT_EQ(sa, sb);  // pinned replay: tests can predict the ladder
+  EXPECT_NE(sa, sc);  // distinct peers de-correlate (thundering herd)
+}
+
+TEST(BackoffTest, ResetRestartsTheLadder) {
+  support::Backoff backoff(100, 60'000, /*seed=*/1);
+  for (int i = 0; i < 8; ++i) backoff.next_delay_ms();
+  backoff.reset();
+  EXPECT_EQ(backoff.failures(), 0);
+  // Post-reset the envelope is the first rung again, not 100 * 2^8.
+  EXPECT_LE(backoff.next_delay_ms(), 100);
+}
+
+TEST(NetFaultTest, UniformScalesHalfOpenDown) {
+  const auto config = support::NetFaultConfig::uniform(0.05);
+  EXPECT_DOUBLE_EQ(config.frame_drop, 0.05);
+  EXPECT_DOUBLE_EQ(config.byte_corrupt, 0.05);
+  EXPECT_DOUBLE_EQ(config.short_write, 0.05);
+  EXPECT_DOUBLE_EQ(config.delay, 0.05);
+  // A hang costs a whole peer timeout: at equal rates it would dominate.
+  EXPECT_DOUBLE_EQ(config.half_open, 0.005);
+  EXPECT_TRUE(config.any());
+  EXPECT_FALSE(support::NetFaultConfig::uniform(0).any());
+}
+
+TEST(NetFaultTest, DisarmedPlaneHandsOutNothing) {
+  support::NetFaultPlane plane;
+  EXPECT_FALSE(plane.armed());
+  EXPECT_EQ(plane.fork_connection(), nullptr);
+  support::Socket a, b;
+  std::tie(a, b) = support::Socket::make_pair();
+  plane.arm(a);
+  EXPECT_FALSE(a.fault_armed());
+  EXPECT_EQ(plane.stats().connections, 0u);
+}
+
+/// Drains one connection's send schedule into a comparable trace.
+std::vector<std::uint64_t> send_trace(support::SocketFaultHook* hook,
+                                      int sends) {
+  std::vector<std::uint64_t> trace;
+  for (int i = 0; i < sends; ++i) {
+    const auto plan = hook->plan_send(/*len=*/64);
+    trace.push_back((plan.drop ? 1u : 0u) | (plan.half_open ? 2u : 0u) |
+                    (plan.corrupt_at != SIZE_MAX ? 4u : 0u) |
+                    (plan.truncate_to != SIZE_MAX ? 8u : 0u) |
+                    (static_cast<std::uint64_t>(plan.delay_ms) << 8) |
+                    (static_cast<std::uint64_t>(plan.corrupt_at) << 32));
+  }
+  return trace;
+}
+
+TEST(NetFaultTest, ScheduleIsAPureFunctionOfSeedAndConnectionOrder) {
+  const auto config = support::NetFaultConfig::uniform(0.3);
+  support::NetFaultPlane p1(config, support::Rng(99));
+  support::NetFaultPlane p2(config, support::Rng(99));
+  support::NetFaultPlane p3(config, support::Rng(100));
+
+  for (int conn = 0; conn < 3; ++conn) {
+    const auto t1 = send_trace(p1.fork_connection().get(), 200);
+    const auto t2 = send_trace(p2.fork_connection().get(), 200);
+    const auto t3 = send_trace(p3.fork_connection().get(), 200);
+    EXPECT_EQ(t1, t2) << "connection " << conn;  // same seed replays
+    EXPECT_NE(t1, t3) << "connection " << conn;  // seeds decorrelate
+  }
+  // At rate 0.3 over 600 sends, silence would be a broken schedule.
+  EXPECT_GT(p1.stats().total(), 0u);
+  EXPECT_EQ(p1.stats().connections, 3u);
+}
+
+TEST(NetFaultTest, HalfOpenIsStickyOnItsConnection) {
+  support::NetFaultConfig config;
+  config.half_open = 1.0;  // first send hangs the connection for good
+  support::NetFaultPlane plane(config, support::Rng(5));
+  const auto hook = plane.fork_connection();
+  EXPECT_TRUE(hook->plan_send(32).half_open);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(hook->plan_send(32).half_open);  // silent forever
+    EXPECT_TRUE(hook->recv_hung());              // both directions dead
+  }
+  // A sibling connection from the same plane is unaffected.
+  EXPECT_FALSE(plane.fork_connection()->recv_hung());
+}
+
+TEST(NetFaultTest, DroppedFramesVanishFromTheWire) {
+  support::NetFaultConfig config;
+  config.frame_drop = 1.0;
+  support::NetFaultPlane plane(config, support::Rng(11));
+  auto [a, b] = support::Socket::make_pair();
+  plane.arm(a);
+  ASSERT_TRUE(a.fault_armed());
+
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(a.send_all(payload));  // sender believes it went out
+  std::uint8_t rx[4] = {};
+  // ...but the peer sees only silence.
+  EXPECT_EQ(b.recv_exact(rx, sizeof rx, /*timeout_ms=*/50),
+            support::IoStatus::kTimeout);
+  EXPECT_GE(plane.stats().frames_dropped, 1u);
+}
+
+TEST(NetFaultTest, CorruptionFlipsExactlyOneBitInTransit) {
+  support::NetFaultConfig config;
+  config.byte_corrupt = 1.0;
+  support::NetFaultPlane plane(config, support::Rng(13));
+  auto [a, b] = support::Socket::make_pair();
+  plane.arm(a);
+
+  const std::vector<std::uint8_t> sent(64, 0xAB);
+  ASSERT_TRUE(a.send_all(sent));
+  std::vector<std::uint8_t> got(sent.size());
+  ASSERT_EQ(b.recv_exact(got.data(), got.size(), 1'000),
+            support::IoStatus::kOk);
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    std::uint8_t diff = static_cast<std::uint8_t>(sent[i] ^ got[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);  // "flip one bit, never zero"
+  EXPECT_EQ(plane.stats().frames_corrupted, 1u);
+}
+
+TEST(NetFaultTest, ShortWriteTearsTheStream) {
+  support::NetFaultConfig config;
+  config.short_write = 1.0;
+  support::NetFaultPlane plane(config, support::Rng(17));
+  auto [a, b] = support::Socket::make_pair();
+  plane.arm(a);
+
+  const std::vector<std::uint8_t> sent(64, 0x5C);
+  EXPECT_FALSE(a.send_all(sent));  // the torn stream is an error locally
+  std::vector<std::uint8_t> got(sent.size());
+  // The peer gets a prefix then EOF: mid-frame silence-or-EOF is kClosed.
+  EXPECT_EQ(b.recv_exact(got.data(), got.size(), 1'000),
+            support::IoStatus::kClosed);
+  EXPECT_EQ(plane.stats().short_writes, 1u);
+}
+
+}  // namespace

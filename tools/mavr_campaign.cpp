@@ -34,6 +34,8 @@
 #include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "campaign/export.hpp"
 #include "campaign/scenarios.hpp"
 #include "campaignd/client.hpp"
@@ -261,8 +263,17 @@ int main(int argc, char** argv) {
     if (connect_path.empty()) {
       stats = campaign::run_campaign(config);
     } else {
+      // Resilient client (DESIGN.md §14): retries ride out a coordinator
+      // restart or dropped frames instead of dying on first ECONNRESET.
+      // Submit retry is safe (idempotent at the coordinator); the wait
+      // budget is consecutive, reset by every successful poll; progress
+      // resumes from the coordinator's incremental aggregate.
+      campaignd::ClientOptions client;
+      client.auth_token = auth_token;
+      client.max_retries = 10;
+      client.retry_seed = static_cast<std::uint64_t>(::getpid());
       const campaignd::SubmitOutcome submit =
-          campaignd::submit_campaign(connect_path, config, auth_token);
+          campaignd::submit_campaign(connect_path, config, client);
       if (!submit.ok) {
         std::fprintf(stderr, "submit failed: %s\n", submit.error.c_str());
         return 1;
@@ -271,8 +282,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(submit.campaign_id),
                   connect_path.c_str());
       const campaignd::PollOutcome done = campaignd::wait_campaign(
-          connect_path, submit.campaign_id, /*interval_ms=*/50,
-          /*timeout_ms=*/-1, auth_token);
+          connect_path, submit.campaign_id, client, /*interval_ms=*/50,
+          /*timeout_ms=*/-1);
       if (!done.ok) {
         std::fprintf(stderr, "wait failed: %s\n", done.error.c_str());
         return 1;
