@@ -1,0 +1,124 @@
+// Analysis-plane throughput: whole-image static analysis (CFG + dataflow +
+// gadget ranking + policy derivation, DESIGN.md §15) on a fleet of
+// rerandomized images, cold versus content-addressed-cache warm.
+//
+// The cache key is canonical_function_digest() — position-independent per
+// function — so every rerandomized layout of the same program should hit
+// the cache function-by-function and skip straight to the cheap
+// whole-image passes. This bench pins that claim with numbers: images/s
+// cold (fresh cache per image) vs cached (one warm-up analysis, shared
+// cache), the speedup, and a bit-identity check that the cached run of a
+// permuted image reproduces the cold run's report_text() byte for byte.
+//
+// Output is one JSON object per profile (machine-readable, single line)
+// so CI can assert on speedup and bit_identical without parsing prose.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "bench_util.hpp"
+#include "defense/patcher.hpp"
+#include "support/rng.hpp"
+#include "toolchain/image.hpp"
+
+namespace {
+
+using namespace mavr;
+
+constexpr int kVariants = 8;  ///< rerandomized layouts per profile
+constexpr int kReps = 3;      ///< best-of, like the other timing benches
+
+struct Variant {
+  support::Bytes image;
+  toolchain::SymbolBlob blob;  ///< blob order preserved, addresses permuted
+};
+
+std::vector<Variant> make_variants(const firmware::Firmware& fw,
+                                   const toolchain::SymbolBlob& blob) {
+  support::Rng rng(0x5eed'0aa1u);
+  std::vector<Variant> variants;
+  for (int i = 0; i < kVariants; ++i) {
+    const defense::RandomizeResult result =
+        defense::randomize_image(fw.image.bytes, blob, rng);
+    Variant v;
+    v.image = result.image;
+    v.blob = blob;
+    v.blob.function_addrs = result.new_addrs;  // blob order, NOT ascending
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+double best_images_per_sec(int reps, int images, const auto& run_once) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_once();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::max(best, images / secs);
+  }
+  return best;
+}
+
+void bench_profile(const char* tag, const firmware::AppProfile& profile) {
+  const firmware::Firmware& fw = bench::built(profile);
+  const toolchain::SymbolBlob blob =
+      toolchain::SymbolBlob::from_image(fw.image);
+  const std::vector<Variant> variants = make_variants(fw, blob);
+
+  // Cold: every image analyzed against a fresh, empty cache.
+  const double cold = best_images_per_sec(kReps, kVariants, [&] {
+    for (const Variant& v : variants) {
+      analysis::AnalysisCache cache;
+      analysis::Analyzer(&cache).analyze(v.image, v.blob);
+    }
+  });
+
+  // Cached: one warm-up analysis of the base image fills the shared cache;
+  // every rerandomized layout should then hit it function-by-function.
+  analysis::AnalysisCache shared;
+  analysis::Analyzer warm(&shared);
+  warm.analyze(fw.image.bytes, blob);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  const double cached = best_images_per_sec(kReps, kVariants, [&] {
+    hits = misses = 0;
+    for (const Variant& v : variants) {
+      const analysis::AnalysisReport r = warm.analyze(v.image, v.blob);
+      hits += r.cache_hits;
+      misses += r.cache_misses;
+    }
+  });
+
+  // Bit-identity: cold and cached analyses of the same permuted image must
+  // render identically (cache counters are excluded from report_text).
+  analysis::AnalysisCache fresh;
+  const std::string cold_text = analysis::report_text(
+      analysis::Analyzer(&fresh).analyze(variants[0].image, variants[0].blob));
+  const std::string cached_text = analysis::report_text(
+      warm.analyze(variants[0].image, variants[0].blob));
+  const bool identical = cold_text == cached_text;
+
+  const double total = static_cast<double>(hits + misses);
+  std::printf(
+      "{\"bench\":\"analysis_throughput\",\"profile\":\"%s\","
+      "\"images\":%d,\"functions\":%zu,"
+      "\"cold_images_per_sec\":%.2f,\"cached_images_per_sec\":%.2f,"
+      "\"speedup\":%.2f,\"cache_hit_rate\":%.4f,\"bit_identical\":%s}\n",
+      tag, kVariants, blob.function_addrs.size(), cold, cached, cached / cold,
+      total > 0 ? static_cast<double>(hits) / total : 0.0,
+      identical ? "true" : "false");
+}
+
+}  // namespace
+
+int main() {
+  bench_profile("testapp", firmware::testapp(true));
+  bench_profile("arduplane", firmware::arduplane(true));
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "analysis/cache.hpp"
+
+#include <cstring>
+#include <iterator>
+#include <span>
+
+#include "support/crc.hpp"
+#include "support/error.hpp"
+
+namespace mavr::analysis {
+
+namespace {
+
+constexpr std::uint8_t kRecordVersion = 1;
+// 1 version byte + 32 digest bytes precede the record body.
+constexpr std::size_t kPayloadHeader = 1 + 32;
+// Sanity bound: no per-function or per-image record comes anywhere near
+// this; a frame claiming more is corruption, not data.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+AnalysisCache::AnalysisCache(std::string path) : path_(std::move(path)) {
+  MAVR_REQUIRE(!path_.empty(), "file-backed cache needs a path");
+  load_file();
+  appender_.open(path_, std::ios::binary | std::ios::app);
+}
+
+void AnalysisCache::load_file() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // no file yet: empty cache
+  support::Bytes file((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos + 8 <= file.size()) {
+    const std::uint32_t len = read_u32_le(file.data() + pos);
+    const std::uint32_t want_crc = read_u32_le(file.data() + pos + 4);
+    if (len < kPayloadHeader || len > kMaxRecordBytes ||
+        pos + 8 + len > file.size()) {
+      // Torn tail or garbled length: framing is gone from here on.
+      ++load_stats_.records_rejected;
+      return;
+    }
+    const std::span<const std::uint8_t> payload(file.data() + pos + 8, len);
+    if (support::crc32_ieee(payload) != want_crc ||
+        payload[0] != kRecordVersion) {
+      ++load_stats_.records_rejected;
+      return;
+    }
+    support::Sha256Digest digest;
+    std::memcpy(digest.data(), payload.data() + 1, digest.size());
+    entries_[digest] = support::Bytes(payload.begin() + kPayloadHeader,
+                                      payload.end());
+    ++load_stats_.records_loaded;
+    load_stats_.bytes_loaded += len - kPayloadHeader;
+    pos += 8 + len;
+  }
+  if (pos != file.size()) ++load_stats_.records_rejected;  // trailing scrap
+}
+
+const support::Bytes* AnalysisCache::lookup(
+    const support::Sha256Digest& digest) const {
+  const auto it = entries_.find(digest);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void AnalysisCache::insert(const support::Sha256Digest& digest,
+                           support::Bytes record) {
+  auto [it, fresh] = entries_.insert_or_assign(digest, std::move(record));
+  if (fresh && appender_.is_open()) append_record(digest, it->second);
+}
+
+void AnalysisCache::append_record(const support::Sha256Digest& digest,
+                                  const support::Bytes& record) {
+  support::Bytes payload;
+  payload.reserve(kPayloadHeader + record.size());
+  payload.push_back(kRecordVersion);
+  payload.insert(payload.end(), digest.begin(), digest.end());
+  payload.insert(payload.end(), record.begin(), record.end());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = support::crc32_ieee(payload);
+  std::uint8_t header[8] = {
+      static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len >> 16),
+      static_cast<std::uint8_t>(len >> 24),
+      static_cast<std::uint8_t>(crc), static_cast<std::uint8_t>(crc >> 8),
+      static_cast<std::uint8_t>(crc >> 16),
+      static_cast<std::uint8_t>(crc >> 24)};
+  appender_.write(reinterpret_cast<const char*>(header), sizeof(header));
+  appender_.write(reinterpret_cast<const char*>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+  appender_.flush();
+}
+
+}  // namespace mavr::analysis

@@ -1,0 +1,94 @@
+// Control-flow graph recovery over a region of AVR flash (DESIGN.md §15).
+//
+// AVR's two-byte instruction alignment makes one linear sweep from the
+// region base visit every instruction — the same property the detect
+// engine's CFI rebuild and attack::GadgetFinder already lean on. On top
+// of that sweep this module recovers *structure*: basic blocks split at
+// branch targets and terminators, intra-region edges, call sites, and the
+// indirect branches no static pass can resolve from the code alone (the
+// analysis plane resolves the provable subset later, from pointer-slot
+// contents).
+//
+// A region is any contiguous byte range the caller treats as one code
+// unit: a single function body (per-function analysis, cacheable across
+// randomization because offsets are position-independent) or the whole
+// executable text (mavr-objdump --cfg).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mavr::analysis {
+
+/// Why a basic block stops where it does.
+enum class BlockEnd : std::uint8_t {
+  kFallThrough,   ///< next instruction is a branch target (leader split)
+  kJump,          ///< rjmp/jmp
+  kBranch,        ///< brbs/brbc: taken edge + fall-through edge
+  kSkip,          ///< cpse/sbrc/sbrs/sbic/sbis: skip edge + fall-through
+  kRet,           ///< ret
+  kReti,          ///< reti
+  kIndirectJump,  ///< ijmp/eijmp — target not in the code
+  kHalt,          ///< break (stops the core)
+  kFault,         ///< invalid encoding — executing it faults
+  kTruncated,     ///< 32-bit instruction whose second word is past the end
+  kFallsOffEnd,   ///< last instruction falls through into whatever follows
+};
+
+const char* block_end_name(BlockEnd end);
+
+/// One basic block: [start, end) in region-relative byte offsets.
+struct BasicBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  std::uint32_t n_instrs = 0;
+  BlockEnd end_kind = BlockEnd::kFallThrough;
+  /// Region-relative start offsets of successor blocks, ascending.
+  std::vector<std::uint32_t> succs;
+};
+
+/// One call/rcall/icall/eicall instruction.
+struct CallSite {
+  std::uint32_t offset = 0;      ///< region-relative byte offset of the call
+  std::uint32_t ret_offset = 0;  ///< offset of the instruction after it
+  bool indirect = false;         ///< icall/eicall
+  /// Absolute byte target for direct calls (call: absolute by encoding;
+  /// rcall: region base + relative resolved by the builder). -1 = indirect.
+  std::int64_t target = -1;
+};
+
+/// A direct jmp/rjmp/branch whose target lies outside the region, or
+/// inside it but not on an instruction boundary (a jump into data).
+struct JumpOut {
+  std::uint32_t offset = 0;      ///< region-relative offset of the jump
+  std::int64_t target = 0;       ///< absolute byte target (may be negative
+                                 ///< for an rjmp reaching below the base)
+};
+
+/// CFG of one contiguous code region.
+struct RegionCfg {
+  std::uint32_t base = 0;  ///< absolute byte address of offset 0
+  std::uint32_t size = 0;  ///< region length in bytes
+  std::vector<BasicBlock> blocks;          ///< ascending by start
+  std::vector<CallSite> calls;             ///< ascending by offset
+  std::vector<std::uint32_t> indirect_jumps;  ///< ijmp/eijmp offsets
+  std::vector<std::uint32_t> truncated;    ///< straddling-instruction offsets
+  std::vector<JumpOut> jumps_out;          ///< ascending by offset
+
+  /// Total intra-region edges (sum of succs).
+  std::uint32_t n_edges() const;
+};
+
+/// Builds the CFG of `code`, a region whose first byte lives at absolute
+/// address `base` (used only to compute absolute call/jump-out targets).
+/// An empty region yields an empty CFG.
+RegionCfg build_region_cfg(std::span<const std::uint8_t> code,
+                           std::uint32_t base);
+
+/// Stable text rendering (one block per line plus site lists) — the
+/// format mavr-objdump --cfg prints and golden-file tests pin.
+std::string format_cfg(const RegionCfg& cfg);
+
+}  // namespace mavr::analysis

@@ -1,5 +1,7 @@
 #include "attack/gadgets.hpp"
 
+#include <algorithm>
+
 #include "avr/decode.hpp"
 #include "avr/mcu.hpp"
 #include "support/bytes.hpp"
@@ -8,6 +10,15 @@ namespace mavr::attack {
 
 using avr::Instr;
 using avr::Op;
+
+const char* gadget_kind_name(GadgetKind kind) {
+  switch (kind) {
+    case GadgetKind::kRet: return "ret";
+    case GadgetKind::kStkMove: return "stk_move";
+    case GadgetKind::kWriteMem: return "write_mem";
+  }
+  return "?";
+}
 
 GadgetFinder::GadgetFinder(std::span<const std::uint8_t> image,
                            std::uint32_t text_end) {
@@ -53,6 +64,9 @@ void GadgetFinder::scan(std::span<const std::uint8_t> image,
     while (first_pop > 0 && instrs[first_pop - 1].op == Op::Pop) --first_pop;
     const std::size_t n_pops = i - first_pop;
     if (n_pops >= 4) ++census_.pop_chain_gadgets;
+    sites_.push_back({addrs[i], GadgetKind::kRet,
+                      static_cast<std::uint8_t>(std::min<std::size_t>(
+                          n_pops, 255))});
 
     // stk_move: out SPL,r28 ; [pops] ; ret — preceded by out SREG and
     // out SPH (paper Fig. 4). Entry is at the out SPH.
@@ -66,6 +80,9 @@ void GadgetFinder::scan(std::span<const std::uint8_t> image,
         StkMoveGadget g;
         g.entry_byte_addr = addrs[first_pop - 3];
         g.pops = pops_before_ret(i, first_pop);
+        sites_.push_back({g.entry_byte_addr, GadgetKind::kStkMove,
+                          static_cast<std::uint8_t>(
+                              std::min<std::size_t>(g.pops.size(), 255))});
         stk_moves_.push_back(std::move(g));
         ++census_.stk_move_gadgets;
       }
@@ -95,12 +112,23 @@ void GadgetFinder::scan(std::span<const std::uint8_t> image,
           g.store_entry_byte_addr = addrs[first_pop - 3];
           g.pop_entry_byte_addr = addrs[first_pop];
           g.pops = std::move(pops);
+          sites_.push_back({g.store_entry_byte_addr, GadgetKind::kWriteMem,
+                            static_cast<std::uint8_t>(
+                                std::min<std::size_t>(g.pops.size(), 255))});
           write_mems_.push_back(std::move(g));
           ++census_.write_mem_gadgets;
         }
       }
     }
   }
+  // Per-sequence emission appends the ret before its own mid-sequence
+  // entries; one stable sort restores global address order.
+  std::stable_sort(sites_.begin(), sites_.end(),
+                   [](const GadgetSite& a, const GadgetSite& b) {
+                     if (a.byte_addr != b.byte_addr)
+                       return a.byte_addr < b.byte_addr;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
 }
 
 }  // namespace mavr::attack

@@ -35,6 +35,28 @@ struct WriteMemGadget {
   std::vector<std::uint8_t> pops;           ///< in pop order (r29 first)
 };
 
+/// Classification of one gadget entry point. Mirrors the census columns:
+/// every ret-terminated sequence is a kRet site at its ret instruction,
+/// and the mid-sequence entries (out SPH / std Y+1) are distinct sites of
+/// their own kinds — the same accounting total() uses.
+enum class GadgetKind : std::uint8_t {
+  kRet,      ///< the ret instruction terminating a sequence
+  kStkMove,  ///< stk_move entry (at the out SPH)
+  kWriteMem, ///< write_mem store entry (at the first std Y+1)
+};
+
+const char* gadget_kind_name(GadgetKind kind);
+
+/// One gadget entry point with its address and kind — the join key the
+/// analysis plane's reachability ranking needs (census totals alone cannot
+/// be joined against a taint depth).
+struct GadgetSite {
+  std::uint32_t byte_addr = 0;
+  GadgetKind kind = GadgetKind::kRet;
+  /// Pops between entry and ret (0 for a bare ret site): chain capacity.
+  std::uint8_t pop_count = 0;
+};
+
 /// Census of code-reuse material in an image.
 struct GadgetCensus {
   std::uint32_t ret_gadgets = 0;       ///< ret-terminated sequences
@@ -71,11 +93,18 @@ class GadgetFinder {
   const std::vector<WriteMemGadget>& write_mems() const { return write_mems_; }
   const GadgetCensus& census() const { return census_; }
 
+  /// Every counted gadget entry point, ascending by address (ties broken
+  /// by kind order). sites().size() == census().total(): one site per
+  /// counted gadget, so downstream joins inherit total()'s no-double-count
+  /// semantics (pop-chains are kRet sites, not separate entries).
+  const std::vector<GadgetSite>& sites() const { return sites_; }
+
  private:
   void scan(std::span<const std::uint8_t> image, std::uint32_t text_end);
 
   std::vector<StkMoveGadget> stk_moves_;
   std::vector<WriteMemGadget> write_mems_;
+  std::vector<GadgetSite> sites_;
   GadgetCensus census_;
 };
 

@@ -21,6 +21,7 @@ const char* scenario_name(Scenario scenario) {
     case Scenario::kBruteForceRerand: return "bruteforce-rerand";
     case Scenario::kFaultSweep: return "fault-sweep";
     case Scenario::kDetectSweep: return "detect-sweep";
+    case Scenario::kAnalyzeSweep: return "analyze-sweep";
   }
   return "?";
 }
@@ -46,6 +47,9 @@ const char* scenario_description(Scenario scenario) {
     case Scenario::kDetectSweep:
       return "runtime detectors (--detectors) vs. one attack variant or a "
              "clean flight (--attack)";
+    case Scenario::kAnalyzeSweep:
+      return "detect sweep with the analysis-derived per-function policy "
+             "loaded at every reflash (--generic for the baseline)";
   }
   return "?";
 }
@@ -59,6 +63,7 @@ std::span<const Scenario> all_scenarios() {
       Scenario::kBruteForceRerand,
       Scenario::kFaultSweep,
       Scenario::kDetectSweep,
+      Scenario::kAnalyzeSweep,
   };
   return kAll;
 }
@@ -73,7 +78,8 @@ std::optional<Scenario> parse_scenario(std::string_view name) {
 bool scenario_uses_board(Scenario scenario) {
   return scenario == Scenario::kV1 || scenario == Scenario::kV2 ||
          scenario == Scenario::kV3 || scenario == Scenario::kFaultSweep ||
-         scenario == Scenario::kDetectSweep;
+         scenario == Scenario::kDetectSweep ||
+         scenario == Scenario::kAnalyzeSweep;
 }
 
 const char* detect_attack_name(DetectAttack attack) {

@@ -42,7 +42,8 @@ enum class Scenario {
   kBruteForceFixed,  ///< model: attacker vs. one fixed permutation
   kBruteForceRerand, ///< model: attacker vs. re-randomize-on-failure
   kFaultSweep,       ///< reflash pipeline vs. an armed fault plane
-  kDetectSweep       ///< runtime detectors vs. one attack variant / clean
+  kDetectSweep,      ///< runtime detectors vs. one attack variant / clean
+  kAnalyzeSweep      ///< detect sweep + analysis-derived per-function policy
 };
 
 const char* scenario_name(Scenario scenario);
@@ -91,6 +92,13 @@ struct CampaignConfig {
   unsigned detectors = detect::kDetectAll;
   DetectAttack detect_attack = DetectAttack::kClean;
   bool detect_randomize = false;
+
+  // Analyze-sweep scenario: when true every trial's master carries the
+  // static-analysis-derived per-function policy (detect::kDetectPolicy is
+  // armed on top of `detectors`); when false the same trial runs with the
+  // generic detectors alone — the baseline the derived policy's
+  // detection-rate delta is measured against (DESIGN.md §15).
+  bool analyze_policy = true;
 };
 
 /// Outcome of one trial.

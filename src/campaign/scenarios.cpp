@@ -1,5 +1,6 @@
 #include "campaign/scenarios.hpp"
 
+#include "analysis/analyze.hpp"
 #include "defense/bruteforce.hpp"
 #include "defense/external_flash.hpp"
 #include "defense/master.hpp"
@@ -109,9 +110,16 @@ TrialResult run_detect_trial(const SimFixture& fx, const CampaignConfig& config,
 
   detect::EngineConfig ecfg;
   ecfg.detectors = config.detectors;
+  // Analyze sweep: the derived per-function policy rides on top of the
+  // configured generic set. With analyze_policy off the same trial is the
+  // generic baseline the detection-rate delta is measured against.
+  const bool derived = config.scenario == Scenario::kAnalyzeSweep &&
+                       config.analyze_policy;
+  if (derived) ecfg.detectors |= detect::kDetectPolicy;
   detect::Engine engine(ecfg);
   engine.arm(board.cpu());
   master.attach_detector(&engine);
+  if (derived) master.attach_policy(&fx.policy);
 
   master.host_upload_hex(fx.container_hex);
   master.boot();  // programs the image and rebuilds the engine's CFI set
@@ -238,6 +246,7 @@ SimFixture make_sim_fixture(const firmware::AppProfile& profile) {
     if (g.pops.size() <= 3) fx.usable_stk.push_back(g);  // chain must fit
   }
   MAVR_CHECK(!fx.usable_stk.empty(), "no usable stk_move gadgets");
+  fx.policy = analysis::Analyzer().analyze(fx.fw.image).policy;
   return fx;
 }
 
@@ -252,7 +261,8 @@ TrialFn make_trial_fn(const CampaignConfig& config,
         return run_fault_trial(*fx, cfg, rng);
       };
     }
-    if (config.scenario == Scenario::kDetectSweep) {
+    if (config.scenario == Scenario::kDetectSweep ||
+        config.scenario == Scenario::kAnalyzeSweep) {
       return [fx, cfg](std::uint64_t, support::Rng& rng) {
         return run_detect_trial(*fx, cfg, rng);
       };

@@ -11,6 +11,7 @@
 
 #include "attack/attacks.hpp"
 #include "campaign/campaign.hpp"
+#include "detect/policy.hpp"
 #include "firmware/generator.hpp"
 #include "firmware/profile.hpp"
 
@@ -24,6 +25,11 @@ struct SimFixture {
   attack::AttackPlan plan;          ///< offline analysis of the stock image
   std::string container_hex;       ///< preprocessed container for the master
   std::vector<attack::StkMoveGadget> usable_stk;  ///< brute-forceable guesses
+  /// Analysis-derived per-function detector policy (blob function order),
+  /// computed once from the stock image — layout-invariant, so every
+  /// trial's master re-materializes the same set against its own fresh
+  /// permutation (analyze-sweep scenario, DESIGN.md §15).
+  detect::PolicySet policy;
 };
 
 /// Builds the offline-attacker fixture for `profile` (generates and links

@@ -38,12 +38,13 @@ void encode_config(support::ByteWriter& w, const CampaignConfig& config) {
   w.u32_le(static_cast<std::uint32_t>(config.detectors));
   w.u8(static_cast<std::uint8_t>(config.detect_attack));
   w.u8(config.detect_randomize ? 1 : 0);
+  w.u8(config.analyze_policy ? 1 : 0);
 }
 
 CampaignConfig decode_config(support::ByteReader& r) {
   CampaignConfig config;
   const std::uint8_t scenario = r.u8();
-  if (scenario > static_cast<std::uint8_t>(Scenario::kDetectSweep)) {
+  if (scenario > static_cast<std::uint8_t>(Scenario::kAnalyzeSweep)) {
     throw support::DataError("wire: unknown scenario tag");
   }
   config.scenario = static_cast<Scenario>(scenario);
@@ -62,6 +63,7 @@ CampaignConfig decode_config(support::ByteReader& r) {
   }
   config.detect_attack = static_cast<DetectAttack>(attack);
   config.detect_randomize = r.u8() != 0;
+  config.analyze_policy = r.u8() != 0;
   config.jobs = 1;  // execution detail, not part of the wire identity
   return config;
 }

@@ -22,7 +22,9 @@ namespace mavr::campaign::wire {
 /// Bumped whenever any encoding below changes shape. Framed into every
 /// campaignd message and checkpoint record, so a stale peer or store is
 /// rejected instead of misparsed.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: CampaignConfig gained the analyze-sweep scenario tag and the
+/// analyze_policy flag.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 // Primitive helpers shared by the campaignd protocol and checkpoint store.
 void put_u64(support::ByteWriter& w, std::uint64_t v);

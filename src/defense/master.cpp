@@ -116,6 +116,10 @@ void MasterProcessor::randomize_and_program() {
     if (program_verified(result.image, report)) {
       current_permutation_ = std::move(permutation);
       last_good_image_ = result.image;
+      last_good_addrs_ = config_.randomize_enabled
+                             ? result.new_addrs
+                             : container->blob.function_addrs;
+      last_good_sizes_ = container->blob.function_sizes;
       ++randomizations_;
       health_state_ = MasterHealth::kHealthy;
       finish_report(result.image.size(), report);
@@ -287,6 +291,16 @@ bool MasterProcessor::service() {
 void MasterProcessor::sync_detector(std::span<const std::uint8_t> image) {
   if (detector_ == nullptr) return;
   detector_->rebuild(image, text_end_);
+  // Re-materialize the derived per-function policy against the layout just
+  // placed: the policy names functions by blob index, so it survives
+  // randomization verbatim — only the address ranges move.
+  if (policy_ != nullptr && !policy_->functions.empty() &&
+      policy_->functions.size() == last_good_addrs_.size()) {
+    detector_->load_policy(detect::MaterializedPolicy::materialize(
+        *policy_, last_good_addrs_, last_good_sizes_));
+  } else {
+    detector_->clear_policy();
+  }
   detector_->reset_dynamic();
 }
 

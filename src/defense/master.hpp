@@ -164,6 +164,16 @@ class MasterProcessor {
   /// The engine must outlive the attachment.
   void attach_detector(detect::Engine* engine) { detector_ = engine; }
 
+  /// Attaches (or clears, with nullptr) an analysis-derived per-function
+  /// policy (detect::PolicySet, blob function order — see DESIGN.md §15).
+  /// On every successful programming pass the master materializes it
+  /// against the layout it just placed (randomization moves every
+  /// function) and loads it into the attached detector; the caller arms
+  /// detect::kDetectPolicy. A policy whose shape does not match the
+  /// container's blob is ignored (the detector's policy is cleared).
+  /// The set must outlive the attachment.
+  void attach_policy(const detect::PolicySet* policy) { policy_ = policy; }
+
   // --- Introspection ----------------------------------------------------------
   std::uint32_t boots() const { return boots_; }
   std::uint32_t randomizations() const { return randomizations_; }
@@ -212,6 +222,7 @@ class MasterProcessor {
   support::Rng rng_;
   support::FaultPlane* faults_ = nullptr;
   detect::Engine* detector_ = nullptr;
+  const detect::PolicySet* policy_ = nullptr;
   std::uint32_t text_end_ = 0;  ///< of the loaded container (CFI sweep cap)
   std::uint32_t boots_ = 0;
   std::uint32_t randomizations_ = 0;
@@ -221,6 +232,12 @@ class MasterProcessor {
   std::optional<StartupReport> last_startup_;
   std::vector<std::size_t> current_permutation_;
   support::Bytes last_good_image_;  ///< last image that passed full verify
+  /// Layout of last_good_image_ (blob order): what the policy, which names
+  /// functions by blob index, is materialized against after every pass —
+  /// including a degrade, where the stale layout still matches the stale
+  /// image.
+  std::vector<std::uint32_t> last_good_addrs_;
+  std::vector<std::uint32_t> last_good_sizes_;
   MasterHealth health_state_ = MasterHealth::kHealthy;
   ReflashHealth health_;
 };

@@ -14,12 +14,14 @@ const char* detector_name(Detector detector) {
     case Detector::kShadowStack: return "shadow";
     case Detector::kSpBounds: return "sp-bounds";
     case Detector::kReturnCfi: return "cfi";
+    case Detector::kPolicyIo: return "policy-io";
+    case Detector::kPolicyRet: return "policy-ret";
   }
   return "?";
 }
 
 std::string detector_set_name(unsigned mask) {
-  if ((mask & kDetectAll) == 0) return "none";
+  if ((mask & (kDetectAll | kDetectPolicy)) == 0) return "none";
   std::string out;
   const auto add = [&](unsigned bit, const char* name) {
     if (!(mask & bit)) return;
@@ -30,6 +32,7 @@ std::string detector_set_name(unsigned mask) {
   add(kDetectShadowStack, "shadow");
   add(kDetectSpBounds, "sp-bounds");
   add(kDetectReturnCfi, "cfi");
+  add(kDetectPolicy, "policy");
   return out;
 }
 
@@ -48,6 +51,8 @@ std::optional<unsigned> parse_detector_set(std::string_view text) {
       mask |= kDetectSpBounds;
     } else if (token == "cfi") {
       mask |= kDetectReturnCfi;
+    } else if (token == "policy") {
+      mask |= kDetectPolicy;
     } else if (token == "all") {
       mask |= kDetectAll;
     } else if (token == "none") {
@@ -189,6 +194,20 @@ void Engine::on_ret(const avr::Cpu& cpu, std::uint32_t from_words,
              "ret target is not a call-site successor");
     }
   }
+  if ((config_.detectors & kDetectPolicy) && !policy_.empty() && !reti) {
+    // Refined return-edge check: the popped target must be one of the
+    // sites that actually call the function this RET lives in — a strict
+    // subset of the generic CFI set, so anything the generic check flags
+    // the policy flags too. A RET outside every function (padding, the
+    // vector table) has no policy to check; ret-unbounded functions fall
+    // back to the generic semantics handled above.
+    const int fn = policy_.function_containing(from_words);
+    if (fn >= 0 && !policy_.ret_unbounded(fn) &&
+        !policy_.ret_allowed(fn, raw_words)) {
+      record(Detector::kPolicyRet, cpu, from_words, raw_words,
+             "ret target is not a known call site of this function");
+    }
+  }
 }
 
 void Engine::on_sp_change(const avr::Cpu& cpu, std::uint16_t old_sp,
@@ -216,6 +235,23 @@ void Engine::on_sp_change(const avr::Cpu& cpu, std::uint16_t old_sp,
       frames_.pop_back();
     }
   }
+}
+
+void Engine::on_store(const avr::Cpu& cpu, std::uint32_t addr,
+                      std::uint8_t value) {
+  if (!(config_.detectors & kDetectPolicy) || policy_.empty()) return;
+  // I/O privilege: only the window below SRAM is policed — stack and
+  // ordinary data traffic (addr >= 0x200) passes untouched, so this check
+  // costs one compare on the hot store path.
+  if (addr >= kPolicyIoSpan) return;
+  // The hook fires during the instruction, so cpu.pc() is the PC of the
+  // store itself; the policy is keyed by the function containing it.
+  const int fn = policy_.function_containing(cpu.pc());
+  if (fn >= 0 && !policy_.io_allowed(fn, addr)) {
+    record(Detector::kPolicyIo, cpu, cpu.pc(), addr,
+           "store to an I/O register outside the function's privilege set");
+  }
+  (void)value;
 }
 
 void Engine::on_fault(const avr::Cpu& cpu, const avr::FaultInfo& info) {

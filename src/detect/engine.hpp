@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "avr/cpu.hpp"
+#include "detect/policy.hpp"
 
 namespace mavr::detect {
 
@@ -57,6 +58,8 @@ enum class Detector : std::uint8_t {
   kShadowStack,
   kSpBounds,
   kReturnCfi,
+  kPolicyIo,   ///< derived policy: store to I/O outside the function's set
+  kPolicyRet,  ///< derived policy: ret target outside the function's sites
 };
 
 /// Bitmask selecting which detectors an Engine arms.
@@ -65,6 +68,11 @@ inline constexpr unsigned kDetectCanary = 1u << 0;
 inline constexpr unsigned kDetectShadowStack = 1u << 1;
 inline constexpr unsigned kDetectSpBounds = 1u << 2;
 inline constexpr unsigned kDetectReturnCfi = 1u << 3;
+/// Analysis-derived per-function policy (I/O privilege + refined return
+/// sites). Deliberately *not* part of kDetectAll: it only arms once a
+/// MaterializedPolicy has been loaded, and the generic set's semantics
+/// (and every test pinning them) stay untouched.
+inline constexpr unsigned kDetectPolicy = 1u << 4;
 inline constexpr unsigned kDetectAll =
     kDetectCanary | kDetectShadowStack | kDetectSpBounds | kDetectReturnCfi;
 
@@ -112,6 +120,17 @@ class Engine : public avr::Tracer {
   /// the sweep (bytes); it survives randomization unchanged.
   void rebuild(std::span<const std::uint8_t> image, std::uint32_t text_end);
 
+  /// Loads an analysis-derived per-function policy bound to the image
+  /// currently programmed (see detect::MaterializedPolicy). The policy
+  /// detectors only fire while kDetectPolicy is armed *and* a non-empty
+  /// policy is loaded; the master re-materializes and re-loads after
+  /// every reflash, exactly like the CFI rebuild.
+  void load_policy(MaterializedPolicy policy) {
+    policy_ = std::move(policy);
+  }
+  void clear_policy() { policy_ = MaterializedPolicy{}; }
+  bool has_policy() const { return !policy_.empty(); }
+
   /// Clears per-run state (shadow stack, frame records, SP edge state,
   /// the tripped() latch) for a board reset/reflash. The verdict log and
   /// total_trips() survive so campaigns can attribute a detection after
@@ -139,6 +158,8 @@ class Engine : public avr::Tracer {
               bool reti) override;
   void on_sp_change(const avr::Cpu& cpu, std::uint16_t old_sp,
                     std::uint16_t new_sp) override;
+  void on_store(const avr::Cpu& cpu, std::uint32_t addr,
+                std::uint8_t value) override;
   void on_fault(const avr::Cpu& cpu, const avr::FaultInfo& info) override;
 
  private:
@@ -174,6 +195,9 @@ class Engine : public avr::Tracer {
   // Return-edge CFI: bit per flash word that is a valid RET target.
   std::vector<std::uint64_t> cfi_bits_;
   std::uint32_t cfi_words_ = 0;  ///< sweep extent; 0 = no image built yet
+
+  // Analysis-derived per-function policy (empty = none loaded).
+  MaterializedPolicy policy_;
 };
 
 }  // namespace mavr::detect

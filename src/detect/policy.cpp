@@ -1,0 +1,96 @@
+#include "detect/policy.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace mavr::detect {
+
+std::uint32_t io_bit_count(const IoBitset& bits) {
+  std::uint32_t count = 0;
+  for (std::uint64_t word : bits) count += std::popcount(word);
+  return count;
+}
+
+MaterializedPolicy MaterializedPolicy::materialize(
+    const PolicySet& policy, std::span<const std::uint32_t> addrs,
+    std::span<const std::uint32_t> sizes) {
+  MAVR_REQUIRE(policy.functions.size() == addrs.size() &&
+                   addrs.size() == sizes.size(),
+               "policy/address/size arrays must be parallel");
+  MaterializedPolicy out;
+  const std::size_t n = policy.functions.size();
+  out.ranges_.reserve(n);
+  out.io_.resize(n);
+  out.io_unbounded_.resize(n);
+  out.ret_words_.resize(n);
+  out.ret_unbounded_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FuncPolicy& fp = policy.functions[i];
+    Range r;
+    r.lo_words = addrs[i] / 2;
+    r.hi_words = (addrs[i] + sizes[i]) / 2;
+    r.index = static_cast<std::uint32_t>(i);
+    out.ranges_.push_back(r);
+    out.io_[i] = fp.io_allow;
+    out.io_unbounded_[i] = fp.io_unbounded ? 1 : 0;
+    out.ret_unbounded_[i] = fp.ret_unbounded ? 1 : 0;
+    std::vector<std::uint32_t>& words = out.ret_words_[i];
+    words.reserve(fp.ret_sites.size());
+    for (const PolicyRetSite& site : fp.ret_sites) {
+      MAVR_REQUIRE(site.caller_index < addrs.size(),
+                   "ret site names a caller outside the policy");
+      words.push_back((addrs[site.caller_index] + site.offset) / 2);
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+  }
+  std::sort(out.ranges_.begin(), out.ranges_.end(),
+            [](const Range& a, const Range& b) {
+              return a.lo_words < b.lo_words;
+            });
+  return out;
+}
+
+int MaterializedPolicy::function_containing(std::uint32_t pc_words) const {
+  // First range starting past pc, then step back — the standard
+  // upper-bound probe over disjoint [lo, hi) ranges.
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), pc_words,
+      [](std::uint32_t pc, const Range& r) { return pc < r.lo_words; });
+  if (it == ranges_.begin()) return -1;
+  const Range& r = *(it - 1);
+  if (pc_words >= r.lo_words && pc_words < r.hi_words) {
+    return static_cast<int>(r.index);
+  }
+  return -1;
+}
+
+bool MaterializedPolicy::io_allowed(int index, std::uint32_t addr) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= io_.size()) return true;
+  if (io_unbounded_[static_cast<std::size_t>(index)]) return true;
+  if (addr >= kPolicyIoSpan) return true;
+  return io_bit_test(io_[static_cast<std::size_t>(index)],
+                     static_cast<std::uint16_t>(addr));
+}
+
+bool MaterializedPolicy::ret_allowed(int index,
+                                     std::uint32_t raw_words) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= ret_words_.size()) {
+    return true;
+  }
+  const std::size_t i = static_cast<std::size_t>(index);
+  if (ret_unbounded_[i]) return true;
+  return std::binary_search(ret_words_[i].begin(), ret_words_[i].end(),
+                            raw_words);
+}
+
+bool MaterializedPolicy::ret_unbounded(int index) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= ret_unbounded_.size()) {
+    return true;
+  }
+  return ret_unbounded_[static_cast<std::size_t>(index)] != 0;
+}
+
+}  // namespace mavr::detect

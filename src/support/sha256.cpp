@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MAVR_SHA256_X86 1
+#include <immintrin.h>
+#endif
+
 #include "support/error.hpp"
 
 namespace mavr::support {
@@ -26,6 +31,145 @@ std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
+#ifdef MAVR_SHA256_X86
+
+// Hardware compression via the SHA extensions. The analysis plane hashes
+// every firmware image and every function body it looks at
+// (canonical_function_digest), which made the scalar schedule the
+// dominant cost of a cache *hit*; sha256rnds2 runs the same FIPS 180-4
+// rounds an order of magnitude faster. Same state in, same state out —
+// the scalar path below stays as the portable fallback and as the
+// reference the unit tests compare against.
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(
+    std::uint32_t* state, const std::uint8_t* data, std::size_t blocks) {
+  const __m128i kFlip =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  // SHA-NI keeps the state as (ABEF, CDGH) rather than (ABCD, EFGH).
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const auto k = [](int i) {
+    return _mm_set_epi32(static_cast<int>(kRound[i + 3]),
+                         static_cast<int>(kRound[i + 2]),
+                         static_cast<int>(kRound[i + 1]),
+                         static_cast<int>(kRound[i]));
+  };
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg0, msg1, msg2, msg3, msg;
+
+    // Rounds 0-15: straight from the block.
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), kFlip);
+    msg = _mm_add_epi32(msg0, k(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kFlip);
+    msg = _mm_add_epi32(msg1, k(4));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kFlip);
+    msg = _mm_add_epi32(msg2, k(8));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kFlip);
+    msg = _mm_add_epi32(msg3, k(12));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-51: the rolling message schedule.
+    for (int round = 16; round <= 48; round += 16) {
+      msg = _mm_add_epi32(msg0, k(round));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg0, msg3, 4);
+      msg1 = _mm_add_epi32(msg1, tmp);
+      msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+      msg = _mm_add_epi32(msg1, k(round + 4));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg1, msg0, 4);
+      msg2 = _mm_add_epi32(msg2, tmp);
+      msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+      msg = _mm_add_epi32(msg2, k(round + 8));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg2, msg1, 4);
+      msg3 = _mm_add_epi32(msg3, tmp);
+      msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+      if (round == 48) break;  // rounds 60-63 need no more scheduling
+      msg = _mm_add_epi32(msg3, k(round + 12));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg3, msg2, 4);
+      msg0 = _mm_add_epi32(msg0, tmp);
+      msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    }
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(msg3, k(60));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+bool cpu_has_shani() {
+  static const bool has = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("sha") != 0 &&
+           __builtin_cpu_supports("sse4.1") != 0 &&
+           __builtin_cpu_supports("ssse3") != 0;
+  }();
+  return has;
+}
+
+#endif  // MAVR_SHA256_X86
+
 }  // namespace
 
 Sha256::Sha256()
@@ -33,6 +177,12 @@ Sha256::Sha256()
              0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
 void Sha256::compress(const std::uint8_t* block) {
+#ifdef MAVR_SHA256_X86
+  if (cpu_has_shani()) {
+    compress_shani(state_.data(), block, 1);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
@@ -90,6 +240,16 @@ void Sha256::update(std::span<const std::uint8_t> data) {
       buffered_ = 0;
     }
   }
+#ifdef MAVR_SHA256_X86
+  // Bulk path: hand whole runs of blocks to the hardware kernel at once
+  // so the state round-trips through memory once per update, not once
+  // per 64 bytes.
+  if (data.size() - pos >= 64 && cpu_has_shani()) {
+    const std::size_t nblocks = (data.size() - pos) / 64;
+    compress_shani(state_.data(), data.data() + pos, nblocks);
+    pos += nblocks * 64;
+  }
+#endif
   while (data.size() - pos >= 64) {
     compress(data.data() + pos);
     pos += 64;

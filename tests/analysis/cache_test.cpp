@@ -1,0 +1,191 @@
+// Analysis-cache corruption guard (DESIGN.md §15): the CRC-framed record
+// stream must shrug off torn tails, flipped bits, unknown versions and
+// trailing scrap — a damaged cache loads its valid prefix and the plane
+// recomputes the rest. A cache can make analysis slower, never wrong.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analysis/cache.hpp"
+#include "support/bytes.hpp"
+#include "support/crc.hpp"
+#include "support/sha256.hpp"
+
+namespace mavr {
+namespace {
+
+using analysis::AnalysisCache;
+
+support::Bytes bytes_of(const std::string& s) {
+  return support::Bytes(s.begin(), s.end());
+}
+
+support::Sha256Digest digest_of(const std::string& s) {
+  return support::sha256(bytes_of(s));
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Writes a cache of `n` records keyed "key<i>" → "record-<i>" at `path`
+/// (removing any previous file) and returns the file size.
+std::uintmax_t write_cache(const std::string& path, int n) {
+  std::filesystem::remove(path);
+  AnalysisCache cache(path);
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    cache.insert(digest_of(key), bytes_of("record-" + std::to_string(i)));
+  }
+  return std::filesystem::file_size(path);
+}
+
+// --- Plain operation ---------------------------------------------------------
+
+TEST(AnalysisCache, InMemoryInsertLookupRoundTrip) {
+  AnalysisCache cache;
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.lookup(digest_of("missing")), nullptr);
+  cache.insert(digest_of("a"), bytes_of("alpha"));
+  ASSERT_NE(cache.lookup(digest_of("a")), nullptr);
+  EXPECT_EQ(*cache.lookup(digest_of("a")), bytes_of("alpha"));
+  EXPECT_EQ(cache.entries(), 1u);
+  // Re-inserting the same digest overwrites in place (content-addressed:
+  // same key means same payload in practice, but the store must not grow).
+  cache.insert(digest_of("a"), bytes_of("alpha2"));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(*cache.lookup(digest_of("a")), bytes_of("alpha2"));
+}
+
+TEST(AnalysisCache, FileBackedPersistsAcrossReopen) {
+  const std::string path = temp_path("persist.cache");
+  write_cache(path, 3);
+  AnalysisCache reopened(path);
+  EXPECT_EQ(reopened.load_stats().records_loaded, 3u);
+  EXPECT_EQ(reopened.load_stats().records_rejected, 0u);
+  EXPECT_EQ(reopened.entries(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const support::Bytes* rec = reopened.lookup(digest_of(key));
+    ASSERT_NE(rec, nullptr) << key;
+    EXPECT_EQ(*rec, bytes_of("record-" + std::to_string(i)));
+  }
+}
+
+TEST(AnalysisCache, MissingFileIsEmptyCacheAndInsertsAppend) {
+  const std::string path = temp_path("fresh.cache");
+  std::filesystem::remove(path);
+  {
+    AnalysisCache cache(path);
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.load_stats().records_loaded, 0u);
+    cache.insert(digest_of("x"), bytes_of("xray"));
+  }
+  AnalysisCache reopened(path);
+  EXPECT_EQ(reopened.load_stats().records_loaded, 1u);
+  ASSERT_NE(reopened.lookup(digest_of("x")), nullptr);
+}
+
+// --- Corruption guard: the truncation replay ---------------------------------
+
+TEST(AnalysisCache, TornTailLoadsValidPrefixAndRecomputes) {
+  // Simulate a crash mid-append: chop 3 bytes off the last frame. The
+  // length check sees the frame run past EOF, the load stops at the last
+  // good frame, and only the torn record is missing.
+  const std::string path = temp_path("torn.cache");
+  const std::uintmax_t size = write_cache(path, 4);
+  std::filesystem::resize_file(path, size - 3);
+
+  AnalysisCache cache(path);
+  EXPECT_EQ(cache.load_stats().records_loaded, 3u);
+  EXPECT_EQ(cache.load_stats().records_rejected, 1u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(cache.lookup(digest_of("key" + std::to_string(i))), nullptr);
+  }
+  EXPECT_EQ(cache.lookup(digest_of("key3")), nullptr);  // recompute this one
+}
+
+TEST(AnalysisCache, TruncationInsideHeaderDropsOnlyThatFrame) {
+  // Tear so deep that only 4 bytes of the second frame's 8-byte header
+  // survive: the first frame loads, the stub counts as one torn frame.
+  const std::string path = temp_path("torn-header.cache");
+  write_cache(path, 2);
+  // Both records are "record-<i>" (8 bytes), so every frame is
+  // 8 (header) + 1 (version) + 32 (digest) + 8 (record) = 49 bytes.
+  std::filesystem::resize_file(path, 49 + 4);
+
+  AnalysisCache cache(path);
+  EXPECT_EQ(cache.load_stats().records_loaded, 1u);
+  EXPECT_EQ(cache.load_stats().records_rejected, 1u);
+  EXPECT_NE(cache.lookup(digest_of("key0")), nullptr);
+  EXPECT_EQ(cache.lookup(digest_of("key1")), nullptr);
+}
+
+TEST(AnalysisCache, CorruptCrcStopsLoadAtFirstBadFrame) {
+  // Flip one payload byte in the *first* frame: its CRC fails and — since
+  // frame boundaries downstream of a lie can no longer be trusted — the
+  // whole load stops there, even though later frames are intact.
+  const std::string path = temp_path("bitrot.cache");
+  write_cache(path, 3);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(8 + 10);  // inside the first frame's digest bytes
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x55;  // guaranteed different, whatever the digest holds
+    f.seekp(8 + 10);
+    f.write(&byte, 1);
+  }
+  AnalysisCache cache(path);
+  EXPECT_EQ(cache.load_stats().records_loaded, 0u);
+  EXPECT_EQ(cache.load_stats().records_rejected, 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(AnalysisCache, UnknownVersionByteRejected) {
+  // A frame from the future: valid CRC, version byte we do not speak.
+  const std::string path = temp_path("version.cache");
+  std::filesystem::remove(path);
+  {
+    support::Bytes payload;
+    payload.push_back(0xFF);  // unknown version
+    const support::Sha256Digest digest = digest_of("future");
+    payload.insert(payload.end(), digest.begin(), digest.end());
+    const support::Bytes record = bytes_of("from-the-future");
+    payload.insert(payload.end(), record.begin(), record.end());
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = support::crc32_ieee(payload);
+    std::ofstream f(path, std::ios::binary);
+    for (const std::uint32_t v : {len, crc}) {
+      for (int b = 0; b < 4; ++b) {
+        const char byte = static_cast<char>(v >> (8 * b));
+        f.write(&byte, 1);
+      }
+    }
+    f.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  }
+  AnalysisCache cache(path);
+  EXPECT_EQ(cache.load_stats().records_loaded, 0u);
+  EXPECT_EQ(cache.load_stats().records_rejected, 1u);
+}
+
+TEST(AnalysisCache, TrailingScrapCountsAsRejected) {
+  // A few stray bytes after the last frame (partial header): every real
+  // record loads, the scrap is reported, nothing is invented.
+  const std::string path = temp_path("scrap.cache");
+  write_cache(path, 2);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\x01\x02\x03", 3);
+  }
+  AnalysisCache cache(path);
+  EXPECT_EQ(cache.load_stats().records_loaded, 2u);
+  EXPECT_EQ(cache.load_stats().records_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace mavr

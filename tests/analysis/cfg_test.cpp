@@ -1,0 +1,222 @@
+// CFG recovery corner cases (DESIGN.md §15): regions a linear AVR sweep
+// can mishandle — a 32-bit instruction straddling the region end, indirect
+// branches no static pass can resolve, fall-through into data, and the
+// empty region — plus a golden pin of the format_cfg() text the objdump
+// tool prints and the analysis plane's reports embed.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+
+#include "analysis/cfg.hpp"
+#include "support/bytes.hpp"
+#include "toolchain/encode.hpp"
+
+namespace mavr {
+namespace {
+
+using analysis::BlockEnd;
+using analysis::RegionCfg;
+using analysis::build_region_cfg;
+using avr::Op;
+using namespace mavr::toolchain;
+
+support::Bytes words(std::initializer_list<std::uint16_t> ws) {
+  support::Bytes code;
+  for (const std::uint16_t w : ws) {
+    code.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    code.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+  return code;
+}
+
+// --- Empty region ------------------------------------------------------------
+
+TEST(RegionCfg, EmptyRegionYieldsEmptyCfg) {
+  const RegionCfg cfg = build_region_cfg({}, 0x100);
+  EXPECT_EQ(cfg.base, 0x100u);
+  EXPECT_EQ(cfg.size, 0u);
+  EXPECT_TRUE(cfg.blocks.empty());
+  EXPECT_TRUE(cfg.calls.empty());
+  EXPECT_TRUE(cfg.truncated.empty());
+  EXPECT_EQ(cfg.n_edges(), 0u);
+  EXPECT_EQ(analysis::format_cfg(cfg),
+            "region base=0x100 size=0x0 blocks=0 edges=0 calls=0\n");
+}
+
+// --- 32-bit instruction straddling the region end ----------------------------
+
+TEST(RegionCfg, WideInstructionStraddlingEndIsTruncated) {
+  // nop; first word of `jmp` with its second word past the end. The open
+  // block closes as truncated at the straddling word, which is also
+  // recorded in the truncated list.
+  const WordPair jmp = enc_abs_jump(Op::Jmp, 0x40);
+  const support::Bytes code = words({enc_no_operand(Op::Nop), jmp.first});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].start, 0u);
+  EXPECT_EQ(cfg.blocks[0].end, 2u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kTruncated);
+  EXPECT_TRUE(cfg.blocks[0].succs.empty());
+  ASSERT_EQ(cfg.truncated.size(), 1u);
+  EXPECT_EQ(cfg.truncated[0], 2u);
+  EXPECT_NE(analysis::format_cfg(cfg).find("truncated 0x2"),
+            std::string::npos);
+}
+
+TEST(RegionCfg, RegionStartingWithStraddlingWordIsNotSilentlyEmpty) {
+  // A two-byte region holding only the first word of a `call`: no complete
+  // instruction exists, but the CFG still records one (empty) truncated
+  // block so a non-empty region never maps to a blockless CFG.
+  const WordPair call = enc_abs_jump(Op::Call, 0x40);
+  const support::Bytes code = words({call.first});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].start, 0u);
+  EXPECT_EQ(cfg.blocks[0].end, 0u);
+  EXPECT_EQ(cfg.blocks[0].n_instrs, 0u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kTruncated);
+  ASSERT_EQ(cfg.truncated.size(), 1u);
+  EXPECT_EQ(cfg.truncated[0], 0u);
+}
+
+// --- Unresolvable indirect branches ------------------------------------------
+
+TEST(RegionCfg, IndirectJumpEndsBlockWithNoSuccessors) {
+  // ldi r30, 0x10 ; ijmp — the target lives in Z at runtime, so the block
+  // ends with no intra-region edges and the site lands in indirect_jumps
+  // for the analysis plane to resolve (or not) from pointer slots.
+  const support::Bytes code =
+      words({enc_imm(Op::Ldi, 30, 0x10), enc_no_operand(Op::Ijmp)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kIndirectJump);
+  EXPECT_TRUE(cfg.blocks[0].succs.empty());
+  EXPECT_EQ(cfg.n_edges(), 0u);
+  ASSERT_EQ(cfg.indirect_jumps.size(), 1u);
+  EXPECT_EQ(cfg.indirect_jumps[0], 2u);
+  EXPECT_NE(analysis::format_cfg(cfg).find("ijmp 0x2"), std::string::npos);
+}
+
+TEST(RegionCfg, IndirectCallRecordedAsUnresolved) {
+  // icall ; ret — the call site is kept (return-edge analysis needs its
+  // ret_offset) but carries target -1: unresolvable from the code alone.
+  const support::Bytes code =
+      words({enc_no_operand(Op::Icall), enc_no_operand(Op::Ret)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.calls.size(), 1u);
+  EXPECT_EQ(cfg.calls[0].offset, 0u);
+  EXPECT_EQ(cfg.calls[0].ret_offset, 2u);
+  EXPECT_TRUE(cfg.calls[0].indirect);
+  EXPECT_EQ(cfg.calls[0].target, -1);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kRet);
+  EXPECT_NE(analysis::format_cfg(cfg).find("call 0x0 indirect"),
+            std::string::npos);
+}
+
+// --- Fall-through into data --------------------------------------------------
+
+TEST(RegionCfg, FallThroughIntoDataIsFallsOffEnd) {
+  // Two nops and no terminator: execution runs off the region end into
+  // whatever bytes follow — the open-ended shape that makes a function
+  // record policy-unusable (FuncRecord::open_ended).
+  const support::Bytes code =
+      words({enc_no_operand(Op::Nop), enc_no_operand(Op::Nop)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].end, 4u);
+  EXPECT_EQ(cfg.blocks[0].n_instrs, 2u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kFallsOffEnd);
+  EXPECT_TRUE(cfg.blocks[0].succs.empty());
+  EXPECT_NE(analysis::format_cfg(cfg).find("end=falls-off"),
+            std::string::npos);
+}
+
+// --- Branch/skip structure ---------------------------------------------------
+
+TEST(RegionCfg, BranchSplitsBlocksWithBothEdges) {
+  // brne +1 (over the nop) ; nop ; ret — three blocks: the branch with a
+  // taken edge and a fall-through edge, the nop falling into the ret, and
+  // the ret itself.
+  const support::Bytes code = words({enc_branch(Op::Brbc, 1, 1),
+                                     enc_no_operand(Op::Nop),
+                                     enc_no_operand(Op::Ret)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kBranch);
+  EXPECT_EQ(cfg.blocks[0].succs, (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(cfg.blocks[1].end_kind, BlockEnd::kFallThrough);
+  EXPECT_EQ(cfg.blocks[1].succs, (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(cfg.blocks[2].end_kind, BlockEnd::kRet);
+  EXPECT_EQ(cfg.n_edges(), 3u);
+}
+
+TEST(RegionCfg, SkipDistanceFollowsNextInstructionWidth) {
+  // sbrs r0,0 skips the *next instruction*, whose width varies: here a
+  // 32-bit sts, so the skip edge lands 4 bytes past it, not 2.
+  const WordPair sts = enc_sts(0x0200, 1);
+  const support::Bytes code = words({enc_skip_reg(Op::Sbrs, 0, 0), sts.first,
+                                     sts.second, enc_no_operand(Op::Ret)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kSkip);
+  EXPECT_EQ(cfg.blocks[0].succs, (std::vector<std::uint32_t>{2, 6}));
+}
+
+// --- Jumps leaving the region ------------------------------------------------
+
+TEST(RegionCfg, JumpBelowBaseIsJumpOutWithAbsoluteTarget) {
+  // rjmp -3 words from offset 0 at base 0x100: absolute target 0xFC, below
+  // the region — recorded as a jump-out, not an intra-region edge.
+  const support::Bytes code =
+      words({enc_rel_jump(Op::Rjmp, -3), enc_no_operand(Op::Ret)});
+  const RegionCfg cfg = build_region_cfg(code, 0x100);
+  ASSERT_EQ(cfg.jumps_out.size(), 1u);
+  EXPECT_EQ(cfg.jumps_out[0].offset, 0u);
+  EXPECT_EQ(cfg.jumps_out[0].target, 0xFC);
+  EXPECT_EQ(cfg.blocks[0].end_kind, BlockEnd::kJump);
+  EXPECT_TRUE(cfg.blocks[0].succs.empty());
+}
+
+TEST(RegionCfg, JumpBelowAddressZeroKeepsSignedTarget) {
+  const support::Bytes code = words({enc_rel_jump(Op::Rjmp, -3)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.jumps_out.size(), 1u);
+  EXPECT_EQ(cfg.jumps_out[0].target, -4);
+  EXPECT_NE(analysis::format_cfg(cfg).find("jump-out 0x0 -> -0x4"),
+            std::string::npos);
+}
+
+TEST(RegionCfg, JumpIntoMidInstructionIsJumpOut) {
+  // rjmp +1 targets offset 4 — the *second word* of the 32-bit lds at
+  // [2, 6). Not an instruction boundary, so it is a jump into data even
+  // though the byte offset is inside the region.
+  const WordPair lds = enc_lds(16, 0x0200);
+  const support::Bytes code = words({enc_rel_jump(Op::Rjmp, 1), lds.first,
+                                     lds.second, enc_no_operand(Op::Ret)});
+  const RegionCfg cfg = build_region_cfg(code, 0);
+  ASSERT_EQ(cfg.jumps_out.size(), 1u);
+  EXPECT_EQ(cfg.jumps_out[0].offset, 0u);
+  EXPECT_EQ(cfg.jumps_out[0].target, 4);
+  EXPECT_EQ(cfg.n_edges(), 0u);
+}
+
+// --- Golden format pin -------------------------------------------------------
+
+TEST(RegionCfg, FormatIsStableAcrossRuns) {
+  // Full-text pin of a small function: rcall +1 ; ret ; nop ; ret. The
+  // exact rendering is what mavr-objdump --cfg prints; drift here breaks
+  // golden files downstream.
+  const support::Bytes code =
+      words({enc_rel_jump(Op::Rcall, 1), enc_no_operand(Op::Ret),
+             enc_no_operand(Op::Nop), enc_no_operand(Op::Ret)});
+  const RegionCfg cfg = build_region_cfg(code, 0x200);
+  EXPECT_EQ(analysis::format_cfg(cfg),
+            "region base=0x200 size=0x8 blocks=2 edges=0 calls=1\n"
+            "block 0x0..0x4 instrs=2 end=ret\n"
+            "block 0x4..0x8 instrs=2 end=ret\n"
+            "call 0x0 -> 0x204\n");
+}
+
+}  // namespace
+}  // namespace mavr

@@ -1,0 +1,141 @@
+// Analyze-sweep campaign scenario: the static-analysis-derived per-function
+// policy (DESIGN.md §15) measured end-to-end against the generic detector
+// baseline — detection rate at least as high on every attack variant, a
+// policy-only run that catches the stealthy pivot the generic mask set
+// misses at the same detector budget, and a zero-false-positive clean
+// fleet with the derived policy armed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "campaign/scenarios.hpp"
+
+namespace mavr {
+namespace {
+
+using campaign::CampaignConfig;
+using campaign::CampaignStats;
+using campaign::DetectAttack;
+using campaign::Scenario;
+
+const campaign::SimFixture& fixture() {
+  static const campaign::SimFixture fx =
+      campaign::make_sim_fixture(firmware::testapp(/*vulnerable=*/true));
+  return fx;
+}
+
+CampaignConfig base_config(DetectAttack attack, unsigned detectors,
+                           std::uint64_t trials, bool derived) {
+  CampaignConfig config;
+  config.scenario = Scenario::kAnalyzeSweep;
+  config.trials = trials;
+  config.jobs = 4;
+  config.seed = 0xA7A1;
+  config.detect_attack = attack;
+  config.detectors = detectors;
+  config.analyze_policy = derived;
+  return config;
+}
+
+CampaignStats run(DetectAttack attack, unsigned detectors, bool derived,
+                  std::uint64_t trials = 4) {
+  return campaign::run_campaign(
+      base_config(attack, detectors, trials, derived), fixture());
+}
+
+// --- Derived vs. generic detection rate (the acceptance delta) ---------------
+
+TEST(AnalyzeSweep, DerivedDetectsAtLeastGenericOnEveryVariant) {
+  // With the full generic set armed, adding the derived policy may only
+  // move detections up — its constraints are subsets of the generic ones,
+  // so anything generic flags, the policy run flags too.
+  for (DetectAttack attack :
+       {DetectAttack::kV1, DetectAttack::kV2, DetectAttack::kV3}) {
+    const CampaignStats generic = run(attack, detect::kDetectAll, false);
+    const CampaignStats derived = run(attack, detect::kDetectAll, true);
+    EXPECT_GE(derived.detections, generic.detections)
+        << campaign::detect_attack_name(attack);
+    EXPECT_EQ(derived.detections, derived.trials)
+        << campaign::detect_attack_name(attack);
+  }
+}
+
+TEST(AnalyzeSweep, PolicyAloneCatchesStealthyV2) {
+  // Headline delta: every generic runtime detector masked off. The
+  // baseline misses the stealthy pivot entirely (only the watchdog-less
+  // clean return); the derived per-function policy riding on the same
+  // empty mask set catches every trial.
+  const CampaignStats generic =
+      run(DetectAttack::kV2, detect::kDetectNone, false);
+  EXPECT_EQ(generic.detections, 0u);
+  EXPECT_EQ(generic.detector_trips, 0u);
+  EXPECT_EQ(generic.successes, generic.trials);
+
+  const CampaignStats derived =
+      run(DetectAttack::kV2, detect::kDetectNone, true);
+  EXPECT_EQ(derived.detections, derived.trials);
+  EXPECT_EQ(derived.detector_trips, derived.trials);
+  EXPECT_GT(derived.mean_ttd_cycles, 0.0);
+}
+
+// --- False positives ---------------------------------------------------------
+
+TEST(AnalyzeSweep, CleanFleetWithDerivedPolicyHasZeroFalsePositives) {
+  // ≥1000 clean flights with the derived policy armed on top of the full
+  // generic set: the tighter constraints must not flag one legitimate
+  // store or return. Budgets trimmed as in the detect-sweep clean fleet.
+  CampaignConfig config =
+      base_config(DetectAttack::kClean, detect::kDetectAll, 1000, true);
+  config.warmup_cycles = 200'000;
+  config.slice_cycles = 50'000;
+  config.attack_slices = 4;
+  const CampaignStats stats = campaign::run_campaign(config, fixture());
+  EXPECT_EQ(stats.trials, 1000u);
+  EXPECT_EQ(stats.detections, 0u);
+  EXPECT_EQ(stats.detector_trips, 0u);
+  EXPECT_EQ(stats.successes, stats.trials);
+  EXPECT_EQ(stats.mean_ttd_cycles, 0.0);
+}
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(AnalyzeSweep, BitIdenticalStatsAcrossJobs) {
+  CampaignConfig c1 = base_config(DetectAttack::kV2, detect::kDetectNone,
+                                  /*trials=*/96, /*derived=*/true);
+  c1.jobs = 1;
+  const CampaignStats one = campaign::run_campaign(c1, fixture());
+  CampaignConfig c8 = c1;
+  c8.jobs = 8;
+  const CampaignStats eight = campaign::run_campaign(c8, fixture());
+  EXPECT_EQ(std::memcmp(&one, &eight, sizeof one), 0);
+}
+
+// --- Plumbing ----------------------------------------------------------------
+
+TEST(AnalyzeSweep, ScenarioRegisteredAndNamed) {
+  EXPECT_STREQ(campaign::scenario_name(Scenario::kAnalyzeSweep),
+               "analyze-sweep");
+  EXPECT_EQ(campaign::parse_scenario("analyze-sweep"),
+            Scenario::kAnalyzeSweep);
+  EXPECT_TRUE(campaign::scenario_uses_board(Scenario::kAnalyzeSweep));
+  bool listed = false;
+  for (Scenario s : campaign::all_scenarios()) {
+    if (s == Scenario::kAnalyzeSweep) {
+      listed = true;
+      EXPECT_GT(std::strlen(campaign::scenario_description(s)), 0u);
+    }
+  }
+  EXPECT_TRUE(listed);
+}
+
+TEST(AnalyzeSweep, FixtureCarriesDerivedPolicy) {
+  // make_sim_fixture runs the analysis plane once per campaign; the
+  // resulting PolicySet must cover every blob function so each trial's
+  // master can materialize it against its own fresh permutation.
+  EXPECT_EQ(fixture().policy.functions.size(),
+            toolchain::SymbolBlob::from_image(fixture().fw.image)
+                .function_addrs.size());
+}
+
+}  // namespace
+}  // namespace mavr

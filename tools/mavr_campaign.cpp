@@ -1,11 +1,11 @@
 // mavr-campaign — fleet-scale attack/defense trial runner.
 //
 //   mavr-campaign --scenario {v1,v2,v3,bruteforce-fixed,bruteforce-rerand,
-//                             fault-sweep,detect-sweep}
+//                             fault-sweep,detect-sweep,analyze-sweep}
 //                 [--trials N] [--jobs N] [--seed N] [--functions N]
 //                 [--fault-rate X]
 //                 [--detectors LIST] [--attack {clean,v1,v2,v3}]
-//                 [--randomize {on,off}]
+//                 [--randomize {on,off}] [--generic]
 //                 [--connect ENDPOINT] [--auth-token-file FILE]
 //                 [--out FILE.{csv,json}]
 //   mavr-campaign --list-scenarios
@@ -18,7 +18,11 @@
 // --fault-rate; detect-sweep arms the runtime intrusion detectors
 // (--detectors, a comma list of canary,shadow,sp-bounds,cfi or all/none)
 // against one attack variant or a clean flight (--attack), with MAVR
-// randomization off unless --randomize on.
+// randomization off unless --randomize on; analyze-sweep is the same
+// harness with the static-analysis-derived per-function policy (DESIGN.md
+// §15) loaded at every reflash — an in-process run also replays the
+// generic baseline and prints the detection-rate delta (--generic runs
+// only the baseline).
 //
 // With --connect the campaign is submitted to a running mavr-campaignd
 // coordinator instead of running in-process; ENDPOINT is `unix:/path`,
@@ -50,13 +54,13 @@ int usage() {
       stderr,
       "usage: mavr-campaign --scenario "
       "{v1,v2,v3,bruteforce-fixed,bruteforce-rerand,fault-sweep,"
-      "detect-sweep}\n"
+      "detect-sweep,analyze-sweep}\n"
       "                     [--trials N] [--jobs N] [--seed N]\n"
       "                     [--functions N] [--fault-rate X]\n"
       "                     [--detectors {canary,shadow,sp-bounds,cfi}*|"
       "all|none]\n"
       "                     [--attack {clean,v1,v2,v3}] "
-      "[--randomize {on,off}]\n"
+      "[--randomize {on,off}] [--generic]\n"
       "                     [--connect ENDPOINT] [--auth-token-file FILE]\n"
       "                     [--out FILE.{csv,json}]\n"
       "       mavr-campaign --list-scenarios\n");
@@ -86,7 +90,8 @@ bool ends_with(const std::string& s, const char* suffix) {
 /// stats are bit-identical, so the output is too).
 int report(const mavr::campaign::CampaignConfig& config,
            const mavr::campaign::CampaignStats& stats,
-           const std::string& out_path) {
+           const std::string& out_path,
+           const mavr::campaign::CampaignStats* generic_baseline = nullptr) {
   using namespace mavr;
   std::printf("  successes:  %llu (%.2f%%)   detections: %llu (%.2f%%)\n",
               static_cast<unsigned long long>(stats.successes),
@@ -99,7 +104,8 @@ int report(const mavr::campaign::CampaignConfig& config,
               "max %.0f\n",
               stats.mean_attempts, stats.p50_attempts, stats.p90_attempts,
               stats.p99_attempts, stats.max_attempts);
-  if (config.scenario == campaign::Scenario::kDetectSweep) {
+  if (config.scenario == campaign::Scenario::kDetectSweep ||
+      config.scenario == campaign::Scenario::kAnalyzeSweep) {
     std::printf("  attack: %s   detectors: %s   randomize: %s\n",
                 campaign::detect_attack_name(config.detect_attack),
                 detect::detector_set_name(config.detectors).c_str(),
@@ -110,6 +116,21 @@ int report(const mavr::campaign::CampaignConfig& config,
                 100.0 * static_cast<double>(stats.detector_trips) /
                     static_cast<double>(stats.trials),
                 stats.mean_ttd_cycles);
+  }
+  if (config.scenario == campaign::Scenario::kAnalyzeSweep) {
+    std::printf("  policy: %s\n",
+                config.analyze_policy ? "analysis-derived" : "generic");
+    if (generic_baseline != nullptr) {
+      const double derived_rate = 100.0 *
+                                  static_cast<double>(stats.detections) /
+                                  static_cast<double>(stats.trials);
+      const double generic_rate =
+          100.0 * static_cast<double>(generic_baseline->detections) /
+          static_cast<double>(generic_baseline->trials);
+      std::printf("  detection rate: derived %.2f%% vs generic %.2f%% "
+                  "(delta %+.2f%%)\n",
+                  derived_rate, generic_rate, derived_rate - generic_rate);
+    }
   }
   if (config.scenario == campaign::Scenario::kFaultSweep) {
     std::printf("  fault rate: %g   degradations: %llu (%.2f%%)   "
@@ -229,6 +250,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--randomize takes on|off\n");
         return usage();
       }
+    } else if (std::strcmp(argv[i], "--generic") == 0) {
+      config.analyze_policy = false;
     } else if (const char* v = arg_value("--connect")) {
       connect_path = v;
     } else if (const char* v = arg_value("--auth-token-file")) {
@@ -260,8 +283,25 @@ int main(int argc, char** argv) {
   try {
     const auto t0 = std::chrono::steady_clock::now();
     campaign::CampaignStats stats;
+    campaign::CampaignStats generic_stats;
+    bool have_generic = false;
     if (connect_path.empty()) {
-      stats = campaign::run_campaign(config);
+      if (config.scenario == campaign::Scenario::kAnalyzeSweep) {
+        // One fixture (and one static-analysis pass) serves both runs;
+        // the baseline replays the identical trial stream with the
+        // generic detectors alone, so the delta isolates the policy.
+        const campaign::SimFixture fixture = campaign::make_sim_fixture(
+            firmware::testapp(/*vulnerable=*/true));
+        stats = campaign::run_campaign(config, fixture);
+        if (config.analyze_policy) {
+          campaign::CampaignConfig generic = config;
+          generic.analyze_policy = false;
+          generic_stats = campaign::run_campaign(generic, fixture);
+          have_generic = true;
+        }
+      } else {
+        stats = campaign::run_campaign(config);
+      }
     } else {
       // Resilient client (DESIGN.md §14): retries ride out a coordinator
       // restart or dropped frames instead of dying on first ECONNRESET.
@@ -310,7 +350,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(config.seed), wall_s,
                   static_cast<double>(stats.trials) / wall_s);
     }
-    return report(config, stats, out_path);
+    return report(config, stats, out_path,
+                  have_generic ? &generic_stats : nullptr);
   } catch (const support::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,14 +1,16 @@
 // mavr-objdump — inspect a MAVR container HEX: symbol table, pointer
-// slots, gadget census, optional per-function disassembly.
+// slots, gadget census, optional per-function disassembly or CFG.
 //
 //   mavr-objdump <container.hex> [--symbols] [--gadgets]
-//                [--disasm <byte-addr-hex>] [--headers]
+//                [--disasm <byte-addr-hex>] [--cfg [byte-addr-hex]]
+//                [--headers]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "analysis/cfg.hpp"
 #include "attack/gadgets.hpp"
 #include "defense/preprocess.hpp"
 #include "toolchain/disasm.hpp"
@@ -34,7 +36,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mavr-objdump <container.hex> [--symbols] "
-                 "[--gadgets] [--disasm <byte-addr-hex>] [--headers]\n");
+                 "[--gadgets] [--disasm <byte-addr-hex>] "
+                 "[--cfg [byte-addr-hex]] [--headers]\n");
     return 2;
   }
 
@@ -76,6 +79,32 @@ int main(int argc, char** argv) {
         std::printf("first write_mem entry: 0x%X (pops at 0x%X)\n",
                     finder.write_mems()[0].store_entry_byte_addr,
                     finder.write_mems()[0].pop_entry_byte_addr);
+      }
+    } else if (std::strcmp(argv[i], "--cfg") == 0) {
+      any = true;
+      // Optional hex byte address narrows the dump to one function; the
+      // text is stable (offsets only change when the code does), so the
+      // golden-file tests diff it directly.
+      std::uint32_t want = 0;
+      bool have_want = false;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        want = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 16));
+        have_want = true;
+      }
+      bool found = false;
+      for (std::size_t k = 0; k < blob.function_addrs.size(); ++k) {
+        const std::uint32_t start = blob.function_addrs[k];
+        const std::uint32_t size = blob.function_sizes[k];
+        if (have_want && (want < start || want >= start + size)) continue;
+        found = true;
+        const analysis::RegionCfg cfg = analysis::build_region_cfg(
+            std::span(container.image).subspan(start, size), start);
+        std::printf("func %zu @0x%X size=%u\n%s", k, start, size,
+                    analysis::format_cfg(cfg).c_str());
+      }
+      if (have_want && !found) {
+        std::fprintf(stderr, "0x%X is not inside a function\n", want);
+        return 1;
       }
     } else if (std::strcmp(argv[i], "--disasm") == 0 && i + 1 < argc) {
       any = true;
