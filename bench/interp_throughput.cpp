@@ -1,16 +1,28 @@
-// Interpreter throughput: retired MIPS on the test application and the
-// arduplane flight firmware, with and without an attached (no-op) tracer.
+// Execution-core throughput: retired MIPS on the test application and the
+// arduplane flight firmware under three configurations — the superblock
+// threaded-code tier (the untraced default), the plain interpreter
+// (--exec-tier off equivalent), and the traced interpreter (no-op hooks,
+// which bypass the tier entirely).
 //
 // This is the single-core number the campaign engine's trials/s scales
-// from, and the headline metric of the interpreter performance
-// architecture (DESIGN.md §11): dense-table I/O dispatch, event-driven
-// peripheral clocking and register-resident hot counters. Each
-// configuration reports the best of three repetitions so a scheduler
-// hiccup does not masquerade as a regression.
+// from, and the headline metric of the execution architecture
+// (DESIGN.md §11/§16): dense-table I/O dispatch, event-driven peripheral
+// clocking, register-resident hot counters, and pre-decoded superblocks
+// with pair fusion. Each configuration reports the best of three
+// repetitions so a scheduler hiccup does not masquerade as a regression.
+//
+// The bench doubles as a correctness gate: before timing, each firmware
+// runs a fixed cycle budget under tier and interpreter and the full
+// architectural state (cycles, retired, interrupts, PC, SP, SREG, every
+// data-space byte, device counters) is compared. A divergence prints the
+// mismatching fields and exits non-zero, so CI catches a tier that is
+// fast but wrong. `--json` emits the same numbers machine-readably.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "sim/board.hpp"
@@ -21,16 +33,20 @@ using namespace mavr;
 
 constexpr std::uint64_t kWarmupCycles = 1'000'000;
 constexpr std::uint64_t kBudgetCycles = 200'000'000;
+constexpr std::uint64_t kIdentityCycles = 8'000'000;
 constexpr int kReps = 3;
 
-double measure_mips(const firmware::Firmware& fw, bool traced) {
+enum class Mode { kTier, kInterp, kTraced };
+
+double measure_mips(const firmware::Firmware& fw, Mode mode) {
   double best = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
     sim::Board board;
     avr::Tracer null_tracer;  // hook bodies are no-ops: measures hook cost
-    if (traced) board.cpu().set_tracer(&null_tracer);
+    board.cpu().set_exec_tier(mode == Mode::kTier);
+    if (mode == Mode::kTraced) board.cpu().set_tracer(&null_tracer);
     board.flash_image(fw.image.bytes);
-    board.run_cycles(kWarmupCycles);  // warm the decode cache
+    board.run_cycles(kWarmupCycles);  // warm the decode/translation caches
     const std::uint64_t retired0 = board.cpu().instructions_retired();
     const auto t0 = std::chrono::steady_clock::now();
     board.run_cycles(kBudgetCycles);
@@ -45,18 +61,139 @@ double measure_mips(const firmware::Firmware& fw, bool traced) {
   return best;
 }
 
-void report(const char* tag, const firmware::Firmware& fw) {
-  const double untraced = measure_mips(fw, false);
-  const double traced = measure_mips(fw, true);
-  std::printf("  %-12s untraced %8.1f MIPS   traced %8.1f MIPS   hook cost %4.1f%%\n",
-              tag, untraced, traced, (1.0 - traced / untraced) * 100.0);
+/// Runs `fw` for a fixed budget with the tier on and off and compares the
+/// complete architectural state. Returns true when bit-identical; prints
+/// every differing field otherwise.
+bool check_bit_identity(const char* tag, const firmware::Firmware& fw) {
+  sim::Board tier_board;
+  tier_board.cpu().set_exec_tier(true);
+  tier_board.flash_image(fw.image.bytes);
+  tier_board.run_cycles(kIdentityCycles);
+
+  sim::Board ref_board;
+  ref_board.cpu().set_exec_tier(false);
+  ref_board.flash_image(fw.image.bytes);
+  ref_board.run_cycles(kIdentityCycles);
+
+  const avr::Cpu& a = tier_board.cpu();
+  const avr::Cpu& b = ref_board.cpu();
+  bool same = true;
+  const auto cmp = [&](const char* what, std::uint64_t x, std::uint64_t y) {
+    if (x != y) {
+      std::fprintf(stderr, "  %s: %s diverged (tier %llu, interp %llu)\n",
+                   tag, what, static_cast<unsigned long long>(x),
+                   static_cast<unsigned long long>(y));
+      same = false;
+    }
+  };
+  cmp("cycles", a.cycles(), b.cycles());
+  cmp("retired", a.instructions_retired(), b.instructions_retired());
+  cmp("interrupts", a.interrupts_taken(), b.interrupts_taken());
+  cmp("pc", a.pc(), b.pc());
+  cmp("sp", a.sp(), b.sp());
+  cmp("sreg", a.sreg(), b.sreg());
+  cmp("timer fires", tier_board.tick_timer().fires(),
+      ref_board.tick_timer().fires());
+  cmp("feed writes", tier_board.feed_line().write_count(),
+      ref_board.feed_line().write_count());
+  const std::uint32_t n = a.data().size();
+  if (std::memcmp(a.data().raw_data(), b.data().raw_data(), n) != 0) {
+    for (std::uint32_t addr = 0; addr < n; ++addr) {
+      if (a.data().raw(addr) != b.data().raw(addr)) {
+        std::fprintf(stderr,
+                     "  %s: data[0x%04X] diverged (tier %02X, interp %02X)\n",
+                     tag, addr, a.data().raw(addr), b.data().raw(addr));
+        same = false;
+        break;  // first byte is enough to localise the bug
+      }
+    }
+  }
+  return same;
+}
+
+struct Row {
+  const char* tag;
+  double tier_mips;
+  double interp_mips;
+  double traced_mips;
+  std::uint64_t translations;
+  std::uint64_t invalidations;
+  std::uint64_t fused_pairs;
+  bool bit_identical;
+};
+
+Row measure(const char* tag, const firmware::Firmware& fw) {
+  Row row;
+  row.tag = tag;
+  row.bit_identical = check_bit_identity(tag, fw);
+  row.tier_mips = measure_mips(fw, Mode::kTier);
+  row.interp_mips = measure_mips(fw, Mode::kInterp);
+  row.traced_mips = measure_mips(fw, Mode::kTraced);
+  // Translation-plane counters from a dedicated run so the reps above
+  // (three boards each) do not triple-count.
+  sim::Board board;
+  board.cpu().set_exec_tier(true);
+  board.flash_image(fw.image.bytes);
+  board.run_cycles(kWarmupCycles);
+  const avr::TierStats& stats = board.cpu().tier_stats();
+  row.translations = stats.blocks_translated;
+  row.invalidations = stats.invalidations;
+  row.fused_pairs = stats.fused_pairs;
+  return row;
+}
+
+void print_text(const Row& row) {
+  std::printf(
+      "  %-12s tier %8.1f MIPS   interp %8.1f MIPS   traced %8.1f MIPS\n"
+      "  %-12s speedup %5.2fx   blocks %llu   fused pairs %llu   "
+      "invalidations %llu   bit-identical %s\n",
+      row.tag, row.tier_mips, row.interp_mips, row.traced_mips, "",
+      row.tier_mips / row.interp_mips,
+      static_cast<unsigned long long>(row.translations),
+      static_cast<unsigned long long>(row.fused_pairs),
+      static_cast<unsigned long long>(row.invalidations),
+      row.bit_identical ? "yes" : "NO");
+}
+
+void print_json(const Row& row, bool last) {
+  std::printf(
+      "  {\"firmware\": \"%s\", \"tier_mips\": %.1f, \"interp_mips\": %.1f, "
+      "\"traced_mips\": %.1f, \"translations\": %llu, "
+      "\"invalidations\": %llu, \"fused_pairs\": %llu, "
+      "\"bit_identical\": %s}%s\n",
+      row.tag, row.tier_mips, row.interp_mips, row.traced_mips,
+      static_cast<unsigned long long>(row.translations),
+      static_cast<unsigned long long>(row.invalidations),
+      static_cast<unsigned long long>(row.fused_pairs),
+      row.bit_identical ? "true" : "false", last ? "" : ",");
 }
 
 }  // namespace
 
-int main() {
-  bench::heading("Interpreter throughput (best of 3, 200M-cycle budget)");
-  report("testapp", bench::built(firmware::testapp(true)));
-  report("arduplane", bench::built(firmware::arduplane(true)));
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json = true;
+  }
+
+  const Row rows[] = {
+      measure("testapp", bench::built(firmware::testapp(true))),
+      measure("arduplane", bench::built(firmware::arduplane(true))),
+  };
+
+  if (json) {
+    std::printf("[\n");
+    print_json(rows[0], false);
+    print_json(rows[1], true);
+    std::printf("]\n");
+  } else {
+    bench::heading("Execution throughput (best of 3, 200M-cycle budget)");
+    for (const Row& row : rows) print_text(row);
+  }
+
+  // Gate: a tier that diverges from the interpreter fails the bench run.
+  for (const Row& row : rows) {
+    if (!row.bit_identical) return 1;
+  }
   return 0;
 }

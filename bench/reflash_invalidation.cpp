@@ -1,0 +1,95 @@
+// Reflash-invalidation microbenchmark: the superblock tier's worst case.
+//
+// The MAVR defense reprograms flash constantly — every rerandomization
+// epoch erases and rewrites the whole application — so translations are
+// invalidated at a rate no conventional JIT faces. This bench measures
+// the steady-state translate → run → reflash → retranslate loop over
+// 1000 rerandomized images of the test application: per-epoch wall time,
+// retranslation volume, and the retired throughput sustained while every
+// epoch starts from a cold translation cache.
+//
+// The tier invalidates by bumping an epoch tag (O(1) per reflash, the
+// per-word map is never walked), so the cost that remains is pure
+// retranslation demand; the bench reports it both ways (epochs/s and
+// MIPS) to make a regression in either visible.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "defense/patcher.hpp"
+#include "sim/board.hpp"
+#include "support/rng.hpp"
+#include "toolchain/image.hpp"
+
+namespace {
+
+using namespace mavr;
+
+constexpr int kEpochs = 1000;
+constexpr std::uint64_t kCyclesPerEpoch = 400'000;  // boot + a few frames
+
+}  // namespace
+
+int main() {
+  bench::heading("Reflash invalidation (1000 rerandomized images)");
+
+  const firmware::Firmware& fw = bench::built(firmware::testapp(true));
+  const toolchain::SymbolBlob blob =
+      toolchain::SymbolBlob::from_image(fw.image);
+  support::Rng rng(2026);
+
+  // Pre-draw the images so the timed loop measures the simulator, not the
+  // patcher.
+  std::vector<support::Bytes> images;
+  images.reserve(kEpochs);
+  for (int i = 0; i < kEpochs; ++i) {
+    images.push_back(defense::randomize_image(fw.image.bytes, blob, rng).image);
+  }
+
+  sim::Board board;
+  board.cpu().set_exec_tier(true);
+
+  // Warmup epoch: first flash sizes the translation map.
+  board.flash_image(images[0]);
+  board.run_cycles(kCyclesPerEpoch);
+
+  const avr::TierStats& stats = board.cpu().tier_stats();
+  const std::uint64_t translated0 = stats.blocks_translated;
+  const std::uint64_t invalidations0 = stats.invalidations;
+  const std::uint64_t retired0 = board.cpu().instructions_retired();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i < kEpochs; ++i) {
+    board.flash_image(images[i]);  // bumps the flash generation
+    board.run_cycles(kCyclesPerEpoch);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::uint64_t epochs = kEpochs - 1;
+  const std::uint64_t retranslations = stats.blocks_translated - translated0;
+  const std::uint64_t invalidations = stats.invalidations - invalidations0;
+  const std::uint64_t retired = board.cpu().instructions_retired() - retired0;
+
+  std::printf(
+      "  epochs %llu   invalidations %llu   retranslations %llu "
+      "(%.1f blocks/epoch)\n"
+      "  wall %.2fs   %.1f epochs/s   steady-state %.1f MIPS under "
+      "per-epoch reflash\n",
+      static_cast<unsigned long long>(epochs),
+      static_cast<unsigned long long>(invalidations),
+      static_cast<unsigned long long>(retranslations),
+      static_cast<double>(retranslations) / epochs, secs, epochs / secs,
+      static_cast<double>(retired) / secs / 1e6);
+
+  // Every reflash must have invalidated: a cache that survives a
+  // generation bump would be serving stale code.
+  if (invalidations != epochs) {
+    std::fprintf(stderr,
+                 "FAIL: expected one invalidation per reflash epoch\n");
+    return 1;
+  }
+  return 0;
+}

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "avr/io.hpp"
 #include "avr/mcu.hpp"
 #include "avr/memory.hpp"
+#include "avr/tier.hpp"
 
 namespace mavr::avr {
 
@@ -172,17 +172,23 @@ class Cpu {
   Eeprom& eeprom() { return eeprom_; }
   IoBus& io() { return io_; }
 
+  /// Interrupt-line query: must return true when an interrupt is pending
+  /// and clear it (hardware ack). A plain function pointer + context pair
+  /// rather than std::function — the poll sits on the interrupt-latency
+  /// path and must not cost a type-erased dispatch per pending check.
+  using IrqTakeFn = bool (*)(void* ctx);
+
   /// Registers an interrupt source on `vector_slot` (slot k dispatches
-  /// through the 2-word vector at word address 2k). `take` must return
-  /// true when an interrupt is pending and clear it (hardware ack).
-  /// Delivery follows AVR semantics: only with SREG.I set, between
+  /// through the 2-word vector at word address 2k). `take(ctx)` must
+  /// return true when an interrupt is pending and clear it (hardware
+  /// ack). Delivery follows AVR semantics: only with SREG.I set, between
   /// instructions; the return address is pushed and I is cleared.
   ///
   /// Lines are polled while the bus's interrupt hint is up (see
   /// IoBus::raise_irq). Devices raising pending state mid-run must raise
   /// the hint; state flipped from outside the simulation loop is covered
   /// by the unconditional re-raise at step()/run() entry.
-  void set_irq_line(std::uint8_t vector_slot, std::function<bool()> take);
+  void set_irq_line(std::uint8_t vector_slot, IrqTakeFn take, void* ctx);
 
   /// Interrupts delivered since power-on.
   std::uint64_t interrupts_taken() const { return interrupts_taken_; }
@@ -199,6 +205,17 @@ class Cpu {
   std::uint32_t last_ret_raw_words() const { return last_ret_raw_words_; }
   bool last_ret_wrapped() const { return last_ret_wrapped_; }
 
+  /// Enables/disables the superblock execution tier for untraced run()s
+  /// (default on). Bit-identical to the interpreter either way — the
+  /// toggle exists for benchmarking and for pinning that equivalence.
+  /// Attaching a tracer transparently demotes run() to the traced
+  /// interpreter regardless of this setting; step() always interprets.
+  void set_exec_tier(bool on) { exec_tier_ = on; }
+  bool exec_tier() const { return exec_tier_; }
+
+  /// Translation/invalidation/fallback counters (bench + regression tests).
+  const TierStats& tier_stats() const { return tier_.stats; }
+
  private:
   /// The interpreter loop. Executes one instruction when `single`, else
   /// runs until the core leaves Running or `deadline` (absolute cycles) is
@@ -206,6 +223,17 @@ class Cpu {
   /// (PC, cycle count, retire count) in registers across instructions.
   template <bool kTraced>
   void step_impl(std::uint64_t deadline, bool single);
+  /// Superblock dispatch loop: executes translated blocks until the
+  /// deadline, falling back to single cycle-exact step_impl() calls at
+  /// every boundary the tier cannot prove equivalent (pending interrupt,
+  /// device-dispatched access, deadline inside the block, untranslatable
+  /// head). See DESIGN.md §16 for the fallback contract.
+  void run_tier(std::uint64_t deadline);
+  /// Interrupt delivery shared by the interpreter loop and the tier
+  /// dispatcher — one definition, so delivery timing cannot diverge.
+  /// Caller guarantees flag(kI) && io_.irq_hint() && !irq_lines_.empty().
+  template <bool kTraced>
+  void poll_irq_lines(std::uint32_t& pc, std::uint64_t& cycles);
   template <bool kTraced>
   std::uint8_t load_mem(std::uint32_t addr);
   template <bool kTraced>
@@ -247,7 +275,18 @@ class Cpu {
   Tracer* tracer_ = nullptr;
   std::uint32_t last_ret_raw_words_ = 0;
   bool last_ret_wrapped_ = false;
-  std::vector<std::pair<std::uint8_t, std::function<bool()>>> irq_lines_;
+
+  struct IrqLine {
+    std::uint8_t slot;
+    IrqTakeFn take;
+    void* ctx;
+  };
+  std::vector<IrqLine> irq_lines_;
+
+  /// Superblock tier (see tier.hpp). The map allocates lazily on the
+  /// first untraced run(), so traced/step-driven cores never pay for it.
+  SuperblockCache tier_;
+  bool exec_tier_ = true;
 
   // Decode cache, one entry per flash word; size_words == 0 marks a slot
   // as not-yet-decoded (every real decode yields 1 or 2). Re-synced to the

@@ -3,20 +3,32 @@
 namespace mavr::avr {
 
 OutputPort::OutputPort(IoBus& bus, std::uint16_t addr, bool record_history)
-    : bus_(bus), record_history_(record_history) {
-  bus.on_read(addr, [this] { return value_; });
-  bus.on_write(addr, [this](std::uint8_t v) {
-    value_ = v;
-    last_write_cycle_ = bus_.now();
-    ++write_count_;
-    if (record_history_) {
-      history_.push_back(Write{.cycle = bus_.now(), .value = v});
-    }
-  });
+    : bus_(bus), addr_(addr), record_history_(record_history) {
+  // Readback is latched: the write handler keeps the last value in CPU RAM
+  // so firmware loads of the port skip dispatch entirely.
+  bus.make_latched(addr);
+  bus.on_write(
+      addr,
+      [](void* self, std::uint8_t v) {
+        static_cast<OutputPort*>(self)->write(v);
+      },
+      this);
 }
 
-InputPort::InputPort(IoBus& bus, std::uint16_t addr) {
-  bus.on_read(addr, [this] { return value_; });
+void OutputPort::write(std::uint8_t v) {
+  value_ = v;
+  bus_.poke(addr_, v);
+  last_write_cycle_ = bus_.now();
+  ++write_count_;
+  if (record_history_) {
+    history_.push_back(Write{.cycle = bus_.now(), .value = v});
+  }
+}
+
+InputPort::InputPort(IoBus& bus, std::uint16_t addr)
+    : bus_(bus), addr_(addr) {
+  bus.make_latched(addr);
+  bus.poke(addr, 0);
 }
 
 }  // namespace mavr::avr

@@ -40,7 +40,10 @@ class OutputPort {
   void clear_history() { history_.clear(); }
 
  private:
+  void write(std::uint8_t v);  ///< dispatched firmware-store handler
+
   IoBus& bus_;  ///< write timestamps come from the bus clock
+  std::uint16_t addr_;
   std::uint8_t value_ = 0;
   std::uint64_t last_write_cycle_ = 0;
   std::uint64_t write_count_ = 0;
@@ -49,16 +52,18 @@ class OutputPort {
 };
 
 /// Input-port device whose value the simulation harness sets and the
-/// firmware reads (sensor front-ends).
+/// firmware reads (sensor front-ends). The value is a latched RAM-backed
+/// register — firmware reads are plain RAM loads, no dispatch.
 class InputPort {
  public:
   InputPort(IoBus& bus, std::uint16_t addr);
 
-  void set(std::uint8_t value) { value_ = value; }
-  std::uint8_t value() const { return value_; }
+  void set(std::uint8_t value) { bus_.poke(addr_, value); }
+  std::uint8_t value() const { return bus_.peek(addr_); }
 
  private:
-  std::uint8_t value_ = 0;
+  IoBus& bus_;
+  std::uint16_t addr_;
 };
 
 }  // namespace mavr::avr

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "avr/mcu.hpp"
@@ -44,35 +43,89 @@ class Tickable {
 };
 
 /// Address-dispatched I/O: maps data-space addresses to device handlers.
+///
+/// Handlers are plain function pointers with a context argument rather
+/// than std::function — dispatched accesses sit on the interpreter's and
+/// the superblock tier's hottest path, and the extra trampoline
+/// indirection of a type-erased callable is measurable there.
 class IoBus {
  public:
-  using ReadFn = std::function<std::uint8_t()>;
-  using WriteFn = std::function<void(std::uint8_t)>;
+  using ReadFn = std::uint8_t (*)(void*);
+  using WriteFn = void (*)(void*, std::uint8_t);
 
   /// Bits in the per-address dispatch map.
   static constexpr std::uint8_t kHandlesRead = 0x01;
   static constexpr std::uint8_t kHandlesWrite = 0x02;
 
-  IoBus() : reads_(kExtIoEnd), writes_(kExtIoEnd), dispatch_(kExtIoEnd, 0) {}
+  IoBus()
+      : reads_(kExtIoEnd),
+        writes_(kExtIoEnd),
+        dispatch_(kExtIoEnd, 0),
+        latch_shadow_(kExtIoEnd, 0),
+        latched_(kExtIoEnd, 0) {}
 
   /// Registers a read handler for data-space address `addr`. The address
   /// must fall inside the memory-mapped I/O region — a handler above
   /// kExtIoEnd would be unreachable through load/store dispatch.
-  void on_read(std::uint16_t addr, ReadFn fn) {
+  void on_read(std::uint16_t addr, ReadFn fn, void* ctx) {
     MAVR_REQUIRE(addr < kExtIoEnd, "I/O read handler outside the I/O region");
-    MAVR_REQUIRE(!(dispatch_[addr] & kHandlesRead),
+    MAVR_REQUIRE(!(dispatch_[addr] & kHandlesRead) && !latched_[addr],
                  "duplicate I/O read handler");
-    reads_[addr] = std::move(fn);
+    reads_[addr] = Handler<ReadFn>{fn, ctx};
     dispatch_[addr] |= kHandlesRead;
+    ++handler_gen_;
   }
 
   /// Registers a write handler for data-space address `addr`.
-  void on_write(std::uint16_t addr, WriteFn fn) {
+  void on_write(std::uint16_t addr, WriteFn fn, void* ctx) {
     MAVR_REQUIRE(addr < kExtIoEnd, "I/O write handler outside the I/O region");
     MAVR_REQUIRE(!(dispatch_[addr] & kHandlesWrite),
                  "duplicate I/O write handler");
-    writes_[addr] = std::move(fn);
+    writes_[addr] = Handler<WriteFn>{fn, ctx};
     dispatch_[addr] |= kHandlesWrite;
+    ++handler_gen_;
+  }
+
+  // --- Latched (RAM-backed) registers ---------------------------------------
+  /// A register whose reads are pure — a byte the device latches and the
+  /// firmware merely observes (sensor inputs, port readback) — skips read
+  /// dispatch entirely: the device keeps the byte directly in CPU data
+  /// RAM via poke(), and firmware loads take the plain-RAM path. The bus
+  /// shadows every poke so latched values survive a CPU reset (which
+  /// clears data RAM), matching the device-side members they replace.
+  ///
+  /// A firmware *store* to a latched address lands in RAM like any
+  /// unhandled store and is visible to subsequent loads until the next
+  /// poke; no modelled device shares an address between a firmware output
+  /// and a latched input, so this is unobservable in practice.
+  void bind_backing(std::uint8_t* ram) { backing_ = ram; }
+
+  /// Claims `addr` as a latched register (same uniqueness rules as a read
+  /// handler — the two are mutually exclusive per address).
+  void make_latched(std::uint16_t addr) {
+    MAVR_REQUIRE(addr < kExtIoEnd, "latched register outside the I/O region");
+    MAVR_REQUIRE(!(dispatch_[addr] & kHandlesRead) && !latched_[addr],
+                 "duplicate I/O read handler");
+    MAVR_REQUIRE(backing_ != nullptr, "latched register before bind_backing");
+    latched_[addr] = 1;
+    latch_addrs_.push_back(addr);
+  }
+
+  /// Device-side write of a latched register.
+  void poke(std::uint16_t addr, std::uint8_t value) {
+    backing_[addr] = value;
+    latch_shadow_[addr] = value;
+  }
+
+  /// Device-side read-back of a latched register.
+  std::uint8_t peek(std::uint16_t addr) const { return backing_[addr]; }
+
+  /// Re-seeds latched registers into freshly cleared data RAM. Called by
+  /// the CPU at the tail of reset().
+  void restore_latches() {
+    for (const std::uint16_t addr : latch_addrs_) {
+      backing_[addr] = latch_shadow_[addr];
+    }
   }
 
   /// Registers a device for time advancement.
@@ -92,16 +145,25 @@ class IoBus {
   }
 
   /// Dispatches a device read. Precondition: handles_read(addr).
-  std::uint8_t read(std::uint32_t addr) const { return reads_[addr](); }
+  std::uint8_t read(std::uint32_t addr) const {
+    const Handler<ReadFn>& h = reads_[addr];
+    return h.fn(h.ctx);
+  }
 
   /// Dispatches a device write. Precondition: handles_write(addr).
   void write(std::uint32_t addr, std::uint8_t value) const {
-    writes_[addr](value);
+    const Handler<WriteFn>& h = writes_[addr];
+    h.fn(h.ctx, value);
   }
 
   /// Per-address dispatch-flag map over [0, kExtIoEnd) — the single
   /// indexed test DataMemory::load/store consult on the hot path.
   const std::uint8_t* dispatch_map() const { return dispatch_.data(); }
+
+  /// Bumped on every handler registration. The superblock translator
+  /// resolves the dispatch map statically; its cache keys translations to
+  /// this value so a late registration forces retranslation.
+  std::uint64_t handler_generation() const { return handler_gen_; }
 
   // --- Interrupt hint --------------------------------------------------------
   /// Raised by devices when an interrupt condition goes pending. The CPU
@@ -141,6 +203,12 @@ class IoBus {
   }
 
  private:
+  template <typename Fn>
+  struct Handler {
+    Fn fn = nullptr;
+    void* ctx = nullptr;
+  };
+
   void refresh_deadline() {
     std::uint64_t min = kNoDeadline;
     for (const Tickable* device : tickables_) {
@@ -150,9 +218,14 @@ class IoBus {
     deadline_ = min;
   }
 
-  std::vector<ReadFn> reads_;
-  std::vector<WriteFn> writes_;
+  std::vector<Handler<ReadFn>> reads_;
+  std::vector<Handler<WriteFn>> writes_;
   std::vector<std::uint8_t> dispatch_;
+  std::vector<std::uint8_t> latch_shadow_;
+  std::vector<std::uint8_t> latched_;
+  std::vector<std::uint16_t> latch_addrs_;
+  std::uint8_t* backing_ = nullptr;
+  std::uint64_t handler_gen_ = 0;
   std::vector<Tickable*> tickables_;
   std::uint64_t now_ = 0;
   std::uint64_t deadline_ = kNoDeadline;

@@ -19,12 +19,22 @@ Uart::Uart(IoBus& bus, const UartConfig& config) : bus_(bus) {
       static_cast<std::uint64_t>(config.clock_hz) * 10 / config.baud;
   MAVR_REQUIRE(cycles_per_byte_ != 0,
                "uart baud rate exceeds what the clock can pace");
-  bus.on_read(config.status_addr, [this] { return read_status(); });
-  bus.on_read(config.data_addr, [this] { return read_data(); });
-  bus.on_write(config.data_addr, [this](std::uint8_t b) {
-    tx_.push_back(b);
-    if (tap_ != nullptr) tap_->on_tx(now(), b);
-  });
+  bus.on_read(
+      config.status_addr,
+      [](void* self) { return static_cast<Uart*>(self)->read_status(); },
+      this);
+  bus.on_read(
+      config.data_addr,
+      [](void* self) { return static_cast<Uart*>(self)->read_data(); },
+      this);
+  bus.on_write(
+      config.data_addr,
+      [](void* self, std::uint8_t b) {
+        auto* uart = static_cast<Uart*>(self);
+        uart->tx_.push_back(b);
+        if (uart->tap_ != nullptr) uart->tap_->on_tx(uart->now(), b);
+      },
+      this);
 }
 
 void Uart::host_send(std::span<const std::uint8_t> bytes) {

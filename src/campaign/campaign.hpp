@@ -99,6 +99,13 @@ struct CampaignConfig {
   // generic detectors alone — the baseline the derived policy's
   // detection-rate delta is measured against (DESIGN.md §15).
   bool analyze_policy = true;
+
+  // Board scenarios: run each trial's CPU through the superblock
+  // threaded-code tier (the default execution path) or force the plain
+  // interpreter. Results are bit-identical either way — the toggle exists
+  // so CI can prove exactly that on full campaigns and so a tier
+  // regression can be bisected without rebuilding.
+  bool exec_tier = true;
 };
 
 /// Outcome of one trial.

@@ -35,6 +35,7 @@ TrialResult run_board_trial(const SimFixture& fx, const CampaignConfig& config,
                             support::Rng& rng) {
   defense::ExternalFlash flash;
   sim::Board board;
+  board.cpu().set_exec_tier(config.exec_tier);
   defense::MasterConfig mcfg;
   mcfg.seed = rng.next();  // per-trial permutation stream
   mcfg.watchdog_timeout_cycles = config.watchdog_timeout_cycles;
@@ -102,6 +103,7 @@ TrialResult run_detect_trial(const SimFixture& fx, const CampaignConfig& config,
                              support::Rng& rng) {
   defense::ExternalFlash flash;
   sim::Board board;
+  board.cpu().set_exec_tier(config.exec_tier);
   defense::MasterConfig mcfg;
   mcfg.seed = rng.next();  // per-trial permutation stream
   mcfg.watchdog_timeout_cycles = config.watchdog_timeout_cycles;
@@ -196,6 +198,7 @@ TrialResult run_fault_trial(const SimFixture& fx, const CampaignConfig& config,
                             support::Rng& rng) {
   defense::ExternalFlash flash;
   sim::Board board;
+  board.cpu().set_exec_tier(config.exec_tier);
   defense::MasterConfig mcfg;
   mcfg.seed = rng.next();  // per-trial permutation stream
   mcfg.watchdog_timeout_cycles = config.watchdog_timeout_cycles;

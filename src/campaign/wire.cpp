@@ -39,6 +39,7 @@ void encode_config(support::ByteWriter& w, const CampaignConfig& config) {
   w.u8(static_cast<std::uint8_t>(config.detect_attack));
   w.u8(config.detect_randomize ? 1 : 0);
   w.u8(config.analyze_policy ? 1 : 0);
+  w.u8(config.exec_tier ? 1 : 0);
 }
 
 CampaignConfig decode_config(support::ByteReader& r) {
@@ -64,6 +65,7 @@ CampaignConfig decode_config(support::ByteReader& r) {
   config.detect_attack = static_cast<DetectAttack>(attack);
   config.detect_randomize = r.u8() != 0;
   config.analyze_policy = r.u8() != 0;
+  config.exec_tier = r.u8() != 0;
   config.jobs = 1;  // execution detail, not part of the wire identity
   return config;
 }

@@ -24,7 +24,8 @@ namespace mavr::campaign::wire {
 /// rejected instead of misparsed.
 /// v2: CampaignConfig gained the analyze-sweep scenario tag and the
 /// analyze_policy flag.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: CampaignConfig gained the exec_tier flag (superblock tier on/off).
+inline constexpr std::uint8_t kWireVersion = 3;
 
 // Primitive helpers shared by the campaignd protocol and checkpoint store.
 void put_u64(support::ByteWriter& w, std::uint64_t v);

@@ -27,8 +27,10 @@ Board::Board(std::uint32_t baud) : cpu_(avr::atmega2560()) {
   led_ = std::make_unique<avr::OutputPort>(bus, BoardIo::kLed,
                                            /*record_history=*/false);
   timer_ = std::make_unique<avr::Timer>(bus, firmware::kTimerPeriodCycles);
-  cpu_.set_irq_line(firmware::kTimerVector,
-                    [this] { return timer_->take_irq(); });
+  cpu_.set_irq_line(
+      firmware::kTimerVector,
+      [](void* t) { return static_cast<avr::Timer*>(t)->take_irq(); },
+      timer_.get());
 }
 
 void Board::flash_image(std::span<const std::uint8_t> image) {

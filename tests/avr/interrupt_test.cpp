@@ -24,11 +24,14 @@ using namespace mavr::toolchain;
 TEST(Interrupts, DeliveredOnlyWithIFlagSet) {
   Cpu cpu(avr::atmega2560());
   bool pending = true;
-  cpu.set_irq_line(4, [&] {
-    const bool was = pending;
-    pending = false;
-    return was;
-  });
+  cpu.set_irq_line(
+      4,
+      [](void* p) {
+        const bool was = *static_cast<bool*>(p);
+        *static_cast<bool*>(p) = false;
+        return was;
+      },
+      &pending);
   support::Bytes image;
   for (int i = 0; i < 64; ++i) {
     image.push_back(0x00);
@@ -54,11 +57,14 @@ TEST(Interrupts, DeliveredOnlyWithIFlagSet) {
 TEST(Interrupts, RetiResumesAndReenables) {
   Cpu cpu(avr::atmega2560());
   bool pending = true;
-  cpu.set_irq_line(4, [&] {
-    const bool was = pending;
-    pending = false;
-    return was;
-  });
+  cpu.set_irq_line(
+      4,
+      [](void* p) {
+        const bool was = *static_cast<bool*>(p);
+        *static_cast<bool*>(p) = false;
+        return was;
+      },
+      &pending);
   // Word 0..7: nops; vector slot 4 at word 8: reti.
   std::vector<std::uint16_t> words(16, 0x0000);
   words[8] = enc_no_operand(Op::Reti);
@@ -161,16 +167,22 @@ TEST(Interrupts, StealthyAttackSurvivesIsrMidChain) {
 TEST(Interrupts, LowestVectorWinsWhenMultiplePending) {
   Cpu cpu(avr::atmega2560());
   bool hi_pending = true, lo_pending = true;
-  cpu.set_irq_line(9, [&] {
-    const bool was = hi_pending;
-    hi_pending = false;
-    return was;
-  });
-  cpu.set_irq_line(3, [&] {
-    const bool was = lo_pending;
-    lo_pending = false;
-    return was;
-  });
+  cpu.set_irq_line(
+      9,
+      [](void* p) {
+        const bool was = *static_cast<bool*>(p);
+        *static_cast<bool*>(p) = false;
+        return was;
+      },
+      &hi_pending);
+  cpu.set_irq_line(
+      3,
+      [](void* p) {
+        const bool was = *static_cast<bool*>(p);
+        *static_cast<bool*>(p) = false;
+        return was;
+      },
+      &lo_pending);
   support::Bytes nops(64, 0x00);
   cpu.flash().program(nops);
   cpu.reset();

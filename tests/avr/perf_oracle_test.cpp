@@ -108,6 +108,78 @@ TEST(CycleOracle, V2AttackEndToEndPinsPreOverhaulState) {
   EXPECT_EQ(cal[1], 0x12);
 }
 
+const firmware::Firmware& arduplane_fw() {
+  static firmware::Firmware fw = firmware::generate(
+      firmware::arduplane(/*vulnerable=*/true),
+      toolchain::ToolchainOptions::mavr());
+  return fw;
+}
+
+OracleState run_arduplane_boot(bool exec_tier) {
+  sim::Board board;
+  board.cpu().set_exec_tier(exec_tier);
+  board.flash_image(arduplane_fw().image.bytes);
+  board.run_cycles(400'000);
+  EXPECT_EQ(board.cpu().state(), avr::CpuState::Running);
+  return capture(board);
+}
+
+OracleState run_v3_attack(bool exec_tier, std::uint8_t out_cal[2]) {
+  // V3 stages its gadget arguments into scratch RAM with one payload and
+  // triggers with a second — two pivots, more ISR interleavings, and the
+  // longest ROP execution the attack library generates.
+  const attack::AttackPlan plan = attack::analyze(arduplane_fw().image);
+  sim::Board board;
+  board.cpu().set_exec_tier(exec_tier);
+  board.flash_image(arduplane_fw().image.bytes);
+  board.run_cycles(400'000);
+  sim::GroundStation gcs(board);
+  const attack::Write3 write{plan.gyro_cal_addr, {0x34, 0x12, 0x00}};
+  constexpr std::uint16_t kStagingAddr = 0x1B00;
+  for (const support::Bytes& p :
+       plan.builder().v3_payloads(kStagingAddr, {write})) {
+    gcs.send_raw_param_set(p);
+  }
+  board.run_cycles(6'000'000);
+  EXPECT_EQ(board.cpu().state(), avr::CpuState::Running);
+  out_cal[0] = board.cpu().data().raw(plan.gyro_cal_addr);
+  out_cal[1] = board.cpu().data().raw(plan.gyro_cal_addr + 1);
+  return capture(board);
+}
+
+TEST(CycleOracle, ArduplaneBootPinsStateTierOnAndOff) {
+  // The flight firmware exercises translation shapes the testapp does not
+  // (deeper call graphs, denser 16-bit arithmetic); both execution paths
+  // must land on the interpreter-captured constants.
+  const OracleState expected{.cycles = 400'005,
+                             .retired = 238'566,
+                             .irqs = 40,
+                             .pc = 0x00022,
+                             .sp = 0x21F0,
+                             .sreg = 0x21,
+                             .fires = 40,
+                             .feeds = 968};
+  EXPECT_EQ(run_arduplane_boot(/*exec_tier=*/false), expected);
+  EXPECT_EQ(run_arduplane_boot(/*exec_tier=*/true), expected);
+}
+
+TEST(CycleOracle, V3AttackEndToEndPinsStateTierOnAndOff) {
+  const OracleState expected{.cycles = 6'400'005,
+                             .retired = 3'813'956,
+                             .irqs = 640,
+                             .pc = 0x00022,
+                             .sp = 0x21DD,
+                             .sreg = 0x1B,
+                             .fires = 640,
+                             .feeds = 15'326};
+  for (const bool exec_tier : {false, true}) {
+    std::uint8_t cal[2] = {0, 0};
+    EXPECT_EQ(run_v3_attack(exec_tier, cal), expected);
+    EXPECT_EQ(cal[0], 0x34);  // the staged chain's write landed
+    EXPECT_EQ(cal[1], 0x12);
+  }
+}
+
 TEST(CycleOracle, TracedRunIsBitIdenticalToUntraced) {
   // The traced instantiation syncs the hot counters around every hook;
   // both instantiations must execute the identical cycle-exact schedule.
@@ -147,15 +219,16 @@ TEST(TimerCatchUp, MultiPeriodGapCollapsesToOnePendingFlag) {
 
 TEST(IoBusRegression, DuplicateHandlersRejected) {
   avr::IoBus bus;
-  bus.on_read(0xC0, [] { return std::uint8_t{0}; });
-  bus.on_write(0xC0, [](std::uint8_t) {});
-  EXPECT_THROW(bus.on_read(0xC0, [] { return std::uint8_t{1}; }),
+  bus.on_read(0xC0, [](void*) { return std::uint8_t{0}; }, nullptr);
+  bus.on_write(0xC0, [](void*, std::uint8_t) {}, nullptr);
+  EXPECT_THROW(bus.on_read(0xC0, [](void*) { return std::uint8_t{1}; },
+                           nullptr),
                support::PreconditionError);
-  EXPECT_THROW(bus.on_write(0xC0, [](std::uint8_t) {}),
+  EXPECT_THROW(bus.on_write(0xC0, [](void*, std::uint8_t) {}, nullptr),
                support::PreconditionError);
   // A read handler does not block a second *write* handler elsewhere.
-  bus.on_read(0xC1, [] { return std::uint8_t{0}; });
-  bus.on_write(0xC1, [](std::uint8_t) {});
+  bus.on_read(0xC1, [](void*) { return std::uint8_t{0}; }, nullptr);
+  bus.on_write(0xC1, [](void*, std::uint8_t) {}, nullptr);
 }
 
 TEST(IoBusRegression, OutOfRegionHandlersRejected) {
@@ -163,9 +236,10 @@ TEST(IoBusRegression, OutOfRegionHandlersRejected) {
   // would be registered but unreachable through load/store, so it must be
   // rejected loudly instead.
   avr::IoBus bus;
-  EXPECT_THROW(bus.on_read(avr::kExtIoEnd, [] { return std::uint8_t{0}; }),
+  EXPECT_THROW(bus.on_read(avr::kExtIoEnd,
+                           [](void*) { return std::uint8_t{0}; }, nullptr),
                support::PreconditionError);
-  EXPECT_THROW(bus.on_write(0xFFFF, [](std::uint8_t) {}),
+  EXPECT_THROW(bus.on_write(0xFFFF, [](void*, std::uint8_t) {}, nullptr),
                support::PreconditionError);
 }
 
@@ -182,8 +256,10 @@ TEST(IoBusRegression, UnhandledIoAddressesBehaveAsRam) {
 TEST(IoBusRegression, DeviceDispatchRoutesAroundRam) {
   avr::IoBus bus;
   std::uint8_t last_written = 0;
-  bus.on_read(0x88, [] { return std::uint8_t{0x5C}; });
-  bus.on_write(0x88, [&](std::uint8_t v) { last_written = v; });
+  bus.on_read(0x88, [](void*) { return std::uint8_t{0x5C}; }, nullptr);
+  bus.on_write(
+      0x88, [](void* p, std::uint8_t v) { *static_cast<std::uint8_t*>(p) = v; },
+      &last_written);
   avr::DataMemory mem(avr::atmega2560(), bus);
   EXPECT_EQ(mem.load(0x88), 0x5C);   // handler, not backing RAM
   mem.store(0x88, 0x77);

@@ -5,7 +5,7 @@
 //                 [--trials N] [--jobs N] [--seed N] [--functions N]
 //                 [--fault-rate X]
 //                 [--detectors LIST] [--attack {clean,v1,v2,v3}]
-//                 [--randomize {on,off}] [--generic]
+//                 [--randomize {on,off}] [--generic] [--exec-tier {on,off}]
 //                 [--connect ENDPOINT] [--auth-token-file FILE]
 //                 [--out FILE.{csv,json}]
 //   mavr-campaign --list-scenarios
@@ -61,6 +61,7 @@ int usage() {
       "all|none]\n"
       "                     [--attack {clean,v1,v2,v3}] "
       "[--randomize {on,off}] [--generic]\n"
+      "                     [--exec-tier {on,off}]\n"
       "                     [--connect ENDPOINT] [--auth-token-file FILE]\n"
       "                     [--out FILE.{csv,json}]\n"
       "       mavr-campaign --list-scenarios\n");
@@ -248,6 +249,15 @@ int main(int argc, char** argv) {
         config.detect_randomize = false;
       } else {
         std::fprintf(stderr, "--randomize takes on|off\n");
+        return usage();
+      }
+    } else if (const char* v = arg_value("--exec-tier")) {
+      if (std::strcmp(v, "on") == 0) {
+        config.exec_tier = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        config.exec_tier = false;
+      } else {
+        std::fprintf(stderr, "--exec-tier takes on|off\n");
         return usage();
       }
     } else if (std::strcmp(argv[i], "--generic") == 0) {
